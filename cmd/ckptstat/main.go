@@ -1,0 +1,102 @@
+// Command ckptstat prints model and checkpoint anatomy: the layer-wise
+// tensor structure (paper Figure 1), the optimizer parameter-group layout
+// before and after layer-wise regrouping (Figures 2 and 3), and analytic
+// checkpoint sizes for the supported model presets.
+//
+//	ckptstat -model llama3.1-8b            # anatomy + sizes
+//	ckptstat -model llama3.2-1b -groups    # 2-group vs layerwise layouts
+//	ckptstat -root DIR -ckpt checkpoint-100  # on-disk checkpoint stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llmtailor"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+)
+
+func main() {
+	modelName := flag.String("model", "", "model preset to describe")
+	groups := flag.Bool("groups", false, "print optimizer group layouts (Figures 2-3)")
+	root := flag.String("root", "", "storage root (with -ckpt)")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory under -root")
+	flag.Parse()
+
+	switch {
+	case *modelName != "":
+		if err := describeModel(*modelName, *groups); err != nil {
+			fail(err)
+		}
+	case *root != "" && *ckptDir != "":
+		if err := describeCheckpoint(*root, *ckptDir); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ckptstat -model NAME [-groups] | ckptstat -root DIR -ckpt DIR")
+		fmt.Fprintf(os.Stderr, "models: %v\n", modelcfg.PresetNames())
+		os.Exit(2)
+	}
+}
+
+func describeModel(name string, groups bool) error {
+	cfg, err := modelcfg.ByName(name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: hidden %d, intermediate %d, %d layers, %d heads (%d KV), vocab %d, tied=%v\n",
+		cfg.Name, cfg.HiddenSize, cfg.IntermediateSize, cfg.NumLayers,
+		cfg.NumHeads, cfg.NumKVHeads, cfg.VocabSize, cfg.TieWordEmbeddings)
+	fmt.Printf("params: %.3fB   mergeable layers: %d\n",
+		float64(cfg.ParamCount())/1e9, cfg.TotalMergeableLayers())
+	fmt.Printf("checkpoint: weights %.2f GB + optimizer %.2f GB = %.2f GB (14 B/param)\n",
+		modelcfg.GB(cfg.WeightBytes()), modelcfg.GB(cfg.OptimBytes()), modelcfg.GB(cfg.FullCkptBytes()))
+	fmt.Println("\nlayer anatomy:")
+	for _, ref := range cfg.AllLayers() {
+		fmt.Printf("  %-14s %12d params  %8.3f GB/ckpt\n",
+			ref, cfg.LayerParamCount(ref), modelcfg.GB(cfg.LayerCkptBytes(ref)))
+	}
+	if groups {
+		fmt.Println("\noptimizer layout before regrouping (Figure 2):")
+		fmt.Print(optim.NewTwoGroupLayout(cfg).Describe())
+		fmt.Println("\noptimizer layout after layer-wise regrouping (Figure 3):")
+		fmt.Print(optim.NewLayerwiseLayout(cfg).Describe())
+	}
+	return nil
+}
+
+func describeCheckpoint(root, dir string) error {
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		return err
+	}
+	c, err := llmtailor.OpenCheckpoint(b, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint %s: model %s, step %d, ws %d, strategy %s, complete %v\n",
+		dir, c.Config.Name, c.State.Step, c.WorldSize(), c.Manifest.Strategy, c.Manifest.Complete)
+	var total int64
+	for _, f := range []string{"model.ltsf", "config.json", "trainer_state.json", "manifest.json"} {
+		if n, err := b.Stat(dir + "/" + f); err == nil {
+			fmt.Printf("  %-24s %12d bytes\n", f, n)
+			total += n
+		}
+	}
+	for r := 0; r < c.WorldSize(); r++ {
+		name := fmt.Sprintf("zero/rank_%02d_optim_states.ltos", r)
+		if n, err := b.Stat(dir + "/" + name); err == nil {
+			fmt.Printf("  %-24s %12d bytes\n", name, n)
+			total += n
+		}
+	}
+	fmt.Printf("  %-24s %12d bytes\n", "TOTAL", total)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ckptstat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,226 @@
+// Command llmtailor is the checkpoint-tailoring CLI: it plans and executes
+// YAML merge recipes over checkpoint directories, inspects checkpoints, and
+// auto-generates recipes from partial-checkpoint manifests.
+//
+// Usage:
+//
+//	llmtailor merge   -root DIR -recipe FILE [-workers N] [-interleaved]
+//	llmtailor plan    -root DIR -recipe FILE
+//	llmtailor inspect -root DIR -ckpt CHECKPOINT_DIR
+//	llmtailor gen-recipe -root DIR -run RUN_ROOT -model NAME -fail-step N -output DIR [-write FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llmtailor"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/tailor"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "merge":
+		err = runMerge(os.Args[2:])
+	case "plan":
+		err = runPlan(os.Args[2:])
+	case "inspect":
+		err = runInspect(os.Args[2:])
+	case "gen-recipe":
+		err = runGenRecipe(os.Args[2:])
+	case "verify":
+		err = runVerify(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "llmtailor: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "llmtailor:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `llmtailor — layer-wise checkpoint tailoring
+
+commands:
+  merge       execute a YAML merge recipe
+  plan        validate a recipe and print the merge plan (dry run)
+  inspect     print a checkpoint's anatomy
+  verify      re-read a checkpoint end to end and check consistency
+  gen-recipe  build a recipe from partial-checkpoint manifests`)
+}
+
+func openRoot(root string) (llmtailor.Backend, error) {
+	if root == "" {
+		return nil, fmt.Errorf("missing -root")
+	}
+	return llmtailor.OpenDir(root)
+}
+
+func loadRecipe(path string) (*llmtailor.Recipe, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -recipe")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return llmtailor.ParseRecipe(data)
+}
+
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory containing the checkpoints")
+	recipePath := fs.String("recipe", "", "YAML recipe file")
+	workers := fs.Int("workers", 4, "parallel shard-loading workers")
+	interleaved := fs.Bool("interleaved", false, "use the pathological per-layer load order (Table 7's parity mode)")
+	fs.Parse(args)
+
+	b, err := openRoot(*root)
+	if err != nil {
+		return err
+	}
+	rec, err := loadRecipe(*recipePath)
+	if err != nil {
+		return err
+	}
+	opts := llmtailor.MergeOptions{Workers: *workers}
+	if *interleaved {
+		opts.LoadOrder = tailor.Interleaved
+	}
+	stats, err := llmtailor.Merge(b, rec, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("merged %d checkpoints -> %s\n", stats.CheckpointsUsed, rec.Output)
+	fmt.Printf("  weight tensors read: %d\n", stats.TensorsRead)
+	fmt.Printf("  optimizer shard file loads: %d\n", stats.ShardFileLoads)
+	fmt.Printf("  wall time: %v\n", stats.WallTime)
+	return nil
+}
+
+func runPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	recipePath := fs.String("recipe", "", "YAML recipe file")
+	fs.Parse(args)
+
+	b, err := openRoot(*root)
+	if err != nil {
+		return err
+	}
+	rec, err := loadRecipe(*recipePath)
+	if err != nil {
+		return err
+	}
+	plan, err := llmtailor.NewPlan(b, rec)
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Describe())
+	return nil
+}
+
+func runInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	dir := fs.String("ckpt", "", "checkpoint directory (relative to root)")
+	fs.Parse(args)
+
+	b, err := openRoot(*root)
+	if err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("missing -ckpt")
+	}
+	c, err := llmtailor.OpenCheckpoint(b, *dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint %s\n", *dir)
+	fmt.Printf("  model: %s (%d transformer layers, %d mergeable)\n",
+		c.Config.Name, c.Config.NumLayers, c.Config.TotalMergeableLayers())
+	fmt.Printf("  step: %d  task: %s  lr: %g  loss: %.4f\n",
+		c.State.Step, c.State.Task, c.State.LR, c.State.Loss)
+	fmt.Printf("  world size: %d  layout: %s\n", c.WorldSize(), c.State.Layout)
+	fmt.Printf("  strategy: %s  complete: %v  layers: %d\n",
+		c.Manifest.Strategy, c.Manifest.Complete, len(c.Manifest.Layers))
+	fmt.Printf("  weight tensors: %d\n", len(c.Weights().Names()))
+	return nil
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	dir := fs.String("ckpt", "", "checkpoint directory (relative to root)")
+	fs.Parse(args)
+
+	b, err := openRoot(*root)
+	if err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("missing -ckpt")
+	}
+	rep, err := tailor.Verify(b, *dir)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Describe())
+	if !rep.OK() {
+		return fmt.Errorf("%d problems found", len(rep.Problems))
+	}
+	return nil
+}
+
+func runGenRecipe(args []string) error {
+	fs := flag.NewFlagSet("gen-recipe", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	run := fs.String("run", "", "run root containing checkpoint-N directories")
+	modelName := fs.String("model", "", "model preset name (e.g. llama3.1-8b)")
+	sim := fs.Bool("sim", true, "use the scaled simulation geometry")
+	failStep := fs.Int("fail-step", 0, "use only checkpoints at or before this step (0 = all)")
+	output := fs.String("output", "", "output checkpoint directory for the recipe")
+	write := fs.String("write", "", "write the recipe YAML to this file (default: stdout)")
+	fs.Parse(args)
+
+	b, err := openRoot(*root)
+	if err != nil {
+		return err
+	}
+	cfg, err := modelcfg.ByName(*modelName)
+	if err != nil {
+		return err
+	}
+	if *sim {
+		cfg = cfg.DefaultSimScale()
+	}
+	if *output == "" {
+		return fmt.Errorf("missing -output")
+	}
+	rec, err := llmtailor.RecipeFromManifests(b, *run, *failStep, cfg, *output)
+	if err != nil {
+		return err
+	}
+	data, err := rec.Marshal()
+	if err != nil {
+		return err
+	}
+	if *write == "" {
+		os.Stdout.Write(data)
+		return nil
+	}
+	return os.WriteFile(*write, data, 0o644)
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"llmtailor"
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/tensor"
+)
+
+// writeRun creates two full tiny checkpoints under root/run.
+func writeRun(t *testing.T, root string) {
+	t.Helper()
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := modelcfg.Tiny()
+	m, _ := model.NewInitialized(cfg, tensor.BF16, 3)
+	o, _ := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
+	for _, step := range []int{10, 20} {
+		if err := ckpt.Save(b, ckpt.SaveSpec{
+			Dir: "run/" + ckpt.DirName(step), Model: m, Optim: o, WorldSize: 2,
+			Strategy: "full", State: ckpt.TrainerState{Step: step, Seed: 3},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+const cliRecipe = `
+merge_method: passthrough
+base_checkpoint: run/checkpoint-20
+slices:
+  - sources:
+      - checkpoint: run/checkpoint-10
+        layer_range: [0, 2]
+tailor:
+  optimizer: true
+output: run/merged
+`
+
+func TestCLIMergePlanVerifyInspect(t *testing.T) {
+	root := t.TempDir()
+	writeRun(t, root)
+	recipePath := filepath.Join(root, "recipe.yaml")
+	if err := os.WriteFile(recipePath, []byte(cliRecipe), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runPlan([]string{"-root", root, "-recipe", recipePath}); err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	if err := runMerge([]string{"-root", root, "-recipe", recipePath, "-workers", "2"}); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "run", "merged", "model.ltsf")); err != nil {
+		t.Fatal("merged output missing")
+	}
+	if err := runVerify([]string{"-root", root, "-ckpt", "run/merged"}); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := runInspect([]string{"-root", root, "-ckpt", "run/merged"}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestCLIMergeInterleaved(t *testing.T) {
+	root := t.TempDir()
+	writeRun(t, root)
+	recipePath := filepath.Join(root, "recipe.yaml")
+	os.WriteFile(recipePath, []byte(cliRecipe), 0o644)
+	if err := runMerge([]string{"-root", root, "-recipe", recipePath, "-interleaved"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIGenRecipe(t *testing.T) {
+	root := t.TempDir()
+	writeRun(t, root)
+	out := filepath.Join(root, "gen.yaml")
+	err := runGenRecipe([]string{"-root", root, "-run", "run", "-model", "tiny",
+		"-sim=false", "-output", "run/merged", "-write", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := llmtailor.ParseRecipe(data)
+	if err != nil {
+		t.Fatalf("generated recipe unparseable: %v\n%s", err, data)
+	}
+	if rec.Base != "run/checkpoint-20" {
+		t.Fatalf("recipe base = %q", rec.Base)
+	}
+	// The generated recipe must actually merge.
+	if err := runMerge([]string{"-root", root, "-recipe", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if err := runMerge([]string{"-recipe", "x"}); err == nil {
+		t.Error("missing root accepted")
+	}
+	root := t.TempDir()
+	if err := runMerge([]string{"-root", root}); err == nil {
+		t.Error("missing recipe accepted")
+	}
+	if err := runInspect([]string{"-root", root}); err == nil {
+		t.Error("missing ckpt accepted")
+	}
+	if err := runVerify([]string{"-root", root, "-ckpt", "absent"}); err == nil {
+		t.Error("verify of absent checkpoint accepted")
+	}
+	if err := runGenRecipe([]string{"-root", root, "-run", "run", "-model", "tiny"}); err == nil {
+		t.Error("gen-recipe without output accepted")
+	}
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure1Output(t *testing.T) {
+	out := figure1()
+	for _, want := range []string{"embed_tokens", "layer.0", "layer.31", "lm_head", "8.03B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Output(t *testing.T) {
+	out := figure2()
+	for _, want := range []string{"2 parameter groups", "12 bytes/param", "7x model size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure2 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command trainsim runs the simulated LLM post-training substrate: a real
+// AdamW optimization of a synthetic layered objective, producing checkpoint
+// directories with the same anatomy as DeepSpeed ZeRO-3 runs (consolidated
+// weights + per-rank optimizer shards + config/trainer-state/manifest).
+//
+// Example (train, crash at step 52, leaving parity partial checkpoints):
+//
+//	trainsim -root /tmp/runs -run sft -model qwen2.5-7b -task sft \
+//	         -steps 96 -interval 6 -strategy parity -fail-at 52
+//
+// Then merge with:
+//
+//	llmtailor gen-recipe -root /tmp/runs -run sft -model qwen2.5-7b \
+//	          -fail-step 48 -output sft/merged -write recipe.yaml
+//	llmtailor merge -root /tmp/runs -recipe recipe.yaml
+//
+// And resume by re-running trainsim with -resume sft/merged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"llmtailor"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/train"
+)
+
+func main() {
+	root := flag.String("root", "", "storage root directory")
+	runRoot := flag.String("run", "run", "run root under the storage root")
+	modelName := flag.String("model", "llama3.2-1b", "model preset")
+	sim := flag.Bool("sim", true, "train the scaled simulation geometry")
+	taskName := flag.String("task", "sft", "task profile: sft or cpt")
+	steps := flag.Int("steps", 96, "total optimizer steps")
+	warmup := flag.Int("warmup", 5, "warmup steps")
+	lr := flag.Float64("lr", 2e-3, "base learning rate")
+	interval := flag.Int("interval", 6, "checkpoint interval in steps")
+	strategyName := flag.String("strategy", "full", "checkpoint strategy: full, parity, filter, delta-topk")
+	worldSize := flag.Int("world-size", 2, "simulated rank count for optimizer sharding")
+	seed := flag.Uint64("seed", 42, "run seed")
+	failAt := flag.Int("fail-at", 0, "simulate a crash right after this step (0 = none)")
+	resume := flag.String("resume", "", "resume from this complete checkpoint directory")
+	flag.Parse()
+
+	if err := run(*root, *runRoot, *modelName, *sim, *taskName, *steps, *warmup, *lr,
+		*interval, *strategyName, *worldSize, *seed, *failAt, *resume); err != nil {
+		fmt.Fprintln(os.Stderr, "trainsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(root, runRoot, modelName string, sim bool, taskName string,
+	steps, warmup int, lr float64, interval int, strategyName string,
+	worldSize int, seed uint64, failAt int, resume string) error {
+
+	if root == "" {
+		return fmt.Errorf("missing -root")
+	}
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		return err
+	}
+	cfg, err := modelcfg.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	trueCfg := cfg
+	if sim {
+		cfg = cfg.DefaultSimScale()
+	}
+	task, err := train.TaskByName(taskName)
+	if err != nil {
+		return err
+	}
+	strat, err := llmtailor.StrategyByName(strategyName)
+	if err != nil {
+		return err
+	}
+
+	tc := train.Config{
+		Model: cfg, Seed: seed, Task: task,
+		TotalSteps: steps, WarmupSteps: warmup, BaseLR: lr,
+		CkptInterval: interval, Strategy: strat,
+		WorldSize: worldSize, RunRoot: runRoot, FailAt: failAt,
+	}
+
+	var tr *train.Trainer
+	if resume != "" {
+		tr, err = llmtailor.ResumeTrainer(tc, b, resume)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resumed from %s at step %d\n", resume, tr.Step())
+	} else {
+		tr, err = llmtailor.NewTrainer(tc, b)
+		if err != nil {
+			return err
+		}
+	}
+	tr.SetTrueConfig(trueCfg)
+
+	res, err := tr.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s (%s geometry), task %s, strategy %s\n", cfg.Name, geom(sim), task.Name, strat.Name())
+	fmt.Printf("steps: %d  final loss: %.4f  final eval loss: %.4f\n",
+		res.FinalStep, res.FinalLoss, res.FinalEvalLoss)
+	if res.Failed {
+		fmt.Printf("CRASHED at step %d (simulated failure)\n", res.FinalStep)
+	}
+	var bytes int64
+	for _, ev := range res.Ckpts {
+		bytes += ev.TrueBytes
+	}
+	fmt.Printf("checkpoints: %d (%.2f GB at true %s geometry)\n",
+		len(res.Ckpts), modelcfg.GB(bytes), trueCfg.Name)
+	for _, ev := range res.Ckpts {
+		kind := "full"
+		if ev.Partial {
+			kind = fmt.Sprintf("partial:%d layers", len(ev.Layers))
+		}
+		fmt.Printf("  %-28s %-18s %8.2f GB\n", ev.Dir, kind, modelcfg.GB(ev.TrueBytes))
+	}
+	return nil
+}
+
+func geom(sim bool) string {
+	if sim {
+		return "scaled-sim"
+	}
+	return "true"
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	root := t.TempDir()
+	err := run(root, "demo", "tiny", false, "sft",
+		30, 3, 2e-3, 10, "parity", 2, 7, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three parity checkpoints must exist on disk.
+	for _, step := range []int{10, 20, 30} {
+		p := filepath.Join(root, "demo", "checkpoint-"+itoa(step), "manifest.json")
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("missing %s", p)
+		}
+	}
+}
+
+func TestRunFailureInjection(t *testing.T) {
+	root := t.TempDir()
+	if err := run(root, "demo", "tiny", false, "cpt",
+		30, 3, 2e-3, 10, "full", 1, 7, 15, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Crash after step 15: only checkpoint-10 exists.
+	if _, err := os.Stat(filepath.Join(root, "demo", "checkpoint-10")); err != nil {
+		t.Error("checkpoint-10 missing")
+	}
+	if _, err := os.Stat(filepath.Join(root, "demo", "checkpoint-20")); err == nil {
+		t.Error("checkpoint-20 should not exist after crash at 15")
+	}
+}
+
+func TestRunResume(t *testing.T) {
+	root := t.TempDir()
+	if err := run(root, "demo", "tiny", false, "sft",
+		20, 2, 2e-3, 10, "full", 1, 7, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Resume from the step-20 checkpoint and continue to 30.
+	if err := run(root, "demo", "tiny", false, "sft",
+		30, 2, 2e-3, 10, "full", 1, 7, 0, "demo/checkpoint-20"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "demo", "checkpoint-30")); err != nil {
+		t.Error("resumed run did not checkpoint at 30")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "demo", "tiny", false, "sft", 10, 1, 1e-3, 5, "full", 1, 7, 0, ""); err == nil {
+		t.Error("missing root accepted")
+	}
+	root := t.TempDir()
+	if err := run(root, "demo", "no-such-model", false, "sft", 10, 1, 1e-3, 5, "full", 1, 7, 0, ""); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if err := run(root, "demo", "tiny", false, "rl", 10, 1, 1e-3, 5, "full", 1, 7, 0, ""); err == nil {
+		t.Error("unknown task accepted")
+	}
+	if err := run(root, "demo", "tiny", false, "sft", 10, 1, 1e-3, 5, "sometimes", 1, 7, 0, ""); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,92 @@
+package ckpt
+
+import (
+	"fmt"
+	"sync"
+
+	"llmtailor/internal/storage"
+)
+
+// AsyncSaver overlaps checkpoint writes with continued training, in the
+// spirit of CheckFreq/DataStates-LLM (§6.1 of the paper — optimizations the
+// paper notes are composable with partial checkpointing). Save snapshots the
+// model and optimizer state synchronously (the only part that must stall the
+// training step) and performs serialisation and I/O on a background
+// goroutine. At most `depth` writes may be in flight; further Saves block,
+// bounding memory at depth+1 state copies.
+type AsyncSaver struct {
+	jobs chan SaveSpec
+	wg   sync.WaitGroup
+
+	mu   sync.Mutex
+	errs []error
+	done bool
+}
+
+// NewAsyncSaver starts a saver over the backend with the given in-flight
+// depth (minimum 1).
+func NewAsyncSaver(b storage.Backend, depth int) *AsyncSaver {
+	if depth < 1 {
+		depth = 1
+	}
+	s := &AsyncSaver{jobs: make(chan SaveSpec, depth-1)}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for spec := range s.jobs {
+			if err := Save(b, spec); err != nil {
+				s.mu.Lock()
+				s.errs = append(s.errs, fmt.Errorf("ckpt: async save %s: %w", spec.Dir, err))
+				s.mu.Unlock()
+			}
+		}
+	}()
+	return s
+}
+
+// Save snapshots the spec's live state and enqueues the write. It returns as
+// soon as the snapshot is taken (and a queue slot is free); the caller may
+// immediately mutate the model and optimizer.
+func (s *AsyncSaver) Save(spec SaveSpec) error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return fmt.Errorf("ckpt: async save after Wait")
+	}
+	s.mu.Unlock()
+
+	// Snapshot: deep-copy model and optimizer so training can continue.
+	modelCopy := spec.Model.Clone()
+	spec.Optim = spec.Optim.Clone(modelCopy)
+	spec.Model = modelCopy
+	s.jobs <- spec
+	return nil
+}
+
+// Wait drains all pending writes and returns the combined error of every
+// failed save. The saver cannot be reused afterwards.
+func (s *AsyncSaver) Wait() error {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return s.combinedErr()
+	}
+	s.done = true
+	s.mu.Unlock()
+
+	close(s.jobs)
+	s.wg.Wait()
+	return s.combinedErr()
+}
+
+func (s *AsyncSaver) combinedErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.errs) == 0 {
+		return nil
+	}
+	if len(s.errs) == 1 {
+		return s.errs[0]
+	}
+	return fmt.Errorf("ckpt: %d async saves failed, first: %w", len(s.errs), s.errs[0])
+}

@@ -1,0 +1,384 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+	"llmtailor/internal/zero"
+)
+
+// TrainerState mirrors HuggingFace's trainer_state.json: everything needed
+// to resume the run at the right point (paper §4.4).
+type TrainerState struct {
+	Step        int         `json:"global_step"`
+	LR          float64     `json:"learning_rate"`
+	Loss        float64     `json:"loss"`
+	EvalLoss    float64     `json:"eval_loss"`
+	Task        string      `json:"task"`
+	Seed        uint64      `json:"seed"`
+	WorldSize   int         `json:"world_size"`
+	Layout      string      `json:"optimizer_layout"`
+	Hyper       optim.Hyper `json:"optimizer_hyper"`
+	TotalSteps  int         `json:"total_steps"`
+	WarmupSteps int         `json:"warmup_steps"`
+	BaseLR      float64     `json:"base_lr"`
+	// LossHistory keeps the most recent per-step losses for diagnostics.
+	LossHistory []float64 `json:"loss_history,omitempty"`
+}
+
+// Manifest records what a (possibly partial) checkpoint contains, matching
+// the JSON file the paper's artifact produces in task T1.
+type Manifest struct {
+	Step int `json:"step"`
+	// Strategy names the partial-checkpoint policy ("full", "parity", ...).
+	Strategy string `json:"strategy"`
+	// Layers lists the saved mergeable layers ("layer.0", "embed_tokens"...)
+	// in canonical order.
+	Layers []string `json:"layers"`
+	// Complete is true when every model layer is present.
+	Complete bool `json:"complete"`
+}
+
+// HasLayer reports whether the manifest includes the given layer.
+func (m *Manifest) HasLayer(ref modelcfg.LayerRef) bool {
+	want := ref.String()
+	for _, l := range m.Layers {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+// DirName returns the conventional checkpoint directory name for a step.
+func DirName(step int) string { return fmt.Sprintf("checkpoint-%d", step) }
+
+// SaveSpec describes one checkpoint write.
+type SaveSpec struct {
+	// Dir is the checkpoint directory (e.g. "checkpoint-100").
+	Dir string
+	// Model and Optim supply the state to snapshot. Optim's layout must be
+	// layerwise for partial saves (a two-group layout cannot split layers).
+	Model *model.Model
+	Optim *optim.AdamW
+	// WorldSize is the number of simulated ranks to shard optimizer state
+	// across.
+	WorldSize int
+	// Layers selects which mergeable layers to save; nil means all.
+	Layers []modelcfg.LayerRef
+	// Strategy is recorded in the manifest.
+	Strategy string
+	// State is written to trainer_state.json.
+	State TrainerState
+}
+
+// Save writes a checkpoint directory: consolidated weights, per-rank
+// optimizer shards, config, trainer state and manifest. It also refreshes
+// the run-root "latest" pointer.
+func Save(b storage.Backend, spec SaveSpec) error {
+	cfg := spec.Model.Config
+	layers := spec.Layers
+	if layers == nil {
+		layers = cfg.AllLayers()
+	}
+	if spec.WorldSize <= 0 {
+		return fmt.Errorf("ckpt: world size %d", spec.WorldSize)
+	}
+	inSet := map[modelcfg.LayerRef]bool{}
+	for _, ref := range layers {
+		inSet[ref] = true
+	}
+	if cfg.TieWordEmbeddings && inSet[modelcfg.LMHead] {
+		return fmt.Errorf("ckpt: model %s ties embeddings; lm_head is not a separate layer", cfg.Name)
+	}
+
+	// 1. Consolidated weights (only tensors of saved layers).
+	var weights []*tensor.Tensor
+	for i, s := range spec.Model.Specs() {
+		if inSet[s.Layer] {
+			weights = append(weights, spec.Model.Tensors()[i])
+		}
+	}
+	if err := WriteLTSF(b, spec.Dir+"/model.ltsf", cfg.Name, weights); err != nil {
+		return err
+	}
+
+	// 2. Optimizer shards: only groups belonging to saved layers.
+	o := spec.Optim
+	var metas []ShardGroupMeta
+	var states []*optim.GroupState
+	for gi, g := range o.Layout.Groups {
+		include := true
+		if g.HasLayer {
+			include = inSet[g.Layer]
+		} else if len(layers) != len(cfg.AllLayers()) {
+			return fmt.Errorf("ckpt: partial save requires a layerwise optimizer layout (got %s)", o.Layout.Kind)
+		}
+		if include {
+			metas = append(metas, metaForGroup(g))
+			states = append(states, o.States[gi])
+		}
+	}
+	byRank, err := zero.ShardAll(states, spec.WorldSize)
+	if err != nil {
+		return err
+	}
+	for r := 0; r < spec.WorldSize; r++ {
+		name := spec.Dir + "/" + ShardFileName(r)
+		if err := WriteShardFile(b, name, r, spec.WorldSize, o.StepCount, o.Layout.Kind, metas, byRank[r]); err != nil {
+			return err
+		}
+	}
+
+	// 3. Config, trainer state, manifest.
+	if err := writeJSON(b, spec.Dir+"/config.json", cfg); err != nil {
+		return err
+	}
+	st := spec.State
+	st.WorldSize = spec.WorldSize
+	st.Layout = o.Layout.Kind.String()
+	st.Hyper = o.Hyper
+	if err := writeJSON(b, spec.Dir+"/trainer_state.json", &st); err != nil {
+		return err
+	}
+	man := Manifest{
+		Step:     st.Step,
+		Strategy: spec.Strategy,
+		Complete: len(layers) == len(cfg.AllLayers()),
+	}
+	for _, ref := range layers {
+		man.Layers = append(man.Layers, ref.String())
+	}
+	sort.Strings(man.Layers)
+	if err := writeJSON(b, spec.Dir+"/manifest.json", &man); err != nil {
+		return err
+	}
+
+	// 4. Run-root "latest" pointer (the dir's last path element).
+	parts := strings.Split(spec.Dir, "/")
+	latestPath := "latest"
+	if len(parts) > 1 {
+		latestPath = strings.Join(parts[:len(parts)-1], "/") + "/latest"
+	}
+	return b.WriteFile(latestPath, []byte(parts[len(parts)-1]))
+}
+
+func writeJSON(b storage.Backend, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ckpt: marshal %s: %w", name, err)
+	}
+	return b.WriteFile(name, append(data, '\n'))
+}
+
+func readJSON(b storage.Backend, name string, v any) error {
+	data, err := b.ReadFile(name)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("ckpt: decode %s: %w", name, err)
+	}
+	return nil
+}
+
+// ReadManifest reads just a checkpoint's manifest.json, without touching
+// weights or shards — recipe auto-generation scans many checkpoints this way.
+func ReadManifest(b storage.Backend, dir string) (Manifest, error) {
+	var man Manifest
+	if err := readJSON(b, dir+"/manifest.json", &man); err != nil {
+		return Manifest{}, err
+	}
+	return man, nil
+}
+
+// Checkpoint is an open handle to a checkpoint directory. Opening reads only
+// the small JSON files and the weight header; tensor and shard payloads are
+// fetched on demand.
+type Checkpoint struct {
+	Backend storage.Backend
+	Dir     string
+
+	Config   *modelcfg.Config
+	State    TrainerState
+	Manifest Manifest
+
+	weights *LTSFReader
+}
+
+// Open validates and indexes a checkpoint directory.
+func Open(b storage.Backend, dir string) (*Checkpoint, error) {
+	c := &Checkpoint{Backend: b, Dir: dir}
+	c.Config = &modelcfg.Config{}
+	if err := readJSON(b, dir+"/config.json", c.Config); err != nil {
+		return nil, fmt.Errorf("ckpt: open %s: %w", dir, err)
+	}
+	if err := c.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("ckpt: open %s: %w", dir, err)
+	}
+	if err := readJSON(b, dir+"/trainer_state.json", &c.State); err != nil {
+		return nil, fmt.Errorf("ckpt: open %s: %w", dir, err)
+	}
+	if err := readJSON(b, dir+"/manifest.json", &c.Manifest); err != nil {
+		return nil, fmt.Errorf("ckpt: open %s: %w", dir, err)
+	}
+	w, err := OpenLTSF(b, dir+"/model.ltsf")
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: open %s: %w", dir, err)
+	}
+	c.weights = w
+	return c, nil
+}
+
+// Weights exposes the lazy weight reader.
+func (c *Checkpoint) Weights() *LTSFReader { return c.weights }
+
+// ReadOptimShard fully reads one rank's optimizer file.
+func (c *Checkpoint) ReadOptimShard(rank int) (*ShardFile, error) {
+	return ReadShardFile(c.Backend, c.Dir+"/"+ShardFileName(rank))
+}
+
+// WorldSize returns the rank count recorded at save time.
+func (c *Checkpoint) WorldSize() int { return c.State.WorldSize }
+
+// Latest resolves the run root's "latest" pointer to a checkpoint dir path.
+func Latest(b storage.Backend, runRoot string) (string, error) {
+	p := "latest"
+	if runRoot != "" {
+		p = runRoot + "/latest"
+	}
+	data, err := b.ReadFile(p)
+	if err != nil {
+		return "", fmt.Errorf("ckpt: no latest pointer under %q: %w", runRoot, err)
+	}
+	name := strings.TrimSpace(string(data))
+	if runRoot != "" {
+		return runRoot + "/" + name, nil
+	}
+	return name, nil
+}
+
+// List returns the checkpoint directory paths under a run root, sorted by
+// step number.
+func List(b storage.Backend, runRoot string) ([]string, error) {
+	entries, err := b.List(runRoot)
+	if err != nil {
+		return nil, err
+	}
+	type item struct {
+		path string
+		step int
+	}
+	var items []item
+	for _, e := range entries {
+		if !strings.HasPrefix(e, "checkpoint-") || !strings.HasSuffix(e, "/") {
+			continue
+		}
+		name := strings.TrimSuffix(e, "/")
+		var step int
+		if _, err := fmt.Sscanf(name, "checkpoint-%d", &step); err != nil {
+			continue
+		}
+		p := name
+		if runRoot != "" {
+			p = runRoot + "/" + name
+		}
+		items = append(items, item{p, step})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].step < items[j].step })
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.path
+	}
+	return out, nil
+}
+
+// Restore rebuilds a model and optimizer from a *complete* checkpoint. The
+// checkpoint must contain every layer (merged "Frankenstein" checkpoints
+// qualify; raw partial checkpoints do not).
+func Restore(b storage.Backend, dir string, dtype tensor.DType) (*model.Model, *optim.AdamW, *Checkpoint, error) {
+	c, err := Open(b, dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if !c.Manifest.Complete {
+		return nil, nil, nil, fmt.Errorf("ckpt: %s is a partial checkpoint (%d layers); merge it first", dir, len(c.Manifest.Layers))
+	}
+	m, err := model.New(c.Config, dtype)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, name := range c.weights.Names() {
+		t, err := c.weights.ReadTensor(name)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if err := m.SetTensor(name, t); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	kind, err := optim.ParseLayoutKind(c.State.Layout)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var layout *optim.Layout
+	if kind == optim.Layerwise {
+		layout = optim.NewLayerwiseLayout(c.Config)
+	} else {
+		layout = optim.NewTwoGroupLayout(c.Config)
+	}
+
+	ws := c.State.WorldSize
+	if ws <= 0 {
+		return nil, nil, nil, fmt.Errorf("ckpt: %s: invalid world size %d", dir, ws)
+	}
+	byRank := make([][]*zero.GroupShard, ws)
+	var step int
+	for r := 0; r < ws; r++ {
+		sf, err := c.ReadOptimShard(r)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if sf.WorldSize != ws {
+			return nil, nil, nil, fmt.Errorf("ckpt: %s: rank %d world size %d != %d", dir, r, sf.WorldSize, ws)
+		}
+		ordered := make([]*zero.GroupShard, layout.NumGroups())
+		for i, m := range sf.Meta {
+			if m.Index < 0 || m.Index >= layout.NumGroups() {
+				return nil, nil, nil, fmt.Errorf("ckpt: %s: rank %d group index %d out of range", dir, r, m.Index)
+			}
+			ordered[m.Index] = sf.Shards[i]
+		}
+		byRank[r] = ordered
+		step = sf.Step
+	}
+	numels := make([]int64, layout.NumGroups())
+	for i, g := range layout.Groups {
+		numels[i] = g.Numel
+	}
+	states, err := zero.GatherAll(byRank, numels)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	o, err := optim.NewAdamW(m, layout, c.State.Hyper)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	o.States = states
+	o.StepCount = step
+	// Re-establish model = rounded master invariant (master is the source
+	// of truth after restore, exactly as mixed-precision resume does).
+	if err := o.SyncModelFromMaster(); err != nil {
+		return nil, nil, nil, err
+	}
+	return m, o, c, nil
+}

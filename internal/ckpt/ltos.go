@@ -1,0 +1,201 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/zero"
+)
+
+// ShardGroupMeta describes one parameter group's shard inside an LTOS file.
+type ShardGroupMeta struct {
+	// Index is the group's global index in the optimizer layout.
+	Index int `json:"index"`
+	// Numel is the *unpadded* element count of the full group.
+	Numel int64 `json:"numel"`
+	// ShardLen is this rank's (padded) shard length.
+	ShardLen int64 `json:"shard_len"`
+	// NoDecay mirrors the group's weight-decay exemption.
+	NoDecay bool `json:"no_decay"`
+	// Layer names the owning layer ("layer.3", "embed_tokens", ...);
+	// empty in two-group layouts.
+	Layer string `json:"layer,omitempty"`
+	// Offsets is the [start, end) payload range of the group's data:
+	// master, exp_avg and exp_avg_sq concatenated, FP32 little-endian.
+	Offsets [2]int64 `json:"data_offsets"`
+	// CRC32 covers the group's payload range.
+	CRC32 uint32 `json:"crc32"`
+}
+
+type ltosHeader struct {
+	Version   int              `json:"version"`
+	Rank      int              `json:"rank"`
+	WorldSize int              `json:"world_size"`
+	Step      int              `json:"step"`
+	Layout    string           `json:"layout"`
+	Groups    []ShardGroupMeta `json:"groups"`
+}
+
+// ShardFile is the fully decoded contents of one rank's optimizer file.
+type ShardFile struct {
+	Rank      int
+	WorldSize int
+	Step      int
+	Layout    optim.LayoutKind
+	// Groups holds the decoded shards in file order, alongside their
+	// metadata (same indices).
+	Meta   []ShardGroupMeta
+	Shards []*zero.GroupShard
+}
+
+// GroupByIndex returns the shard and metadata of the group with the given
+// global layout index, or an error if the file does not contain it (partial
+// checkpoints omit unsaved layers' groups).
+func (f *ShardFile) GroupByIndex(idx int) (*zero.GroupShard, ShardGroupMeta, error) {
+	for i, m := range f.Meta {
+		if m.Index == idx {
+			return f.Shards[i], m, nil
+		}
+	}
+	return nil, ShardGroupMeta{}, fmt.Errorf("ckpt: rank %d shard has no group %d", f.Rank, idx)
+}
+
+// ShardFileName returns the conventional per-rank optimizer file name,
+// mirroring DeepSpeed's bf16_zero_pp_rank_N_mp_rank_00_optim_states.pt.
+func ShardFileName(rank int) string {
+	return fmt.Sprintf("zero/rank_%02d_optim_states.ltos", rank)
+}
+
+// WriteShardFile serialises one rank's shards of the given groups. meta and
+// shards must be parallel slices.
+func WriteShardFile(b storage.Backend, name string, rank, worldSize, step int,
+	layout optim.LayoutKind, meta []ShardGroupMeta, shards []*zero.GroupShard) error {
+	if len(meta) != len(shards) {
+		return fmt.Errorf("ckpt: %d metas vs %d shards", len(meta), len(shards))
+	}
+	hdr := ltosHeader{
+		Version: FormatVersion, Rank: rank, WorldSize: worldSize,
+		Step: step, Layout: layout.String(),
+		Groups: make([]ShardGroupMeta, len(meta)),
+	}
+	var payload []byte
+	for i, m := range meta {
+		s := shards[i]
+		if s.Rank != rank {
+			return fmt.Errorf("ckpt: shard for rank %d written into rank %d file", s.Rank, rank)
+		}
+		start := int64(len(payload))
+		payload = appendF32(payload, s.Master)
+		payload = appendF32(payload, s.ExpAvg)
+		payload = appendF32(payload, s.ExpAvgSq)
+		end := int64(len(payload))
+		m.ShardLen = s.Numel()
+		m.Offsets = [2]int64{start, end}
+		m.CRC32 = crc32.ChecksumIEEE(payload[start:end])
+		hdr.Groups[i] = m
+	}
+	return writeContainer(b, name, ltosMagic, hdr, payload)
+}
+
+func appendF32(dst []byte, src []float32) []byte {
+	for _, v := range src {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+func decodeF32(src []byte, n int64) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+	return out
+}
+
+// ReadShardFile reads and decodes an entire rank optimizer file. There is
+// deliberately no lazy variant: like DeepSpeed's pickled optimizer states,
+// a shard file must be fully loaded before any group can be used (§5.4).
+func ReadShardFile(b storage.Backend, name string) (*ShardFile, error) {
+	raw, err := b.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 12 {
+		return nil, fmt.Errorf("ckpt: %s: truncated (%d bytes)", name, len(raw))
+	}
+	for i := range ltosMagic {
+		if raw[i] != ltosMagic[i] {
+			return nil, fmt.Errorf("ckpt: %s: bad magic %q", name, raw[:4])
+		}
+	}
+	hlen := int64(binary.LittleEndian.Uint64(raw[4:12]))
+	if hlen <= 0 || 12+hlen > int64(len(raw)) {
+		return nil, fmt.Errorf("ckpt: %s: corrupt header length %d", name, hlen)
+	}
+	var hdr ltosHeader
+	if err := json.Unmarshal(raw[12:12+hlen], &hdr); err != nil {
+		return nil, fmt.Errorf("ckpt: %s: decode header: %w", name, err)
+	}
+	if hdr.Version != FormatVersion {
+		return nil, fmt.Errorf("ckpt: %s: version %d, want %d", name, hdr.Version, FormatVersion)
+	}
+	layout, err := optim.ParseLayoutKind(hdr.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", name, err)
+	}
+	payload := raw[12+hlen:]
+
+	f := &ShardFile{
+		Rank: hdr.Rank, WorldSize: hdr.WorldSize, Step: hdr.Step,
+		Layout: layout,
+		Meta:   hdr.Groups,
+		Shards: make([]*zero.GroupShard, len(hdr.Groups)),
+	}
+	for i, m := range hdr.Groups {
+		if m.Offsets[0] < 0 || m.Offsets[1] > int64(len(payload)) || m.Offsets[0] > m.Offsets[1] {
+			return nil, fmt.Errorf("ckpt: %s: group %d offsets %v out of range", name, m.Index, m.Offsets)
+		}
+		seg := payload[m.Offsets[0]:m.Offsets[1]]
+		if got := crc32.ChecksumIEEE(seg); got != m.CRC32 {
+			return nil, fmt.Errorf("ckpt: %s: group %d CRC mismatch", name, m.Index)
+		}
+		if int64(len(seg)) != m.ShardLen*12 {
+			return nil, fmt.Errorf("ckpt: %s: group %d payload %d bytes, want %d", name, m.Index, len(seg), m.ShardLen*12)
+		}
+		f.Shards[i] = &zero.GroupShard{
+			GroupIndex: m.Index,
+			Rank:       hdr.Rank,
+			Master:     decodeF32(seg, m.ShardLen),
+			ExpAvg:     decodeF32(seg[m.ShardLen*4:], m.ShardLen),
+			ExpAvgSq:   decodeF32(seg[m.ShardLen*8:], m.ShardLen),
+		}
+	}
+	return f, nil
+}
+
+// metaForGroup builds a group's shard metadata from the layout.
+func metaForGroup(g optim.Group) ShardGroupMeta {
+	m := ShardGroupMeta{Index: g.Index, Numel: g.Numel, NoDecay: g.NoDecay}
+	if g.HasLayer {
+		m.Layer = g.Layer.String()
+	}
+	return m
+}
+
+// LayerRefOf parses the meta's layer field.
+func (m ShardGroupMeta) LayerRefOf() (modelcfg.LayerRef, bool) {
+	if m.Layer == "" {
+		return modelcfg.LayerRef{}, false
+	}
+	ref, err := modelcfg.ParseLayerRef(m.Layer)
+	if err != nil {
+		return modelcfg.LayerRef{}, false
+	}
+	return ref, true
+}

@@ -1,0 +1,201 @@
+// Package ckpt implements the on-disk checkpoint anatomy the paper operates
+// on, with the same structural asymmetry as a DeepSpeed/HuggingFace
+// checkpoint directory:
+//
+//	checkpoint-<step>/
+//	  model.ltsf            consolidated half-precision weights (lazy reads)
+//	  zero/rank_NN.ltos     one optimizer-state shard file per rank
+//	  config.json           model architecture
+//	  trainer_state.json    step, LR, loss history, layout, hyperparameters
+//	  manifest.json         which layers this (possibly partial) ckpt holds
+//
+// LTSF ("LLMTailor safetensors") is a safetensors-like container: a JSON
+// header with per-tensor dtype/shape/offset/CRC followed by raw
+// little-endian payloads, so individual tensors can be read lazily by
+// offset. LTOS shard files hold each parameter group's flat FP32 master +
+// exp_avg + exp_avg_sq shard; they can only be read whole — the property
+// that drives the paper's Table 7 loading costs.
+package ckpt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+)
+
+// FormatVersion is bumped on incompatible layout changes.
+const FormatVersion = 1
+
+var (
+	ltsfMagic = [4]byte{'L', 'T', 'S', 'F'}
+	ltosMagic = [4]byte{'L', 'T', 'O', 'S'}
+)
+
+type ltsfTensorMeta struct {
+	DType   string   `json:"dtype"`
+	Shape   []int    `json:"shape"`
+	Offsets [2]int64 `json:"data_offsets"`
+	CRC32   uint32   `json:"crc32"`
+}
+
+type ltsfHeader struct {
+	Version int                       `json:"version"`
+	Model   string                    `json:"model"`
+	Tensors map[string]ltsfTensorMeta `json:"tensors"`
+}
+
+// WriteLTSF serialises the given tensors into an LTSF container at name.
+// Tensor payload order follows the given slice order; the header indexes
+// them by name for lazy retrieval.
+func WriteLTSF(b storage.Backend, name, modelName string, tensors []*tensor.Tensor) error {
+	hdr := ltsfHeader{Version: FormatVersion, Model: modelName, Tensors: make(map[string]ltsfTensorMeta, len(tensors))}
+	var payload []byte
+	var off int64
+	for _, t := range tensors {
+		if _, dup := hdr.Tensors[t.Name]; dup {
+			return fmt.Errorf("ckpt: duplicate tensor %q in LTSF write", t.Name)
+		}
+		start := off
+		payload = t.Encode(payload)
+		off = int64(len(payload))
+		hdr.Tensors[t.Name] = ltsfTensorMeta{
+			DType:   t.DType.String(),
+			Shape:   append([]int(nil), t.Shape...),
+			Offsets: [2]int64{start, off},
+			CRC32:   crc32.ChecksumIEEE(payload[start:off]),
+		}
+	}
+	return writeContainer(b, name, ltsfMagic, hdr, payload)
+}
+
+// writeContainer assembles magic + header length + JSON header + payload.
+func writeContainer(b storage.Backend, name string, magic [4]byte, hdr any, payload []byte) error {
+	hj, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("ckpt: marshal header: %w", err)
+	}
+	buf := make([]byte, 0, 12+len(hj)+len(payload))
+	buf = append(buf, magic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(hj)))
+	buf = append(buf, hj...)
+	buf = append(buf, payload...)
+	return b.WriteFile(name, buf)
+}
+
+// readContainerHeader reads the magic, validates it, decodes the JSON header
+// into hdr and returns the payload start offset within the file.
+func readContainerHeader(b storage.Backend, name string, magic [4]byte, hdr any) (int64, error) {
+	head := make([]byte, 12)
+	if err := b.ReadAt(name, 0, head); err != nil {
+		return 0, fmt.Errorf("ckpt: %s: read header: %w", name, err)
+	}
+	for i := range magic {
+		if head[i] != magic[i] {
+			return 0, fmt.Errorf("ckpt: %s: bad magic %q, want %q", name, head[:4], magic[:])
+		}
+	}
+	hlen := int64(binary.LittleEndian.Uint64(head[4:]))
+	size, err := b.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	if hlen <= 0 || 12+hlen > size {
+		return 0, fmt.Errorf("ckpt: %s: corrupt header length %d (file %d bytes)", name, hlen, size)
+	}
+	hj := make([]byte, hlen)
+	if err := b.ReadAt(name, 12, hj); err != nil {
+		return 0, fmt.Errorf("ckpt: %s: read header body: %w", name, err)
+	}
+	if err := json.Unmarshal(hj, hdr); err != nil {
+		return 0, fmt.Errorf("ckpt: %s: decode header: %w", name, err)
+	}
+	return 12 + hlen, nil
+}
+
+// LTSFReader provides lazy per-tensor access to an LTSF file — analogous to
+// memory-mapping a safetensors file. Opening reads only the header.
+type LTSFReader struct {
+	backend    storage.Backend
+	name       string
+	hdr        ltsfHeader
+	payloadOff int64
+}
+
+// OpenLTSF reads and validates the header of an LTSF file.
+func OpenLTSF(b storage.Backend, name string) (*LTSFReader, error) {
+	r := &LTSFReader{backend: b, name: name}
+	off, err := readContainerHeader(b, name, ltsfMagic, &r.hdr)
+	if err != nil {
+		return nil, err
+	}
+	if r.hdr.Version != FormatVersion {
+		return nil, fmt.Errorf("ckpt: %s: version %d, want %d", name, r.hdr.Version, FormatVersion)
+	}
+	r.payloadOff = off
+	return r, nil
+}
+
+// Model returns the model name recorded at write time.
+func (r *LTSFReader) Model() string { return r.hdr.Model }
+
+// Names returns the sorted tensor names present in the file.
+func (r *LTSFReader) Names() []string {
+	out := make([]string, 0, len(r.hdr.Tensors))
+	for n := range r.hdr.Tensors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the file contains the named tensor.
+func (r *LTSFReader) Has(name string) bool {
+	_, ok := r.hdr.Tensors[name]
+	return ok
+}
+
+// ReadTensor lazily reads one tensor's payload, verifies its CRC and
+// returns the decoded tensor. Only the tensor's bytes are read — the lazy
+// property the paper notes model weights enjoy but optimizer states do not.
+func (r *LTSFReader) ReadTensor(name string) (*tensor.Tensor, error) {
+	meta, ok := r.hdr.Tensors[name]
+	if !ok {
+		return nil, fmt.Errorf("ckpt: %s: no tensor %q", r.name, name)
+	}
+	dt, err := tensor.ParseDType(meta.DType)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: tensor %q: %w", r.name, name, err)
+	}
+	n := meta.Offsets[1] - meta.Offsets[0]
+	buf := make([]byte, n)
+	if err := r.backend.ReadAt(r.name, r.payloadOff+meta.Offsets[0], buf); err != nil {
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(buf); got != meta.CRC32 {
+		return nil, fmt.Errorf("ckpt: %s: tensor %q: CRC mismatch (%08x != %08x)", r.name, name, got, meta.CRC32)
+	}
+	t := tensor.New(name, dt, meta.Shape...)
+	if err := t.Decode(buf); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadAll reads every tensor in name order.
+func (r *LTSFReader) ReadAll() ([]*tensor.Tensor, error) {
+	names := r.Names()
+	out := make([]*tensor.Tensor, 0, len(names))
+	for _, n := range names {
+		t, err := r.ReadTensor(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+// Package model materialises a layered transformer model in memory: one
+// tensor per entry of the modelcfg inventory, stored in the model's training
+// dtype (BF16 by default, matching mixed-precision practice). The container
+// preserves canonical tensor order and offers the layer-level views the
+// merge engine operates on.
+package model
+
+import (
+	"fmt"
+
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/tensor"
+)
+
+// Model is an ordered collection of named tensors plus its configuration.
+type Model struct {
+	Config *modelcfg.Config
+
+	// tensors holds every trainable tensor in canonical inventory order.
+	tensors []*tensor.Tensor
+	// byName indexes tensors for O(1) lookup.
+	byName map[string]*tensor.Tensor
+	// specs mirrors Config.Tensors() to avoid re-enumeration.
+	specs []modelcfg.TensorSpec
+}
+
+// New allocates a zero-valued model in the given dtype.
+func New(cfg *modelcfg.Config, dtype tensor.DType) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	specs := cfg.Tensors()
+	m := &Model{
+		Config:  cfg,
+		tensors: make([]*tensor.Tensor, 0, len(specs)),
+		byName:  make(map[string]*tensor.Tensor, len(specs)),
+		specs:   specs,
+	}
+	for _, s := range specs {
+		t := tensor.New(s.Name, dtype, s.Shape...)
+		m.tensors = append(m.tensors, t)
+		m.byName[s.Name] = t
+	}
+	return m, nil
+}
+
+// NewInitialized allocates a model and fills every tensor with seeded
+// Gaussian values (std scaled per tensor kind, roughly mimicking typical
+// transformer initialisation). Initialisation is order-independent: each
+// tensor derives its stream from (seed, tensor name).
+func NewInitialized(cfg *modelcfg.Config, dtype tensor.DType, seed uint64) (*Model, error) {
+	m, err := New(cfg, dtype)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range m.tensors {
+		std := initStd(m.specs[i])
+		rng := tensor.NewNamedRNG(seed, t.Name)
+		t.FillRandN(rng, std)
+	}
+	return m, nil
+}
+
+// initStd picks a per-tensor initialisation scale: norms start at 1 (filled
+// as 1 + small noise), projections at 0.02 like GPT-style init.
+func initStd(s modelcfg.TensorSpec) float64 {
+	if s.NoDecay {
+		return 0.01
+	}
+	return 0.02
+}
+
+// Tensors returns the tensors in canonical order. Callers must not reorder
+// the slice.
+func (m *Model) Tensors() []*tensor.Tensor { return m.tensors }
+
+// Specs returns the tensor specs in canonical order.
+func (m *Model) Specs() []modelcfg.TensorSpec { return m.specs }
+
+// Tensor returns the named tensor or an error.
+func (m *Model) Tensor(name string) (*tensor.Tensor, error) {
+	t, ok := m.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("model: %s: no tensor %q", m.Config.Name, name)
+	}
+	return t, nil
+}
+
+// LayerTensors returns the tensors belonging to one mergeable layer, in
+// canonical order.
+func (m *Model) LayerTensors(ref modelcfg.LayerRef) []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for i, s := range m.specs {
+		if s.Layer == ref {
+			out = append(out, m.tensors[i])
+		}
+	}
+	return out
+}
+
+// SetTensor overwrites the named tensor's contents from src (shape and
+// dtype must match).
+func (m *Model) SetTensor(name string, src *tensor.Tensor) error {
+	dst, err := m.Tensor(name)
+	if err != nil {
+		return err
+	}
+	if dst.DType != src.DType || !tensor.ShapeEqual(dst.Shape, src.Shape) {
+		return fmt.Errorf("model: SetTensor %s: dtype/shape mismatch (%s %v vs %s %v)",
+			name, dst.DType, dst.Shape, src.DType, src.Shape)
+	}
+	if dst.DType == tensor.F32 {
+		copy(dst.F32Data(), src.F32Data())
+	} else {
+		copy(dst.U16Data(), src.U16Data())
+	}
+	return nil
+}
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		Config:  m.Config,
+		tensors: make([]*tensor.Tensor, len(m.tensors)),
+		byName:  make(map[string]*tensor.Tensor, len(m.tensors)),
+		specs:   m.specs,
+	}
+	for i, t := range m.tensors {
+		ct := t.Clone("")
+		c.tensors[i] = ct
+		c.byName[ct.Name] = ct
+	}
+	return c
+}
+
+// ParamCount returns the total number of elements across all tensors.
+func (m *Model) ParamCount() int64 {
+	var n int64
+	for _, t := range m.tensors {
+		n += int64(t.Len())
+	}
+	return n
+}
+
+// Equal reports whether two models are bit-identical in data and structure.
+func Equal(a, b *Model) bool {
+	if len(a.tensors) != len(b.tensors) {
+		return false
+	}
+	for i := range a.tensors {
+		if !tensor.Equal(a.tensors[i], b.tensors[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between two
+// structurally identical models, useful for near-equality assertions.
+func MaxAbsDiff(a, b *Model) (float64, error) {
+	if len(a.tensors) != len(b.tensors) {
+		return 0, fmt.Errorf("model: structure mismatch: %d vs %d tensors", len(a.tensors), len(b.tensors))
+	}
+	var max float64
+	for i := range a.tensors {
+		ta, tb := a.tensors[i], b.tensors[i]
+		if ta.Len() != tb.Len() {
+			return 0, fmt.Errorf("model: tensor %s length mismatch", ta.Name)
+		}
+		for j := 0; j < ta.Len(); j++ {
+			d := float64(ta.At(j)) - float64(tb.At(j))
+			if d < 0 {
+				d = -d
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	return max, nil
+}

@@ -1,0 +1,159 @@
+package model
+
+import (
+	"testing"
+
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/tensor"
+)
+
+func TestNewMatchesInventory(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	m, err := New(cfg, tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := cfg.Tensors()
+	if len(m.Tensors()) != len(specs) {
+		t.Fatalf("tensor count %d != %d", len(m.Tensors()), len(specs))
+	}
+	for i, s := range specs {
+		got := m.Tensors()[i]
+		if got.Name != s.Name || !tensor.ShapeEqual(got.Shape, s.Shape) {
+			t.Errorf("tensor %d: %s %v != spec %s %v", i, got.Name, got.Shape, s.Name, s.Shape)
+		}
+	}
+	if m.ParamCount() != cfg.ParamCount() {
+		t.Fatalf("param count %d != %d", m.ParamCount(), cfg.ParamCount())
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	cfg.NumHeads = 5
+	if _, err := New(cfg, tensor.BF16); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestInitializedDeterministicAndOrderFree(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	a, err := NewInitialized(cfg, tensor.BF16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewInitialized(cfg, tensor.BF16, 42)
+	if !Equal(a, b) {
+		t.Fatal("same seed produced different models")
+	}
+	c, _ := NewInitialized(cfg, tensor.BF16, 43)
+	if Equal(a, c) {
+		t.Fatal("different seeds produced identical models")
+	}
+}
+
+func TestTensorLookup(t *testing.T) {
+	m, _ := NewInitialized(modelcfg.Tiny(), tensor.BF16, 1)
+	ts, err := m.Tensor("model.layers.1.self_attn.q_proj.weight")
+	if err != nil || ts == nil {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := m.Tensor("bogus"); err == nil {
+		t.Fatal("expected lookup error")
+	}
+}
+
+func TestLayerTensorsPartitionModel(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	m, _ := NewInitialized(cfg, tensor.BF16, 1)
+	seen := map[string]int{}
+	for _, ref := range cfg.AllLayers() {
+		for _, ts := range m.LayerTensors(ref) {
+			seen[ts.Name]++
+		}
+	}
+	if len(seen) != len(m.Tensors()) {
+		t.Fatalf("layer views cover %d tensors, want %d", len(seen), len(m.Tensors()))
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("tensor %s appears in %d layers", name, n)
+		}
+	}
+}
+
+func TestSetTensor(t *testing.T) {
+	m, _ := NewInitialized(modelcfg.Tiny(), tensor.BF16, 1)
+	name := "model.norm.weight"
+	src := tensor.New(name, tensor.BF16, 16)
+	src.Fill(3)
+	if err := m.SetTensor(name, src); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := m.Tensor(name)
+	if got.At(0) != 3 {
+		t.Fatalf("SetTensor did not apply: %v", got.At(0))
+	}
+
+	bad := tensor.New(name, tensor.BF16, 8)
+	if err := m.SetTensor(name, bad); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+	badDtype := tensor.New(name, tensor.F32, 16)
+	if err := m.SetTensor(name, badDtype); err == nil {
+		t.Fatal("expected dtype mismatch error")
+	}
+	if err := m.SetTensor("missing", src); err == nil {
+		t.Fatal("expected missing tensor error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, _ := NewInitialized(modelcfg.Tiny(), tensor.BF16, 1)
+	c := m.Clone()
+	if !Equal(m, c) {
+		t.Fatal("clone differs")
+	}
+	c.Tensors()[0].Set(0, 99)
+	if Equal(m, c) {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	m, _ := NewInitialized(modelcfg.Tiny(), tensor.BF16, 1)
+	c := m.Clone()
+	d, err := MaxAbsDiff(m, c)
+	if err != nil || d != 0 {
+		t.Fatalf("identical models diff = %v, %v", d, err)
+	}
+	c.Tensors()[3].Set(5, c.Tensors()[3].At(5)+1)
+	d, _ = MaxAbsDiff(m, c)
+	if d < 0.99 {
+		t.Fatalf("diff = %v, want ≈1", d)
+	}
+}
+
+func TestTiedModelStructure(t *testing.T) {
+	m, err := NewInitialized(modelcfg.TinyTied(), tensor.BF16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Tensor("lm_head.weight"); err == nil {
+		t.Fatal("tied model should not have lm_head tensor")
+	}
+	if got := len(m.LayerTensors(modelcfg.LMHead)); got != 0 {
+		t.Fatalf("tied model lm_head layer tensors = %d", got)
+	}
+}
+
+func TestQwenModelHasBiases(t *testing.T) {
+	m, _ := NewInitialized(modelcfg.TinyQwen(), tensor.BF16, 7)
+	b, err := m.Tensor("model.layers.0.self_attn.q_proj.bias")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Shape) != 1 {
+		t.Fatalf("bias shape %v", b.Shape)
+	}
+}

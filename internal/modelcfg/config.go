@@ -1,0 +1,94 @@
+// Package modelcfg describes transformer model architectures at two levels:
+//
+//   - the true geometry of the models the paper evaluates (Llama-3.2-1B,
+//     Llama-3.1-8B, Qwen-2.5-7B), used for analytic checkpoint-size and
+//     timing arithmetic; and
+//   - scaled-down geometries with identical layer structure, used to
+//     materialise models in memory for the live simulation.
+//
+// The per-tensor enumeration here is the single source of truth for tensor
+// names, shapes and weight-decay classification used by the model, optimizer
+// and checkpoint packages.
+package modelcfg
+
+import "fmt"
+
+// Config captures the architectural parameters that determine a model's
+// layer-wise tensor inventory.
+type Config struct {
+	// Name is the canonical model identifier, e.g. "llama3.1-8b".
+	Name string `json:"name"`
+	// HiddenSize is the residual-stream width.
+	HiddenSize int `json:"hidden_size"`
+	// IntermediateSize is the FFN expansion width.
+	IntermediateSize int `json:"intermediate_size"`
+	// NumLayers is the number of transformer blocks.
+	NumLayers int `json:"num_hidden_layers"`
+	// NumHeads is the number of attention heads.
+	NumHeads int `json:"num_attention_heads"`
+	// NumKVHeads is the number of key/value heads (grouped-query attention).
+	NumKVHeads int `json:"num_key_value_heads"`
+	// VocabSize is the tokenizer vocabulary size.
+	VocabSize int `json:"vocab_size"`
+	// TieWordEmbeddings indicates lm_head shares storage with embed_tokens,
+	// as in Llama-3.2-1B. Tied models have no separate lm_head tensor.
+	TieWordEmbeddings bool `json:"tie_word_embeddings"`
+	// AttentionBias indicates QKV projections carry bias vectors (Qwen2.5).
+	AttentionBias bool `json:"attention_bias"`
+	// TorchDType is the storage dtype of model weights ("bfloat16").
+	TorchDType string `json:"torch_dtype"`
+	// SeqLen is the training sequence length (paper: 2048).
+	SeqLen int `json:"max_position_embeddings"`
+}
+
+// HeadDim returns the per-head dimension.
+func (c *Config) HeadDim() int { return c.HiddenSize / c.NumHeads }
+
+// KVDim returns the total key/value projection width.
+func (c *Config) KVDim() int { return c.NumKVHeads * c.HeadDim() }
+
+// Validate checks internal consistency.
+func (c *Config) Validate() error {
+	switch {
+	case c.Name == "":
+		return fmt.Errorf("modelcfg: empty name")
+	case c.HiddenSize <= 0 || c.IntermediateSize <= 0 || c.NumLayers <= 0:
+		return fmt.Errorf("modelcfg: %s: non-positive core dims", c.Name)
+	case c.NumHeads <= 0 || c.NumKVHeads <= 0:
+		return fmt.Errorf("modelcfg: %s: non-positive head counts", c.Name)
+	case c.HiddenSize%c.NumHeads != 0:
+		return fmt.Errorf("modelcfg: %s: hidden %d not divisible by heads %d", c.Name, c.HiddenSize, c.NumHeads)
+	case c.NumHeads%c.NumKVHeads != 0:
+		return fmt.Errorf("modelcfg: %s: heads %d not divisible by kv heads %d", c.Name, c.NumHeads, c.NumKVHeads)
+	case c.VocabSize <= 0:
+		return fmt.Errorf("modelcfg: %s: non-positive vocab", c.Name)
+	}
+	return nil
+}
+
+// Scaled returns a copy with matrix dimensions divided so the in-memory
+// simulation stays small while layer count and structure are preserved.
+// Head counts are reduced to keep divisibility; the vocabulary is capped.
+// The scaled config keeps the original name with a "-sim" suffix so
+// checkpoints record their provenance.
+func (c *Config) Scaled(hidden, intermediate, vocab int) *Config {
+	s := *c
+	s.Name = c.Name + "-sim"
+	s.HiddenSize = hidden
+	s.IntermediateSize = intermediate
+	s.VocabSize = vocab
+	// Preserve the GQA ratio where possible with small head counts.
+	ratio := c.NumHeads / c.NumKVHeads
+	s.NumKVHeads = 1
+	s.NumHeads = ratio
+	if hidden%s.NumHeads != 0 {
+		s.NumHeads = 1
+	}
+	return &s
+}
+
+// DefaultSimScale returns the standard scaled geometry used by tests,
+// examples and the experiment harness: structure intact, matrices tiny.
+func (c *Config) DefaultSimScale() *Config {
+	return c.Scaled(64, 128, 256)
+}

@@ -1,0 +1,247 @@
+package modelcfg
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, name := range PresetNames() {
+		cfg, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("gpt-5"); err == nil {
+		t.Fatal("expected error for unknown model")
+	}
+}
+
+// The analytic parameter counts must reproduce the published model sizes —
+// this is what makes the checkpoint-size tables land on the paper's numbers.
+func TestParamCountsMatchPublishedModels(t *testing.T) {
+	cases := []struct {
+		cfg    *Config
+		wantB  float64 // billions of params
+		within float64
+	}{
+		{Llama32_1B(), 1.236, 0.01},
+		{Llama31_8B(), 8.030, 0.01},
+		{Qwen25_7B(), 7.616, 0.01},
+	}
+	for _, c := range cases {
+		got := float64(c.cfg.ParamCount()) / 1e9
+		if math.Abs(got-c.wantB) > c.within {
+			t.Errorf("%s: param count %.3fB, want %.3fB", c.cfg.Name, got, c.wantB)
+		}
+	}
+}
+
+// Full-checkpoint sizes must match Table 7's "Checkpoint Size (G)" column.
+func TestFullCkptBytesMatchTable7(t *testing.T) {
+	cases := []struct {
+		cfg  *Config
+		want float64 // GB, paper value
+	}{
+		{Llama32_1B(), 17.29},
+		{Llama31_8B(), 112.47},
+	}
+	for _, c := range cases {
+		got := GB(c.cfg.FullCkptBytes())
+		if math.Abs(got-c.want)/c.want > 0.02 {
+			t.Errorf("%s: full ckpt %.2f GB, want ≈%.2f GB", c.cfg.Name, got, c.want)
+		}
+	}
+}
+
+// Total mergeable layers must match Table 7's "Total layers" column:
+// 18 for the 1B (16 blocks + norm + embed, tied) and 35 for the 8B
+// (32 blocks + norm + embed + lm_head).
+func TestTotalMergeableLayersMatchTable7(t *testing.T) {
+	if got := Llama32_1B().TotalMergeableLayers(); got != 18 {
+		t.Errorf("llama3.2-1b layers = %d, want 18", got)
+	}
+	if got := Llama31_8B().TotalMergeableLayers(); got != 35 {
+		t.Errorf("llama3.1-8b layers = %d, want 35", got)
+	}
+	if got := Qwen25_7B().TotalMergeableLayers(); got != 31 {
+		t.Errorf("qwen2.5-7b layers = %d, want 31", got)
+	}
+}
+
+func TestTensorInventoryStructure(t *testing.T) {
+	cfg := Tiny()
+	specs := cfg.Tensors()
+	// 4 blocks × 9 tensors + embed + norm + lm_head.
+	if len(specs) != 4*9+3 {
+		t.Fatalf("tiny tensor count = %d", len(specs))
+	}
+	if specs[0].Name != "model.embed_tokens.weight" {
+		t.Errorf("first tensor = %s", specs[0].Name)
+	}
+	last := specs[len(specs)-1]
+	if last.Name != "lm_head.weight" {
+		t.Errorf("last tensor = %s", last.Name)
+	}
+	// Names are unique.
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate tensor %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestTiedModelHasNoLMHead(t *testing.T) {
+	for _, s := range TinyTied().Tensors() {
+		if s.Name == "lm_head.weight" {
+			t.Fatal("tied model should not enumerate lm_head")
+		}
+	}
+	aux := TinyTied().AuxLayers()
+	if len(aux) != 2 {
+		t.Fatalf("tied aux layers = %d, want 2", len(aux))
+	}
+}
+
+func TestQwenBiasTensors(t *testing.T) {
+	cfg := TinyQwen()
+	var biases int
+	for _, s := range cfg.Tensors() {
+		if strings.HasSuffix(s.Name, ".bias") {
+			biases++
+			if !s.NoDecay {
+				t.Errorf("bias %s should be NoDecay", s.Name)
+			}
+		}
+	}
+	if biases != 3*cfg.NumLayers {
+		t.Errorf("bias count = %d, want %d", biases, 3*cfg.NumLayers)
+	}
+}
+
+func TestDecayClassification(t *testing.T) {
+	for _, s := range Tiny().Tensors() {
+		isNorm := strings.Contains(s.Name, "norm")
+		if isNorm && !s.NoDecay {
+			t.Errorf("%s should be NoDecay", s.Name)
+		}
+		if !isNorm && !strings.HasSuffix(s.Name, ".bias") && s.NoDecay {
+			t.Errorf("%s should have weight decay", s.Name)
+		}
+	}
+}
+
+func TestLayerOf(t *testing.T) {
+	cfg := Tiny()
+	ref, err := cfg.LayerOf("model.layers.2.mlp.up_proj.weight")
+	if err != nil || ref != Block(2) {
+		t.Fatalf("LayerOf = %v, %v", ref, err)
+	}
+	ref, err = cfg.LayerOf("model.embed_tokens.weight")
+	if err != nil || ref != Embed {
+		t.Fatalf("LayerOf embed = %v, %v", ref, err)
+	}
+	if _, err := cfg.LayerOf("nonexistent"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestLayerParamCounts(t *testing.T) {
+	cfg := Tiny()
+	var sum int64
+	for _, ref := range cfg.AllLayers() {
+		sum += cfg.LayerParamCount(ref)
+	}
+	if sum != cfg.ParamCount() {
+		t.Fatalf("layer params sum %d != total %d", sum, cfg.ParamCount())
+	}
+}
+
+func TestPartialCkptBytes(t *testing.T) {
+	cfg := Tiny()
+	all := cfg.PartialCkptBytes(cfg.AllLayers())
+	if all != cfg.FullCkptBytes() {
+		t.Fatalf("all-layer partial %d != full %d", all, cfg.FullCkptBytes())
+	}
+	half := cfg.PartialCkptBytes([]LayerRef{Block(0), Block(1)})
+	if half <= 0 || half >= all {
+		t.Fatalf("partial bytes out of range: %d vs %d", half, all)
+	}
+}
+
+func TestScaledPreservesStructure(t *testing.T) {
+	cfg := Llama31_8B()
+	s := cfg.DefaultSimScale()
+	if s.NumLayers != cfg.NumLayers {
+		t.Fatalf("scaled layer count changed: %d", s.NumLayers)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalMergeableLayers() != cfg.TotalMergeableLayers() {
+		t.Fatal("scaled mergeable layer count changed")
+	}
+	if s.ParamCount() >= cfg.ParamCount() {
+		t.Fatal("scaled model not smaller")
+	}
+	if s.Name != "llama3.1-8b-sim" {
+		t.Fatalf("scaled name = %s", s.Name)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := Tiny()
+	bad.NumHeads = 3 // 16 % 3 != 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected divisibility error")
+	}
+	bad2 := Tiny()
+	bad2.VocabSize = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected vocab error")
+	}
+	bad3 := Tiny()
+	bad3.Name = ""
+	if err := bad3.Validate(); err == nil {
+		t.Error("expected name error")
+	}
+	bad4 := Tiny()
+	bad4.NumKVHeads = 3
+	if err := bad4.Validate(); err == nil {
+		t.Error("expected kv-head divisibility error")
+	}
+}
+
+func TestLayerRefString(t *testing.T) {
+	if Block(3).String() != "layer.3" {
+		t.Errorf("Block(3) = %s", Block(3))
+	}
+	if Embed.String() != "embed_tokens" {
+		t.Errorf("Embed = %s", Embed)
+	}
+	if FinalNorm.String() != "final_norm" {
+		t.Errorf("FinalNorm = %s", FinalNorm)
+	}
+	if LMHead.String() != "lm_head" {
+		t.Errorf("LMHead = %s", LMHead)
+	}
+}
+
+func TestHeadDims(t *testing.T) {
+	cfg := Llama31_8B()
+	if cfg.HeadDim() != 128 {
+		t.Errorf("head dim = %d", cfg.HeadDim())
+	}
+	if cfg.KVDim() != 1024 {
+		t.Errorf("kv dim = %d", cfg.KVDim())
+	}
+}

@@ -1,0 +1,123 @@
+package modelcfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Preset model geometries. These are the published architectural parameters
+// of the models the paper evaluates; the analytic parameter counts they
+// produce reproduce the paper's checkpoint sizes (e.g. Llama-3.1-8B at
+// 14 bytes/param = 112.4 GB vs Table 7's 112.47 G).
+
+// Llama32_1B returns the Llama-3.2-1B geometry (16 layers, tied embeddings).
+func Llama32_1B() *Config {
+	return &Config{
+		Name:              "llama3.2-1b",
+		HiddenSize:        2048,
+		IntermediateSize:  8192,
+		NumLayers:         16,
+		NumHeads:          32,
+		NumKVHeads:        8,
+		VocabSize:         128256,
+		TieWordEmbeddings: true,
+		TorchDType:        "bfloat16",
+		SeqLen:            2048,
+	}
+}
+
+// Llama31_8B returns the Llama-3.1-8B geometry (32 layers, untied lm_head).
+func Llama31_8B() *Config {
+	return &Config{
+		Name:              "llama3.1-8b",
+		HiddenSize:        4096,
+		IntermediateSize:  14336,
+		NumLayers:         32,
+		NumHeads:          32,
+		NumKVHeads:        8,
+		VocabSize:         128256,
+		TieWordEmbeddings: false,
+		TorchDType:        "bfloat16",
+		SeqLen:            2048,
+	}
+}
+
+// Qwen25_7B returns the Qwen-2.5-7B geometry (28 layers, QKV bias).
+func Qwen25_7B() *Config {
+	return &Config{
+		Name:              "qwen2.5-7b",
+		HiddenSize:        3584,
+		IntermediateSize:  18944,
+		NumLayers:         28,
+		NumHeads:          28,
+		NumKVHeads:        4,
+		VocabSize:         152064,
+		TieWordEmbeddings: false,
+		AttentionBias:     true,
+		TorchDType:        "bfloat16",
+		SeqLen:            2048,
+	}
+}
+
+// Tiny returns a minimal 4-layer model used throughout the test suite. It is
+// small enough for exhaustive property tests yet exercises every structural
+// feature except weight tying.
+func Tiny() *Config {
+	return &Config{
+		Name:              "tiny",
+		HiddenSize:        16,
+		IntermediateSize:  32,
+		NumLayers:         4,
+		NumHeads:          4,
+		NumKVHeads:        2,
+		VocabSize:         64,
+		TieWordEmbeddings: false,
+		TorchDType:        "bfloat16",
+		SeqLen:            128,
+	}
+}
+
+// TinyTied is Tiny with weight tying enabled (no lm_head tensor), covering
+// the x=2 auxiliary-layer case of the 2L+x regrouping.
+func TinyTied() *Config {
+	c := Tiny()
+	c.Name = "tiny-tied"
+	c.TieWordEmbeddings = true
+	return c
+}
+
+// TinyQwen is Tiny with attention bias, covering Qwen-style extra tensors.
+func TinyQwen() *Config {
+	c := Tiny()
+	c.Name = "tiny-qwen"
+	c.AttentionBias = true
+	return c
+}
+
+var presets = map[string]func() *Config{
+	"llama3.2-1b": Llama32_1B,
+	"llama3.1-8b": Llama31_8B,
+	"qwen2.5-7b":  Qwen25_7B,
+	"tiny":        Tiny,
+	"tiny-tied":   TinyTied,
+	"tiny-qwen":   TinyQwen,
+}
+
+// ByName looks up a preset by canonical name.
+func ByName(name string) (*Config, error) {
+	f, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("modelcfg: unknown model %q (known: %v)", name, PresetNames())
+	}
+	return f(), nil
+}
+
+// PresetNames returns the sorted list of known preset names.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,215 @@
+package modelcfg
+
+import "fmt"
+
+// LayerKind distinguishes transformer blocks from the auxiliary layers the
+// paper's §4.3 handles specially.
+type LayerKind uint8
+
+const (
+	// KindTransformer is one of the L transformer blocks.
+	KindTransformer LayerKind = iota
+	// KindEmbed is the token embedding (model.embed_tokens).
+	KindEmbed
+	// KindFinalNorm is the final RMSNorm before the head (model.norm).
+	KindFinalNorm
+	// KindLMHead is the output projection (lm_head), absent when tied.
+	KindLMHead
+)
+
+// String returns the layer-kind name used in recipes and manifests.
+func (k LayerKind) String() string {
+	switch k {
+	case KindTransformer:
+		return "transformer"
+	case KindEmbed:
+		return "embed_tokens"
+	case KindFinalNorm:
+		return "final_norm"
+	case KindLMHead:
+		return "lm_head"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// LayerRef identifies a mergeable unit: either transformer block Index (when
+// Kind == KindTransformer) or one auxiliary layer.
+type LayerRef struct {
+	Kind  LayerKind
+	Index int // transformer block index; 0 for auxiliary layers
+}
+
+// Embed, FinalNorm and LMHead are the auxiliary layer references.
+var (
+	Embed     = LayerRef{Kind: KindEmbed}
+	FinalNorm = LayerRef{Kind: KindFinalNorm}
+	LMHead    = LayerRef{Kind: KindLMHead}
+)
+
+// Block returns the reference for transformer block i.
+func Block(i int) LayerRef { return LayerRef{Kind: KindTransformer, Index: i} }
+
+// String renders "layer.3", "embed_tokens", etc.
+func (r LayerRef) String() string {
+	if r.Kind == KindTransformer {
+		return fmt.Sprintf("layer.%d", r.Index)
+	}
+	return r.Kind.String()
+}
+
+// ParseLayerRef is the inverse of LayerRef.String. It accepts "layer.N",
+// "embed_tokens", "final_norm" and "lm_head".
+func ParseLayerRef(s string) (LayerRef, error) {
+	switch s {
+	case "embed_tokens":
+		return Embed, nil
+	case "final_norm":
+		return FinalNorm, nil
+	case "lm_head":
+		return LMHead, nil
+	}
+	var idx int
+	if _, err := fmt.Sscanf(s, "layer.%d", &idx); err != nil || idx < 0 || fmt.Sprintf("layer.%d", idx) != s {
+		return LayerRef{}, fmt.Errorf("modelcfg: bad layer ref %q", s)
+	}
+	return Block(idx), nil
+}
+
+// TensorSpec describes one trainable tensor: its canonical (HuggingFace-
+// style) name, shape, weight-decay classification and owning layer.
+type TensorSpec struct {
+	Name string
+	// Shape is row-major; [out, in] for projection weights.
+	Shape []int
+	// NoDecay marks norm weights and biases, which AdamW exempts from
+	// weight decay (paper §2.2).
+	NoDecay bool
+	// Layer is the mergeable unit this tensor belongs to.
+	Layer LayerRef
+}
+
+// NumElems returns the element count of the spec's shape.
+func (s TensorSpec) NumElems() int64 {
+	n := int64(1)
+	for _, d := range s.Shape {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Tensors enumerates every trainable tensor in canonical order: embedding,
+// transformer blocks 0..L-1 (attention, MLP, norms), final norm, lm_head.
+// This order is shared by the model container, the checkpoint writer and the
+// optimizer layout, so indices computed from it are stable everywhere.
+func (c *Config) Tensors() []TensorSpec {
+	specs := make([]TensorSpec, 0, 9*c.NumLayers+3)
+	specs = append(specs, TensorSpec{
+		Name:  "model.embed_tokens.weight",
+		Shape: []int{c.VocabSize, c.HiddenSize},
+		Layer: Embed,
+	})
+	for i := 0; i < c.NumLayers; i++ {
+		specs = append(specs, c.blockTensors(i)...)
+	}
+	specs = append(specs, TensorSpec{
+		Name:    "model.norm.weight",
+		Shape:   []int{c.HiddenSize},
+		NoDecay: true,
+		Layer:   FinalNorm,
+	})
+	if !c.TieWordEmbeddings {
+		specs = append(specs, TensorSpec{
+			Name:  "lm_head.weight",
+			Shape: []int{c.VocabSize, c.HiddenSize},
+			Layer: LMHead,
+		})
+	}
+	return specs
+}
+
+func (c *Config) blockTensors(i int) []TensorSpec {
+	p := func(sub string) string { return fmt.Sprintf("model.layers.%d.%s", i, sub) }
+	ref := Block(i)
+	h, kv, inter := c.HiddenSize, c.KVDim(), c.IntermediateSize
+
+	specs := []TensorSpec{
+		{Name: p("self_attn.q_proj.weight"), Shape: []int{h, h}, Layer: ref},
+		{Name: p("self_attn.k_proj.weight"), Shape: []int{kv, h}, Layer: ref},
+		{Name: p("self_attn.v_proj.weight"), Shape: []int{kv, h}, Layer: ref},
+		{Name: p("self_attn.o_proj.weight"), Shape: []int{h, h}, Layer: ref},
+	}
+	if c.AttentionBias {
+		specs = append(specs,
+			TensorSpec{Name: p("self_attn.q_proj.bias"), Shape: []int{h}, NoDecay: true, Layer: ref},
+			TensorSpec{Name: p("self_attn.k_proj.bias"), Shape: []int{kv}, NoDecay: true, Layer: ref},
+			TensorSpec{Name: p("self_attn.v_proj.bias"), Shape: []int{kv}, NoDecay: true, Layer: ref},
+		)
+	}
+	specs = append(specs,
+		TensorSpec{Name: p("mlp.gate_proj.weight"), Shape: []int{inter, h}, Layer: ref},
+		TensorSpec{Name: p("mlp.up_proj.weight"), Shape: []int{inter, h}, Layer: ref},
+		TensorSpec{Name: p("mlp.down_proj.weight"), Shape: []int{h, inter}, Layer: ref},
+		TensorSpec{Name: p("input_layernorm.weight"), Shape: []int{h}, NoDecay: true, Layer: ref},
+		TensorSpec{Name: p("post_attention_layernorm.weight"), Shape: []int{h}, NoDecay: true, Layer: ref},
+	)
+	return specs
+}
+
+// ParamCount returns the total trainable parameter count.
+func (c *Config) ParamCount() int64 {
+	var n int64
+	for _, s := range c.Tensors() {
+		n += s.NumElems()
+	}
+	return n
+}
+
+// LayerParamCount returns the parameter count of one mergeable unit.
+func (c *Config) LayerParamCount(ref LayerRef) int64 {
+	var n int64
+	for _, s := range c.Tensors() {
+		if s.Layer == ref {
+			n += s.NumElems()
+		}
+	}
+	return n
+}
+
+// AuxLayers lists the auxiliary layers present in this model, in the group-
+// layout order the paper's Figure 3 fixes: final norm, embed, lm_head.
+func (c *Config) AuxLayers() []LayerRef {
+	aux := []LayerRef{FinalNorm, Embed}
+	if !c.TieWordEmbeddings {
+		aux = append(aux, LMHead)
+	}
+	return aux
+}
+
+// AllLayers lists every mergeable unit: transformer blocks in order, then
+// auxiliary layers.
+func (c *Config) AllLayers() []LayerRef {
+	all := make([]LayerRef, 0, c.NumLayers+3)
+	for i := 0; i < c.NumLayers; i++ {
+		all = append(all, Block(i))
+	}
+	return append(all, c.AuxLayers()...)
+}
+
+// TotalMergeableLayers returns the paper's "total layers" accounting: L
+// transformer layers plus auxiliary layers (18 for Llama-3.2-1B, 35 for
+// Llama-3.1-8B — matching Table 7's "Total layers" column).
+func (c *Config) TotalMergeableLayers() int {
+	return c.NumLayers + len(c.AuxLayers())
+}
+
+// LayerOf resolves a tensor name to its owning layer. It returns an error
+// for names outside the canonical inventory.
+func (c *Config) LayerOf(name string) (LayerRef, error) {
+	for _, s := range c.Tensors() {
+		if s.Name == name {
+			return s.Layer, nil
+		}
+	}
+	return LayerRef{}, fmt.Errorf("modelcfg: %s: unknown tensor %q", c.Name, name)
+}

@@ -1,0 +1,254 @@
+// Package optim implements the AdamW optimizer with explicit parameter-group
+// layouts — the heart of the paper's §4.1. DeepSpeed-style optimizers flatten
+// all parameters into two coarse groups (decay / no-decay), which makes
+// layer-level splitting of optimizer files impossible. LLMTailor's key move
+// is rebuilding the groups to mirror the model's layer structure (2L+x
+// groups) *before* training, so each transformer layer owns exactly two
+// groups and each auxiliary layer owns one. This package provides both
+// layouts, the conversion between them, and an AdamW whose state is stored
+// per group exactly as the checkpoint files shard it.
+package optim
+
+import (
+	"fmt"
+	"strings"
+
+	"llmtailor/internal/modelcfg"
+)
+
+// LayoutKind distinguishes the two group organisations.
+type LayoutKind uint8
+
+const (
+	// TwoGroup is the classic coarse layout: one no-decay group, one decay
+	// group (paper Figure 2).
+	TwoGroup LayoutKind = iota
+	// Layerwise is the paper's 2L+x layout (Figure 3).
+	Layerwise
+)
+
+// String names the layout kind for checkpoint headers.
+func (k LayoutKind) String() string {
+	if k == TwoGroup {
+		return "two-group"
+	}
+	return "layerwise"
+}
+
+// ParseLayoutKind is the inverse of String.
+func ParseLayoutKind(s string) (LayoutKind, error) {
+	switch s {
+	case "two-group":
+		return TwoGroup, nil
+	case "layerwise":
+		return Layerwise, nil
+	default:
+		return 0, fmt.Errorf("optim: unknown layout kind %q", s)
+	}
+}
+
+// Group is one parameter group: an ordered list of tensor names sharing
+// weight-decay treatment and, in the layerwise layout, a single owning layer.
+type Group struct {
+	// Index is the group's position in the optimizer file.
+	Index int
+	// Names lists member tensors in canonical inventory order. The flat
+	// state vectors concatenate tensors in exactly this order.
+	Names []string
+	// NoDecay marks the group as weight-decay-exempt.
+	NoDecay bool
+	// Layer is the owning mergeable layer in the layerwise layout. In the
+	// two-group layout HasLayer is false.
+	Layer    modelcfg.LayerRef
+	HasLayer bool
+	// Numel is the total element count of the group.
+	Numel int64
+}
+
+// Layout is an ordered set of parameter groups covering every model tensor
+// exactly once.
+type Layout struct {
+	Kind   LayoutKind
+	Groups []Group
+
+	// byName maps tensor name -> (group index, offset, length) for state
+	// addressing.
+	byName map[string]Segment
+}
+
+// Segment locates one tensor inside a group's flat state vector.
+type Segment struct {
+	Group  int
+	Offset int64
+	Len    int64
+}
+
+// NewTwoGroupLayout builds the classic coarse layout from a model config:
+// group 0 holds all no-decay tensors (norms, biases), group 1 the rest.
+func NewTwoGroupLayout(cfg *modelcfg.Config) *Layout {
+	var noDecay, decay []string
+	for _, s := range cfg.Tensors() {
+		if s.NoDecay {
+			noDecay = append(noDecay, s.Name)
+		} else {
+			decay = append(decay, s.Name)
+		}
+	}
+	l := &Layout{Kind: TwoGroup, Groups: []Group{
+		{Index: 0, Names: noDecay, NoDecay: true},
+		{Index: 1, Names: decay},
+	}}
+	l.finish(cfg)
+	return l
+}
+
+// NewLayerwiseLayout builds the paper's 2L+x layout (Figure 3). Group order
+// follows §4.2's description: the final-norm group first, then the no-decay
+// segment of each transformer layer, then the embedding group, the optional
+// lm_head group, and finally the decay segment of each transformer layer.
+func NewLayerwiseLayout(cfg *modelcfg.Config) *Layout {
+	byLayer := map[modelcfg.LayerRef][2][]string{} // [noDecay, decay]
+	for _, s := range cfg.Tensors() {
+		pair := byLayer[s.Layer]
+		if s.NoDecay {
+			pair[0] = append(pair[0], s.Name)
+		} else {
+			pair[1] = append(pair[1], s.Name)
+		}
+		byLayer[s.Layer] = pair
+	}
+
+	var groups []Group
+	add := func(ref modelcfg.LayerRef, names []string, noDecay bool) {
+		if len(names) == 0 {
+			return
+		}
+		groups = append(groups, Group{
+			Index: len(groups), Names: names, NoDecay: noDecay,
+			Layer: ref, HasLayer: true,
+		})
+	}
+
+	add(modelcfg.FinalNorm, byLayer[modelcfg.FinalNorm][0], true)
+	for i := 0; i < cfg.NumLayers; i++ {
+		add(modelcfg.Block(i), byLayer[modelcfg.Block(i)][0], true)
+	}
+	add(modelcfg.Embed, byLayer[modelcfg.Embed][1], false)
+	if !cfg.TieWordEmbeddings {
+		add(modelcfg.LMHead, byLayer[modelcfg.LMHead][1], false)
+	}
+	for i := 0; i < cfg.NumLayers; i++ {
+		add(modelcfg.Block(i), byLayer[modelcfg.Block(i)][1], false)
+	}
+
+	l := &Layout{Kind: Layerwise, Groups: groups}
+	l.finish(cfg)
+	return l
+}
+
+// finish computes Numel and the name index.
+func (l *Layout) finish(cfg *modelcfg.Config) {
+	sizes := map[string]int64{}
+	for _, s := range cfg.Tensors() {
+		sizes[s.Name] = s.NumElems()
+	}
+	l.byName = map[string]Segment{}
+	for gi := range l.Groups {
+		g := &l.Groups[gi]
+		var off int64
+		for _, n := range g.Names {
+			sz, ok := sizes[n]
+			if !ok {
+				panic(fmt.Sprintf("optim: layout names unknown tensor %q", n))
+			}
+			l.byName[n] = Segment{Group: gi, Offset: off, Len: sz}
+			off += sz
+		}
+		g.Numel = off
+	}
+}
+
+// NumGroups returns the group count (2 for TwoGroup, 2L+x for Layerwise).
+func (l *Layout) NumGroups() int { return len(l.Groups) }
+
+// SegmentOf locates a tensor's flat segment.
+func (l *Layout) SegmentOf(name string) (Segment, error) {
+	s, ok := l.byName[name]
+	if !ok {
+		return Segment{}, fmt.Errorf("optim: no segment for tensor %q", name)
+	}
+	return s, nil
+}
+
+// GroupsOfLayer returns the indices of the groups owned by a layer in a
+// layerwise layout: two for a transformer block (no-decay + decay), one for
+// an auxiliary layer. It returns an error on a two-group layout, where layer
+// ownership is undefined — exactly the limitation that blocks MergeKit-style
+// tools from merging optimizer state.
+func (l *Layout) GroupsOfLayer(ref modelcfg.LayerRef) ([]int, error) {
+	if l.Kind != Layerwise {
+		return nil, fmt.Errorf("optim: layer %s has no dedicated groups in a %s layout", ref, l.Kind)
+	}
+	var out []int
+	for _, g := range l.Groups {
+		if g.HasLayer && g.Layer == ref {
+			out = append(out, g.Index)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("optim: no groups for layer %s", ref)
+	}
+	return out, nil
+}
+
+// Validate checks that the layout covers the config's tensor inventory
+// exactly once with consistent decay classification.
+func (l *Layout) Validate(cfg *modelcfg.Config) error {
+	want := map[string]modelcfg.TensorSpec{}
+	for _, s := range cfg.Tensors() {
+		want[s.Name] = s
+	}
+	seen := map[string]bool{}
+	for _, g := range l.Groups {
+		for _, n := range g.Names {
+			spec, ok := want[n]
+			if !ok {
+				return fmt.Errorf("optim: layout contains unknown tensor %q", n)
+			}
+			if seen[n] {
+				return fmt.Errorf("optim: tensor %q in multiple groups", n)
+			}
+			seen[n] = true
+			if spec.NoDecay != g.NoDecay {
+				return fmt.Errorf("optim: tensor %q decay mismatch (group %d)", n, g.Index)
+			}
+			if g.HasLayer && spec.Layer != g.Layer {
+				return fmt.Errorf("optim: tensor %q in group of layer %s but belongs to %s", n, g.Layer, spec.Layer)
+			}
+		}
+	}
+	if len(seen) != len(want) {
+		return fmt.Errorf("optim: layout covers %d of %d tensors", len(seen), len(want))
+	}
+	return nil
+}
+
+// Describe renders the layout as a human-readable table — used to reproduce
+// the paper's Figure 3 (2-group → 2L+x regrouping).
+func (l *Layout) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s layout: %d parameter groups\n", l.Kind, len(l.Groups))
+	for _, g := range l.Groups {
+		owner := "mixed"
+		if g.HasLayer {
+			owner = g.Layer.String()
+		}
+		decay := "decay"
+		if g.NoDecay {
+			decay = "no-decay"
+		}
+		fmt.Fprintf(&b, "  group %2d  %-14s %-8s %3d tensors  %10d params\n",
+			g.Index, owner, decay, len(g.Names), g.Numel)
+	}
+	return b.String()
+}

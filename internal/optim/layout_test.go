@@ -1,0 +1,196 @@
+package optim
+
+import (
+	"strings"
+	"testing"
+
+	"llmtailor/internal/modelcfg"
+)
+
+func TestTwoGroupLayout(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	l := NewTwoGroupLayout(cfg)
+	if l.NumGroups() != 2 {
+		t.Fatalf("groups = %d", l.NumGroups())
+	}
+	if !l.Groups[0].NoDecay || l.Groups[1].NoDecay {
+		t.Fatal("group decay flags wrong")
+	}
+	if err := l.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, g := range l.Groups {
+		total += g.Numel
+	}
+	if total != cfg.ParamCount() {
+		t.Fatalf("group numel sum %d != %d", total, cfg.ParamCount())
+	}
+}
+
+// Figure 3: a 16-layer model with lm_head must produce 2*16+3 = 35 groups.
+func TestLayerwiseGroupCountFigure3(t *testing.T) {
+	cfg := modelcfg.Llama32_1B() // 16 layers, tied -> x=2
+	cfg.TieWordEmbeddings = false
+	l := NewLayerwiseLayout(cfg)
+	if l.NumGroups() != 35 {
+		t.Fatalf("16-layer untied: groups = %d, want 35 (Figure 3)", l.NumGroups())
+	}
+
+	tied := modelcfg.Llama32_1B()
+	lt := NewLayerwiseLayout(tied)
+	if lt.NumGroups() != 34 {
+		t.Fatalf("16-layer tied: groups = %d, want 2*16+2", lt.NumGroups())
+	}
+}
+
+func TestLayerwiseGroupOrdering(t *testing.T) {
+	cfg := modelcfg.Tiny() // 4 layers, untied
+	l := NewLayerwiseLayout(cfg)
+	// Expected: norm, 4×no-decay, embed, lm_head, 4×decay = 11 groups.
+	if l.NumGroups() != 11 {
+		t.Fatalf("groups = %d", l.NumGroups())
+	}
+	if l.Groups[0].Layer != modelcfg.FinalNorm {
+		t.Errorf("group 0 = %v, want final_norm", l.Groups[0].Layer)
+	}
+	for i := 0; i < 4; i++ {
+		g := l.Groups[1+i]
+		if g.Layer != modelcfg.Block(i) || !g.NoDecay {
+			t.Errorf("group %d = %v nodecay=%v", 1+i, g.Layer, g.NoDecay)
+		}
+	}
+	if l.Groups[5].Layer != modelcfg.Embed {
+		t.Errorf("group 5 = %v, want embed", l.Groups[5].Layer)
+	}
+	if l.Groups[6].Layer != modelcfg.LMHead {
+		t.Errorf("group 6 = %v, want lm_head", l.Groups[6].Layer)
+	}
+	for i := 0; i < 4; i++ {
+		g := l.Groups[7+i]
+		if g.Layer != modelcfg.Block(i) || g.NoDecay {
+			t.Errorf("group %d = %v nodecay=%v", 7+i, g.Layer, g.NoDecay)
+		}
+	}
+	if err := l.Validate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupsOfLayer(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	l := NewLayerwiseLayout(cfg)
+	gs, err := l.GroupsOfLayer(modelcfg.Block(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("transformer layer groups = %v", gs)
+	}
+	gs, err = l.GroupsOfLayer(modelcfg.Embed)
+	if err != nil || len(gs) != 1 {
+		t.Fatalf("embed groups = %v, %v", gs, err)
+	}
+
+	two := NewTwoGroupLayout(cfg)
+	if _, err := two.GroupsOfLayer(modelcfg.Block(0)); err == nil {
+		t.Fatal("two-group layout must refuse layer lookup")
+	}
+}
+
+func TestSegmentOf(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	l := NewLayerwiseLayout(cfg)
+	seg, err := l.SegmentOf("model.layers.1.mlp.gate_proj.weight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Len != int64(cfg.IntermediateSize*cfg.HiddenSize) {
+		t.Fatalf("segment len = %d", seg.Len)
+	}
+	if _, err := l.SegmentOf("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// Property: both layouts partition the tensor inventory with identical
+// total element counts, for every preset.
+func TestLayoutsPartitionAllPresets(t *testing.T) {
+	for _, name := range modelcfg.PresetNames() {
+		cfg, _ := modelcfg.ByName(name)
+		for _, l := range []*Layout{NewTwoGroupLayout(cfg), NewLayerwiseLayout(cfg)} {
+			if err := l.Validate(cfg); err != nil {
+				t.Errorf("%s/%s: %v", name, l.Kind, err)
+			}
+			var total int64
+			for _, g := range l.Groups {
+				if g.Numel == 0 {
+					t.Errorf("%s/%s: empty group %d", name, l.Kind, g.Index)
+				}
+				total += g.Numel
+			}
+			if total != cfg.ParamCount() {
+				t.Errorf("%s/%s: numel %d != %d", name, l.Kind, total, cfg.ParamCount())
+			}
+		}
+	}
+}
+
+// 2L+x invariant across presets: x = 3 untied, 2 tied (+0 extra for bias
+// tensors, which join their layer's no-decay group rather than new groups).
+func TestLayerwiseGroupCountInvariant(t *testing.T) {
+	for _, name := range modelcfg.PresetNames() {
+		cfg, _ := modelcfg.ByName(name)
+		l := NewLayerwiseLayout(cfg)
+		x := 3
+		if cfg.TieWordEmbeddings {
+			x = 2
+		}
+		if got, want := l.NumGroups(), 2*cfg.NumLayers+x; got != want {
+			t.Errorf("%s: groups = %d, want 2L+x = %d", name, got, want)
+		}
+	}
+}
+
+func TestValidateCatchesCorruptLayouts(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	l := NewLayerwiseLayout(cfg)
+
+	dup := *l
+	dup.Groups = append([]Group(nil), l.Groups...)
+	dup.Groups[1].Names = append([]string(nil), dup.Groups[1].Names...)
+	dup.Groups[1].Names = append(dup.Groups[1].Names, dup.Groups[0].Names[0])
+	if err := dup.Validate(cfg); err == nil {
+		t.Error("duplicate tensor not caught")
+	}
+
+	missing := *l
+	missing.Groups = append([]Group(nil), l.Groups...)
+	missing.Groups[0].Names = nil
+	if err := missing.Validate(cfg); err == nil {
+		t.Error("missing tensor not caught")
+	}
+}
+
+func TestDescribeMentionsEveryGroup(t *testing.T) {
+	l := NewLayerwiseLayout(modelcfg.Tiny())
+	d := l.Describe()
+	if !strings.Contains(d, "11 parameter groups") {
+		t.Errorf("describe header: %q", strings.SplitN(d, "\n", 2)[0])
+	}
+	if !strings.Contains(d, "embed_tokens") || !strings.Contains(d, "lm_head") {
+		t.Error("describe missing aux layers")
+	}
+}
+
+func TestParseLayoutKind(t *testing.T) {
+	for _, k := range []LayoutKind{TwoGroup, Layerwise} {
+		got, err := ParseLayoutKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("roundtrip %v: %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseLayoutKind("xyz"); err == nil {
+		t.Error("expected error")
+	}
+}

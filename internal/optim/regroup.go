@@ -1,0 +1,39 @@
+package optim
+
+import "fmt"
+
+// Regroup converts an optimizer's state from its current layout to a new
+// layout over the same model — the paper's Figure 3 transformation. Because
+// both layouts cover the identical tensor inventory and the conversion is a
+// pure permutation of per-tensor segments, training dynamics are unchanged
+// (§4.1: "neither parameters nor hyperparameters are altered"); only the
+// file-level grouping granularity differs.
+func Regroup(o *AdamW, newLayout *Layout) (*AdamW, error) {
+	if err := newLayout.Validate(o.Model.Config); err != nil {
+		return nil, fmt.Errorf("optim: regroup target layout invalid: %w", err)
+	}
+	out := &AdamW{
+		Model:     o.Model,
+		Layout:    newLayout,
+		Hyper:     o.Hyper,
+		StepCount: o.StepCount,
+		States:    make([]*GroupState, len(newLayout.Groups)),
+	}
+	for gi, g := range newLayout.Groups {
+		st := NewGroupState(g.Numel)
+		var off int64
+		for _, name := range g.Names {
+			src, err := o.Layout.SegmentOf(name)
+			if err != nil {
+				return nil, fmt.Errorf("optim: regroup: %w", err)
+			}
+			from := o.States[src.Group]
+			copy(st.Master[off:off+src.Len], from.Master[src.Offset:src.Offset+src.Len])
+			copy(st.ExpAvg[off:off+src.Len], from.ExpAvg[src.Offset:src.Offset+src.Len])
+			copy(st.ExpAvgSq[off:off+src.Len], from.ExpAvgSq[src.Offset:src.Offset+src.Len])
+			off += src.Len
+		}
+		out.States[gi] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+// Package parallel provides a minimal bounded worker pool used to
+// parallelise shard loading in the merge engine — the Go analogue of the
+// paper's ProcessPoolExecutor (§4.2). Stdlib only.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ForEach runs fn(i) for i in [0, n) using at most workers goroutines.
+// It waits for all tasks and returns the combined error (errors.Join) of
+// every failed task, preserving index order. workers < 1 means serial.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		var errs []error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				errs = append(errs, fmt.Errorf("task %d: %w", i, err))
+			}
+		}
+		return errors.Join(errs...)
+	}
+
+	var (
+		wg   sync.WaitGroup
+		next = make(chan int)
+		mu   sync.Mutex
+		errs = make([]error, n)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					errs[i] = fmt.Errorf("task %d: %w", i, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var nonNil []error
+	for _, e := range errs {
+		if e != nil {
+			nonNil = append(nonNil, e)
+		}
+	}
+	return errors.Join(nonNil...)
+}
+
+// Map runs fn(i) for i in [0, n) with bounded parallelism and collects the
+// results in index order. The first error aborts the result (all tasks still
+// run to completion to keep resource handling simple).
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

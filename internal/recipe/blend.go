@@ -1,0 +1,90 @@
+package recipe
+
+import "fmt"
+
+// WeightedSource is one whole-model input to a blend merge (merge_method
+// linear or slerp) — MergeKit's model-soup style methods, which operate on
+// weights only. The paper's §3 notes these cannot produce resumable
+// checkpoints; the engine enforces exactly that: blend recipes must not
+// request optimizer merging.
+type WeightedSource struct {
+	// Checkpoint is the source checkpoint directory.
+	Checkpoint string
+	// Weight is the linear coefficient (linear method only; default 1).
+	Weight float64
+}
+
+// blendValidate extends Validate for the blend methods.
+func (r *Recipe) blendValidate() error {
+	switch r.MergeMethod {
+	case "linear":
+		if len(r.Models) < 2 {
+			return fmt.Errorf("recipe: linear merge needs >= 2 models (got %d)", len(r.Models))
+		}
+		var sum float64
+		for i, m := range r.Models {
+			if m.Checkpoint == "" {
+				return fmt.Errorf("recipe: models[%d]: empty checkpoint", i)
+			}
+			w := m.Weight
+			if w == 0 {
+				w = 1
+			}
+			if w < 0 {
+				return fmt.Errorf("recipe: models[%d]: negative weight %v", i, w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("recipe: linear merge weights sum to %v", sum)
+		}
+	case "slerp":
+		if len(r.Models) != 2 {
+			return fmt.Errorf("recipe: slerp needs exactly 2 models (got %d)", len(r.Models))
+		}
+		for i, m := range r.Models {
+			if m.Checkpoint == "" {
+				return fmt.Errorf("recipe: models[%d]: empty checkpoint", i)
+			}
+		}
+		if r.T < 0 || r.T > 1 {
+			return fmt.Errorf("recipe: slerp t=%v outside [0, 1]", r.T)
+		}
+	default:
+		return fmt.Errorf("recipe: %q is not a blend method", r.MergeMethod)
+	}
+	if r.Optimizer {
+		return fmt.Errorf("recipe: %s merges are weights-only; optimizer state cannot be blended (use passthrough)", r.MergeMethod)
+	}
+	if len(r.Slices) > 0 || len(r.Aux) > 0 {
+		return fmt.Errorf("recipe: %s merges take whole models; slices/tailor layer routing is passthrough-only", r.MergeMethod)
+	}
+	if r.Output == "" {
+		return fmt.Errorf("recipe: missing output")
+	}
+	return nil
+}
+
+// IsBlend reports whether the recipe uses a whole-model blend method.
+func (r *Recipe) IsBlend() bool {
+	return r.MergeMethod == "linear" || r.MergeMethod == "slerp"
+}
+
+// NormalizedWeights returns the models' linear coefficients normalised to
+// sum to 1 (zero weights default to 1 before normalisation).
+func (r *Recipe) NormalizedWeights() []float64 {
+	out := make([]float64, len(r.Models))
+	var sum float64
+	for i, m := range r.Models {
+		w := m.Weight
+		if w == 0 {
+			w = 1
+		}
+		out[i] = w
+		sum += w
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,302 @@
+package recipe
+
+import (
+	"fmt"
+
+	"llmtailor/internal/yamlite"
+)
+
+// Parse decodes a YAML recipe.
+func Parse(src []byte) (*Recipe, error) {
+	doc, err := yamlite.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	root, ok := doc.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("recipe: document is not a mapping")
+	}
+	r := &Recipe{}
+	for key, val := range root {
+		switch key {
+		case "merge_method":
+			if r.MergeMethod, err = asString(key, val); err != nil {
+				return nil, err
+			}
+		case "dtype":
+			if r.DType, err = asString(key, val); err != nil {
+				return nil, err
+			}
+		case "base_checkpoint":
+			if r.Base, err = asString(key, val); err != nil {
+				return nil, err
+			}
+		case "output":
+			if r.Output, err = asString(key, val); err != nil {
+				return nil, err
+			}
+		case "slices":
+			if r.Slices, err = parseSlices(val); err != nil {
+				return nil, err
+			}
+		case "models":
+			if r.Models, err = parseModels(val); err != nil {
+				return nil, err
+			}
+		case "t":
+			f, ok := val.(float64)
+			if !ok {
+				if i, isInt := val.(int64); isInt {
+					f, ok = float64(i), true
+				}
+			}
+			if !ok {
+				return nil, fmt.Errorf("recipe: t must be a number (got %T)", val)
+			}
+			r.T = f
+		case "tailor":
+			if err = parseTailor(r, val); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("recipe: unknown key %q", key)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func parseSlices(val any) ([]Slice, error) {
+	items, ok := val.([]any)
+	if !ok {
+		return nil, fmt.Errorf("recipe: slices must be a sequence")
+	}
+	out := make([]Slice, 0, len(items))
+	for i, item := range items {
+		m, ok := item.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("recipe: slices[%d] must be a mapping", i)
+		}
+		srcVal, ok := m["sources"]
+		if !ok {
+			return nil, fmt.Errorf("recipe: slices[%d] missing sources", i)
+		}
+		for k := range m {
+			if k != "sources" {
+				return nil, fmt.Errorf("recipe: slices[%d]: unknown key %q", i, k)
+			}
+		}
+		srcItems, ok := srcVal.([]any)
+		if !ok {
+			return nil, fmt.Errorf("recipe: slices[%d].sources must be a sequence", i)
+		}
+		var sl Slice
+		for j, si := range srcItems {
+			src, err := parseSource(i, j, si)
+			if err != nil {
+				return nil, err
+			}
+			sl.Sources = append(sl.Sources, src)
+		}
+		out = append(out, sl)
+	}
+	return out, nil
+}
+
+func parseSource(i, j int, val any) (Source, error) {
+	m, ok := val.(map[string]any)
+	if !ok {
+		return Source{}, fmt.Errorf("recipe: slices[%d].sources[%d] must be a mapping", i, j)
+	}
+	var src Source
+	for key, v := range m {
+		var err error
+		switch key {
+		case "checkpoint":
+			src.Checkpoint, err = asString(key, v)
+		case "layer_range":
+			src.LayerRange, err = asRange(v)
+		case "stride":
+			src.Stride, err = asInt(key, v)
+		default:
+			err = fmt.Errorf("recipe: slices[%d].sources[%d]: unknown key %q", i, j, key)
+		}
+		if err != nil {
+			return Source{}, err
+		}
+	}
+	if src.Checkpoint == "" {
+		return Source{}, fmt.Errorf("recipe: slices[%d].sources[%d]: missing checkpoint", i, j)
+	}
+	return src, nil
+}
+
+func parseModels(val any) ([]WeightedSource, error) {
+	items, ok := val.([]any)
+	if !ok {
+		return nil, fmt.Errorf("recipe: models must be a sequence")
+	}
+	out := make([]WeightedSource, 0, len(items))
+	for i, item := range items {
+		m, ok := item.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("recipe: models[%d] must be a mapping", i)
+		}
+		var ws WeightedSource
+		for key, v := range m {
+			switch key {
+			case "checkpoint":
+				s, err := asString(key, v)
+				if err != nil {
+					return nil, err
+				}
+				ws.Checkpoint = s
+			case "weight":
+				switch n := v.(type) {
+				case float64:
+					ws.Weight = n
+				case int64:
+					ws.Weight = float64(n)
+				default:
+					return nil, fmt.Errorf("recipe: models[%d].weight must be a number", i)
+				}
+			default:
+				return nil, fmt.Errorf("recipe: models[%d]: unknown key %q", i, key)
+			}
+		}
+		out = append(out, ws)
+	}
+	return out, nil
+}
+
+func parseTailor(r *Recipe, val any) error {
+	m, ok := val.(map[string]any)
+	if !ok {
+		return fmt.Errorf("recipe: tailor must be a mapping")
+	}
+	for key, v := range m {
+		switch key {
+		case "optimizer":
+			b, ok := v.(bool)
+			if !ok {
+				return fmt.Errorf("recipe: tailor.optimizer must be a boolean")
+			}
+			r.Optimizer = b
+		case "configs_from":
+			s, err := asString(key, v)
+			if err != nil {
+				return err
+			}
+			r.ConfigsFrom = s
+		case "embed_tokens", "final_norm", "lm_head":
+			s, err := asString(key, v)
+			if err != nil {
+				return err
+			}
+			if r.Aux == nil {
+				r.Aux = map[string]string{}
+			}
+			r.Aux[key] = s
+		default:
+			return fmt.Errorf("recipe: tailor: unknown key %q", key)
+		}
+	}
+	return nil
+}
+
+func asString(key string, v any) (string, error) {
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("recipe: %s must be a string (got %T)", key, v)
+	}
+	return s, nil
+}
+
+func asInt(key string, v any) (int, error) {
+	i, ok := v.(int64)
+	if !ok {
+		return 0, fmt.Errorf("recipe: %s must be an integer (got %T)", key, v)
+	}
+	return int(i), nil
+}
+
+func asRange(v any) ([2]int, error) {
+	seq, ok := v.([]any)
+	if !ok || len(seq) != 2 {
+		return [2]int{}, fmt.Errorf("recipe: layer_range must be [start, end]")
+	}
+	var out [2]int
+	for i, item := range seq {
+		n, ok := item.(int64)
+		if !ok {
+			return [2]int{}, fmt.Errorf("recipe: layer_range[%d] must be an integer", i)
+		}
+		out[i] = int(n)
+	}
+	return out, nil
+}
+
+// Marshal renders the recipe as deterministic YAML.
+func (r *Recipe) Marshal() ([]byte, error) {
+	root := map[string]any{}
+	if r.MergeMethod != "" {
+		root["merge_method"] = r.MergeMethod
+	}
+	if r.DType != "" {
+		root["dtype"] = r.DType
+	}
+	if r.Base != "" {
+		root["base_checkpoint"] = r.Base
+	}
+	if r.Output != "" {
+		root["output"] = r.Output
+	}
+	if len(r.Slices) > 0 {
+		var slices []any
+		for _, sl := range r.Slices {
+			var sources []any
+			for _, s := range sl.Sources {
+				m := map[string]any{
+					"checkpoint":  s.Checkpoint,
+					"layer_range": []any{int64(s.LayerRange[0]), int64(s.LayerRange[1])},
+				}
+				if s.Stride > 1 {
+					m["stride"] = int64(s.Stride)
+				}
+				sources = append(sources, m)
+			}
+			slices = append(slices, map[string]any{"sources": sources})
+		}
+		root["slices"] = slices
+	}
+	if len(r.Models) > 0 {
+		var models []any
+		for _, m := range r.Models {
+			mm := map[string]any{"checkpoint": m.Checkpoint}
+			if m.Weight != 0 {
+				mm["weight"] = m.Weight
+			}
+			models = append(models, mm)
+		}
+		root["models"] = models
+	}
+	if r.T != 0 {
+		root["t"] = r.T
+	}
+	tailor := map[string]any{}
+	for k, v := range r.Aux {
+		tailor[k] = v
+	}
+	if r.Optimizer {
+		tailor["optimizer"] = true
+	}
+	if r.ConfigsFrom != "" {
+		tailor["configs_from"] = r.ConfigsFrom
+	}
+	if len(tailor) > 0 {
+		root["tailor"] = tailor
+	}
+	return yamlite.Marshal(root)
+}

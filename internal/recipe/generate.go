@@ -1,0 +1,124 @@
+package recipe
+
+import (
+	"fmt"
+
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/storage"
+)
+
+// Parity builds the use-case-1 recipe (§5.2): odd transformer layers and
+// embed_tokens from the previous checkpoint; even layers, lm_head and the
+// final norm from the current one.
+func Parity(prev, cur string, cfg *modelcfg.Config, output string) *Recipe {
+	r := &Recipe{
+		MergeMethod: "passthrough",
+		DType:       "bfloat16",
+		Base:        cur,
+		Output:      output,
+		Optimizer:   true,
+		ConfigsFrom: cur,
+		Slices: []Slice{
+			{Sources: []Source{{
+				Checkpoint: prev,
+				LayerRange: [2]int{1, cfg.NumLayers},
+				Stride:     2, // layers 1, 3, 5, ... (odd)
+			}}},
+			{Sources: []Source{{
+				Checkpoint: cur,
+				LayerRange: [2]int{0, cfg.NumLayers},
+				Stride:     2, // layers 0, 2, 4, ... (even)
+			}}},
+		},
+		Aux: map[string]string{
+			"embed_tokens": prev,
+			"final_norm":   cur,
+		},
+	}
+	if !cfg.TieWordEmbeddings {
+		r.Aux["lm_head"] = cur
+	}
+	return r
+}
+
+// FromManifests reconstructs the most recent complete state from a run of
+// partial checkpoints — the artifact's T2 auto-generation. For every
+// mergeable layer it picks the newest checkpoint at or before failStep whose
+// manifest contains the layer, and uses the newest checkpoint overall for
+// configuration files.
+func FromManifests(b storage.Backend, runRoot string, failStep int, cfg *modelcfg.Config, output string) (*Recipe, error) {
+	dirs, err := ckpt.List(b, runRoot)
+	if err != nil {
+		return nil, fmt.Errorf("recipe: scan %s: %w", runRoot, err)
+	}
+	type entry struct {
+		dir      string
+		manifest ckpt.Manifest
+	}
+	var usable []entry
+	for _, dir := range dirs {
+		man, err := ckpt.ReadManifest(b, dir)
+		if err != nil {
+			return nil, err
+		}
+		if failStep > 0 && man.Step > failStep {
+			continue
+		}
+		usable = append(usable, entry{dir, man})
+	}
+	if len(usable) == 0 {
+		return nil, fmt.Errorf("recipe: no checkpoints at or before step %d under %s", failStep, runRoot)
+	}
+
+	// Newest-first search per layer.
+	newest := usable[len(usable)-1]
+	assign := map[modelcfg.LayerRef]string{}
+	for _, ref := range cfg.AllLayers() {
+		found := false
+		for i := len(usable) - 1; i >= 0; i-- {
+			if usable[i].manifest.HasLayer(ref) {
+				assign[ref] = usable[i].dir
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("recipe: layer %s appears in no checkpoint ≤ step %d", ref, failStep)
+		}
+	}
+
+	r := &Recipe{
+		MergeMethod: "passthrough",
+		DType:       "bfloat16",
+		Base:        newest.dir,
+		Output:      output,
+		Optimizer:   true,
+		ConfigsFrom: newest.dir,
+		Aux:         map[string]string{},
+	}
+	// Group contiguous same-source transformer layers into ranged slices.
+	start := 0
+	for start < cfg.NumLayers {
+		src := assign[modelcfg.Block(start)]
+		end := start + 1
+		for end < cfg.NumLayers && assign[modelcfg.Block(end)] == src {
+			end++
+		}
+		if src != r.Base { // base already covers unassigned layers
+			r.Slices = append(r.Slices, Slice{Sources: []Source{{
+				Checkpoint: src, LayerRange: [2]int{start, end},
+			}}})
+		}
+		start = end
+	}
+	for _, ref := range cfg.AuxLayers() {
+		if src := assign[ref]; src != r.Base {
+			r.Aux[ref.String()] = src
+		}
+	}
+	if len(r.Aux) == 0 {
+		r.Aux = nil
+	}
+	return r, nil
+}

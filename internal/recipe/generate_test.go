@@ -1,0 +1,141 @@
+package recipe
+
+import (
+	"testing"
+
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+)
+
+// writePartial saves a partial checkpoint containing the given layers.
+func writePartial(t *testing.T, b storage.Backend, dir string, step int, layers []modelcfg.LayerRef) {
+	t.Helper()
+	cfg := modelcfg.Tiny()
+	m, err := model.NewInitialized(cfg, tensor.BF16, uint64(step))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Save(b, ckpt.SaveSpec{
+		Dir: dir, Model: m, Optim: o, WorldSize: 1, Layers: layers,
+		Strategy: "test", State: ckpt.TrainerState{Step: step},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromManifests(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	// Step 100: layers 0,1 + embed. Step 200: layers 2,3 + norm + head.
+	// Step 300: layers 0,1 + embed again (newest copy of those).
+	writePartial(t, b, "run/checkpoint-100", 100,
+		[]modelcfg.LayerRef{modelcfg.Block(0), modelcfg.Block(1), modelcfg.Embed})
+	writePartial(t, b, "run/checkpoint-200", 200,
+		[]modelcfg.LayerRef{modelcfg.Block(2), modelcfg.Block(3), modelcfg.FinalNorm, modelcfg.LMHead})
+	writePartial(t, b, "run/checkpoint-300", 300,
+		[]modelcfg.LayerRef{modelcfg.Block(0), modelcfg.Block(1), modelcfg.Embed})
+
+	r, err := FromManifests(b, "run", 0, cfg, "merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Assignments(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[modelcfg.Block(0)] != "run/checkpoint-300" || a[modelcfg.Block(1)] != "run/checkpoint-300" {
+		t.Errorf("layers 0-1 should come from newest ckpt-300: %v", a)
+	}
+	if a[modelcfg.Block(2)] != "run/checkpoint-200" || a[modelcfg.FinalNorm] != "run/checkpoint-200" {
+		t.Errorf("layers 2+/norm should come from ckpt-200: %v", a)
+	}
+	if a[modelcfg.Embed] != "run/checkpoint-300" {
+		t.Errorf("embed should come from ckpt-300: %v", a)
+	}
+	if r.ConfigsSource() != "run/checkpoint-300" {
+		t.Errorf("configs from %s", r.ConfigsSource())
+	}
+	if !r.Optimizer {
+		t.Error("optimizer merging should be enabled")
+	}
+}
+
+func TestFromManifestsFailStepCutoff(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	all := cfg.AllLayers()
+	writePartial(t, b, "run/checkpoint-100", 100, all)
+	writePartial(t, b, "run/checkpoint-200", 200, all)
+
+	// Failure at step 150: only checkpoint-100 may be used.
+	r, err := FromManifests(b, "run", 150, cfg, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := r.Assignments(cfg)
+	for ref, src := range a {
+		if src != "run/checkpoint-100" {
+			t.Errorf("%s from %s, want checkpoint-100", ref, src)
+		}
+	}
+}
+
+func TestFromManifestsMissingLayer(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	// No checkpoint ever saves layer 3.
+	writePartial(t, b, "run/checkpoint-100", 100,
+		[]modelcfg.LayerRef{modelcfg.Block(0), modelcfg.Block(1), modelcfg.Block(2),
+			modelcfg.Embed, modelcfg.FinalNorm, modelcfg.LMHead})
+	if _, err := FromManifests(b, "run", 0, cfg, "m"); err == nil {
+		t.Fatal("missing layer should fail")
+	}
+}
+
+func TestFromManifestsEmptyRun(t *testing.T) {
+	b := storage.NewMem()
+	b.WriteFile("run/placeholder", []byte("x"))
+	if _, err := FromManifests(b, "run", 0, modelcfg.Tiny(), "m"); err == nil {
+		t.Fatal("empty run should fail")
+	}
+}
+
+func TestFromManifestsRecipeRoundtrips(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	writePartial(t, b, "run/checkpoint-100", 100,
+		[]modelcfg.LayerRef{modelcfg.Block(0), modelcfg.Block(2), modelcfg.Embed})
+	writePartial(t, b, "run/checkpoint-200", 200,
+		[]modelcfg.LayerRef{modelcfg.Block(1), modelcfg.Block(3), modelcfg.FinalNorm, modelcfg.LMHead})
+
+	r, err := FromManifests(b, "run", 0, cfg, "merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(y)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, y)
+	}
+	a1, _ := r.Assignments(cfg)
+	a2, err := back.Assignments(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ref, src := range a1 {
+		if a2[ref] != src {
+			t.Errorf("roundtrip changed %s: %s -> %s", ref, src, a2[ref])
+		}
+	}
+}

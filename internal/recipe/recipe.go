@@ -1,0 +1,206 @@
+// Package recipe defines LLMTailor's YAML merge recipes. The schema keeps
+// MergeKit's passthrough style (slices of sources with layer ranges) and
+// adds what the paper's §3 notes MergeKit lacks: explicit routing for the
+// auxiliary layers (embed_tokens, final_norm, lm_head), optimizer-state
+// merging, and configuration-file selection.
+//
+// A complete recipe:
+//
+//	merge_method: passthrough
+//	dtype: bfloat16
+//	base_checkpoint: run/checkpoint-1000
+//	slices:
+//	  - sources:
+//	      - checkpoint: run/checkpoint-900
+//	        layer_range: [0, 16]   # half-open
+//	        stride: 2              # optional: every 2nd layer in range
+//	tailor:
+//	  embed_tokens: run/checkpoint-900
+//	  lm_head: run/checkpoint-1000
+//	  final_norm: run/checkpoint-1000
+//	  optimizer: true
+//	  configs_from: run/checkpoint-1000
+//	output: merged/checkpoint-1000
+//
+// Unassigned layers fall back to base_checkpoint; assigning a layer twice is
+// an error.
+package recipe
+
+import (
+	"fmt"
+	"sort"
+
+	"llmtailor/internal/modelcfg"
+)
+
+// Source selects a set of transformer layers from one checkpoint.
+type Source struct {
+	// Checkpoint is the checkpoint directory path.
+	Checkpoint string
+	// LayerRange is the half-open [start, end) range of transformer layer
+	// indices.
+	LayerRange [2]int
+	// Stride selects every stride-th layer starting at LayerRange[0].
+	// 0 and 1 both mean every layer.
+	Stride int
+}
+
+// Layers expands the source into explicit layer indices.
+func (s Source) Layers() []int {
+	stride := s.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	var out []int
+	for i := s.LayerRange[0]; i < s.LayerRange[1]; i += stride {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Slice groups sources, mirroring MergeKit's recipe nesting.
+type Slice struct {
+	Sources []Source
+}
+
+// Recipe is a parsed merge recipe.
+type Recipe struct {
+	// MergeMethod must be "passthrough" (layer selection without
+	// arithmetic blending), the method the paper builds on.
+	MergeMethod string
+	// DType is the weight dtype of the output ("bfloat16" by default).
+	DType string
+	// Base is the default source checkpoint for unassigned layers and,
+	// unless ConfigsFrom overrides it, for configuration files.
+	Base string
+	// Slices assign transformer layers.
+	Slices []Slice
+	// Aux routes auxiliary layers ("embed_tokens", "final_norm",
+	// "lm_head") to checkpoints.
+	Aux map[string]string
+	// Optimizer requests optimizer-state merging (LLMTailor's extension).
+	Optimizer bool
+	// ConfigsFrom names the checkpoint whose config/trainer-state files
+	// seed the output; empty means Base.
+	ConfigsFrom string
+	// Output is the destination checkpoint directory.
+	Output string
+
+	// Models lists whole-model inputs for the blend methods (linear,
+	// slerp). Mutually exclusive with Slices/Aux.
+	Models []WeightedSource
+	// T is the slerp interpolation parameter in [0, 1].
+	T float64
+}
+
+// ConfigsSource resolves the checkpoint providing configuration files.
+func (r *Recipe) ConfigsSource() string {
+	if r.ConfigsFrom != "" {
+		return r.ConfigsFrom
+	}
+	return r.Base
+}
+
+// Checkpoints returns the sorted set of all checkpoints the recipe reads.
+func (r *Recipe) Checkpoints() []string {
+	set := map[string]bool{r.Base: true}
+	for _, sl := range r.Slices {
+		for _, s := range sl.Sources {
+			set[s.Checkpoint] = true
+		}
+	}
+	for _, c := range r.Aux {
+		set[c] = true
+	}
+	for _, m := range r.Models {
+		set[m.Checkpoint] = true
+	}
+	if r.ConfigsFrom != "" {
+		set[r.ConfigsFrom] = true
+	}
+	delete(set, "")
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assignments resolves every mergeable layer of the model to its source
+// checkpoint. Layers named by no slice fall back to Base. Double assignment
+// and out-of-range indices are errors.
+func (r *Recipe) Assignments(cfg *modelcfg.Config) (map[modelcfg.LayerRef]string, error) {
+	out := map[modelcfg.LayerRef]string{}
+	for si, sl := range r.Slices {
+		for _, src := range sl.Sources {
+			if src.Checkpoint == "" {
+				return nil, fmt.Errorf("recipe: slice %d: empty checkpoint", si)
+			}
+			if src.LayerRange[0] < 0 || src.LayerRange[1] > cfg.NumLayers || src.LayerRange[0] > src.LayerRange[1] {
+				return nil, fmt.Errorf("recipe: slice %d: layer_range %v outside [0, %d]", si, src.LayerRange, cfg.NumLayers)
+			}
+			for _, i := range src.Layers() {
+				ref := modelcfg.Block(i)
+				if prev, dup := out[ref]; dup {
+					return nil, fmt.Errorf("recipe: layer %d assigned twice (%s and %s)", i, prev, src.Checkpoint)
+				}
+				out[ref] = src.Checkpoint
+			}
+		}
+	}
+	for name, ckptPath := range r.Aux {
+		ref, err := modelcfg.ParseLayerRef(name)
+		if err != nil || ref.Kind == modelcfg.KindTransformer {
+			return nil, fmt.Errorf("recipe: tailor key %q is not an auxiliary layer", name)
+		}
+		if ref == modelcfg.LMHead && cfg.TieWordEmbeddings {
+			return nil, fmt.Errorf("recipe: model %s ties embeddings; lm_head cannot be routed", cfg.Name)
+		}
+		if ckptPath == "" {
+			return nil, fmt.Errorf("recipe: tailor key %q: empty checkpoint", name)
+		}
+		out[ref] = ckptPath
+	}
+	if r.Base == "" {
+		// Without a base every layer must be explicitly assigned.
+		for _, ref := range cfg.AllLayers() {
+			if _, ok := out[ref]; !ok {
+				return nil, fmt.Errorf("recipe: layer %s unassigned and no base_checkpoint given", ref)
+			}
+		}
+		return out, nil
+	}
+	for _, ref := range cfg.AllLayers() {
+		if _, ok := out[ref]; !ok {
+			out[ref] = r.Base
+		}
+	}
+	return out, nil
+}
+
+// Validate performs source-independent checks.
+func (r *Recipe) Validate() error {
+	switch r.MergeMethod {
+	case "", "passthrough":
+	case "linear", "slerp":
+		return r.blendValidate()
+	default:
+		return fmt.Errorf("recipe: merge_method %q is not supported (passthrough, linear, slerp)", r.MergeMethod)
+	}
+	if len(r.Models) > 0 {
+		return fmt.Errorf("recipe: models list is only valid for linear/slerp merges")
+	}
+	if r.Output == "" {
+		return fmt.Errorf("recipe: missing output")
+	}
+	if r.Base == "" && len(r.Slices) == 0 {
+		return fmt.Errorf("recipe: neither base_checkpoint nor slices given")
+	}
+	switch r.DType {
+	case "", "bfloat16", "float16", "float32":
+	default:
+		return fmt.Errorf("recipe: unsupported dtype %q", r.DType)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package recipe
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"llmtailor/internal/modelcfg"
+)
+
+const parityYAML = `
+merge_method: passthrough
+dtype: bfloat16
+base_checkpoint: run/checkpoint-1000
+slices:
+  - sources:
+      - checkpoint: run/checkpoint-900
+        layer_range: [1, 4]
+        stride: 2
+tailor:
+  embed_tokens: run/checkpoint-900
+  lm_head: run/checkpoint-1000
+  final_norm: run/checkpoint-1000
+  optimizer: true
+  configs_from: run/checkpoint-1000
+output: merged/checkpoint-1000
+`
+
+func TestParseFullRecipe(t *testing.T) {
+	r, err := Parse([]byte(parityYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MergeMethod != "passthrough" || r.DType != "bfloat16" {
+		t.Fatalf("header: %+v", r)
+	}
+	if r.Base != "run/checkpoint-1000" || r.Output != "merged/checkpoint-1000" {
+		t.Fatalf("paths: %+v", r)
+	}
+	if !r.Optimizer || r.ConfigsFrom != "run/checkpoint-1000" {
+		t.Fatalf("tailor: %+v", r)
+	}
+	if len(r.Slices) != 1 || len(r.Slices[0].Sources) != 1 {
+		t.Fatalf("slices: %+v", r.Slices)
+	}
+	src := r.Slices[0].Sources[0]
+	if src.LayerRange != [2]int{1, 4} || src.Stride != 2 {
+		t.Fatalf("source: %+v", src)
+	}
+	if got := src.Layers(); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("layers: %v", got)
+	}
+}
+
+func TestAssignments(t *testing.T) {
+	r, err := Parse([]byte(parityYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := modelcfg.Tiny() // 4 layers
+	a, err := r.Assignments(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Odd layers (1, 3) + embed from 900; rest from 1000.
+	want := map[modelcfg.LayerRef]string{
+		modelcfg.Block(0):  "run/checkpoint-1000",
+		modelcfg.Block(1):  "run/checkpoint-900",
+		modelcfg.Block(2):  "run/checkpoint-1000",
+		modelcfg.Block(3):  "run/checkpoint-900",
+		modelcfg.Embed:     "run/checkpoint-900",
+		modelcfg.FinalNorm: "run/checkpoint-1000",
+		modelcfg.LMHead:    "run/checkpoint-1000",
+	}
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("assignments = %v", a)
+	}
+}
+
+func TestCheckpointsSet(t *testing.T) {
+	r, _ := Parse([]byte(parityYAML))
+	got := r.Checkpoints()
+	want := []string{"run/checkpoint-1000", "run/checkpoint-900"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("checkpoints = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown key":       "output: x\nbase_checkpoint: b\nbogus: 1",
+		"bad merge method":  "merge_method: slerp\noutput: x\nbase_checkpoint: b",
+		"missing output":    "base_checkpoint: b",
+		"no sources":        "output: x\nslices:\n  - {}\n",
+		"bad dtype":         "output: x\nbase_checkpoint: b\ndtype: int8",
+		"bad layer range":   "output: x\nslices:\n  - sources:\n      - checkpoint: c\n        layer_range: [1]\n",
+		"bad stride type":   "output: x\nslices:\n  - sources:\n      - checkpoint: c\n        layer_range: [0, 2]\n        stride: fast\n",
+		"missing ckpt":      "output: x\nslices:\n  - sources:\n      - layer_range: [0, 2]\n",
+		"bad optimizer":     "output: x\nbase_checkpoint: b\ntailor:\n  optimizer: maybe",
+		"unknown tailorkey": "output: x\nbase_checkpoint: b\ntailor:\n  attention: c",
+		"no base no slices": "output: x",
+		"not a mapping":     "- a\n- b",
+	}
+	for name, src := range cases {
+		if _, err := Parse([]byte(src)); err == nil {
+			t.Errorf("%s: Parse(%q) should fail", name, src)
+		}
+	}
+}
+
+func TestAssignmentErrors(t *testing.T) {
+	cfg := modelcfg.Tiny()
+
+	dup := &Recipe{Base: "b", Output: "o", Slices: []Slice{
+		{Sources: []Source{{Checkpoint: "a", LayerRange: [2]int{0, 2}}}},
+		{Sources: []Source{{Checkpoint: "c", LayerRange: [2]int{1, 3}}}},
+	}}
+	if _, err := dup.Assignments(cfg); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate assignment: %v", err)
+	}
+
+	oob := &Recipe{Base: "b", Output: "o", Slices: []Slice{
+		{Sources: []Source{{Checkpoint: "a", LayerRange: [2]int{0, 99}}}},
+	}}
+	if _, err := oob.Assignments(cfg); err == nil {
+		t.Error("out-of-range accepted")
+	}
+
+	noBase := &Recipe{Output: "o", Slices: []Slice{
+		{Sources: []Source{{Checkpoint: "a", LayerRange: [2]int{0, 2}}}},
+	}}
+	if _, err := noBase.Assignments(cfg); err == nil {
+		t.Error("uncovered layers without base accepted")
+	}
+
+	tiedHead := &Recipe{Base: "b", Output: "o", Aux: map[string]string{"lm_head": "c"}}
+	if _, err := tiedHead.Assignments(modelcfg.TinyTied()); err == nil {
+		t.Error("lm_head routing on tied model accepted")
+	}
+
+	badAux := &Recipe{Base: "b", Output: "o", Aux: map[string]string{"layer.0": "c"}}
+	if _, err := badAux.Assignments(cfg); err == nil {
+		t.Error("transformer layer in tailor accepted")
+	}
+}
+
+func TestMarshalParseRoundtrip(t *testing.T) {
+	orig, err := Parse([]byte(parityYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := orig.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(orig, back) {
+		t.Fatalf("roundtrip:\norig %+v\nback %+v\nyaml:\n%s", orig, back, out)
+	}
+}
+
+func TestParityGenerator(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	r := Parity("run/checkpoint-900", "run/checkpoint-1000", cfg, "merged")
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Assignments(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.NumLayers; i++ {
+		want := "run/checkpoint-1000"
+		if i%2 == 1 {
+			want = "run/checkpoint-900"
+		}
+		if a[modelcfg.Block(i)] != want {
+			t.Errorf("layer %d from %s, want %s", i, a[modelcfg.Block(i)], want)
+		}
+	}
+	if a[modelcfg.Embed] != "run/checkpoint-900" {
+		t.Error("embed should come from previous checkpoint")
+	}
+	if a[modelcfg.LMHead] != "run/checkpoint-1000" {
+		t.Error("lm_head should come from current checkpoint")
+	}
+
+	// Tied model: no lm_head key.
+	rt := Parity("a", "b", modelcfg.TinyTied(), "m")
+	if _, ok := rt.Aux["lm_head"]; ok {
+		t.Error("tied parity recipe routes lm_head")
+	}
+	if _, err := rt.Assignments(modelcfg.TinyTied()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParityGeneratorMarshalStable(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	r := Parity("a", "b", cfg, "m")
+	y1, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, _ := r.Marshal()
+	if string(y1) != string(y2) {
+		t.Fatal("marshal not deterministic")
+	}
+	back, err := Parse(y1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Fatalf("generator roundtrip mismatch:\n%s", y1)
+	}
+}

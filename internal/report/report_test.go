@@ -1,0 +1,66 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Demo", "Model", "Size (G)")
+	tb.Add("llama3.1-8b", "112.47")
+	tb.Add("tiny", "0.01")
+	out := tb.Render()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "Size (G)" starts at same offset in all rows.
+	idx := strings.Index(lines[0], "Size")
+	if strings.Index(lines[2], "112.47") != idx {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestAddPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New("x", "a", "b").Add("only-one")
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("x", "a").Add("1").Note("paper reports %v", 4.99)
+	if !strings.Contains(tb.Render(), "note: paper reports 4.99") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := New("x", "a", "b")
+	tb.Add(`va"l`, "w,ith")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"va""l"`) || !strings.Contains(csv, `"w,ith"`) {
+		t.Fatalf("csv = %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("csv header = %q", csv)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal("F")
+	}
+	if Dur(1500*time.Millisecond) != "1.5" {
+		t.Fatal("Dur")
+	}
+	if Int(42) != "42" {
+		t.Fatal("Int")
+	}
+}

@@ -1,0 +1,192 @@
+// Package storage abstracts the filesystem under checkpoints and adds the
+// two things the reproduction needs that a plain filesystem lacks:
+//
+//   - instrumentation (bytes and files read/written), so experiments can
+//     report exact I/O volumes; and
+//   - a simulated clock driven by a parallel-filesystem performance profile,
+//     so timing tables can be produced for the paper's true checkpoint sizes
+//     (hundreds of GB) while the live system moves only scaled-down bytes.
+package storage
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Backend is the minimal filesystem surface the checkpoint and merge code
+// uses. Paths are slash-separated and relative to the backend root.
+type Backend interface {
+	// WriteFile creates or replaces a file with the given contents,
+	// creating parent directories as needed.
+	WriteFile(name string, data []byte) error
+	// ReadFile returns the full contents of a file.
+	ReadFile(name string) ([]byte, error)
+	// ReadAt reads len(p) bytes at offset off of a file. Weight files are
+	// read this way (lazy, per tensor); optimizer shards deliberately
+	// never use it (paper §5.4: no lazy loading of optimizer state).
+	ReadAt(name string, off int64, p []byte) error
+	// Stat returns the file size.
+	Stat(name string) (int64, error)
+	// List returns the sorted relative names of entries directly under dir
+	// (files and directories; directories carry a trailing slash).
+	List(dir string) ([]string, error)
+	// Exists reports whether the file or directory exists.
+	Exists(name string) bool
+	// Remove deletes a file or directory tree.
+	Remove(name string) error
+}
+
+// OS is a Backend rooted at a real directory.
+type OS struct {
+	Root string
+}
+
+// NewOS creates the root directory if needed and returns a backend over it.
+func NewOS(root string) (*OS, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create root: %w", err)
+	}
+	return &OS{Root: root}, nil
+}
+
+func (b *OS) resolve(name string) (string, error) {
+	for _, el := range strings.Split(name, "/") {
+		if el == ".." {
+			return "", fmt.Errorf("storage: path escapes root: %q", name)
+		}
+	}
+	clean := path.Clean("/" + name)[1:]
+	if clean == "" {
+		return b.Root, nil
+	}
+	return filepath.Join(b.Root, filepath.FromSlash(clean)), nil
+}
+
+// WriteFile implements Backend.
+func (b *OS) WriteFile(name string, data []byte) error {
+	p, err := b.resolve(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("storage: mkdir for %s: %w", name, err)
+	}
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		return fmt.Errorf("storage: write %s: %w", name, err)
+	}
+	return nil
+}
+
+// ReadFile implements Backend.
+func (b *OS) ReadFile(name string) ([]byte, error) {
+	p, err := b.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("storage: read %s: %w", name, err)
+	}
+	return data, nil
+}
+
+// ReadAt implements Backend.
+func (b *OS) ReadAt(name string, off int64, p []byte) error {
+	fp, err := b.resolve(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(fp)
+	if err != nil {
+		return fmt.Errorf("storage: open %s: %w", name, err)
+	}
+	defer f.Close()
+	if _, err := f.ReadAt(p, off); err != nil {
+		return fmt.Errorf("storage: read %s@%d: %w", name, off, err)
+	}
+	return nil
+}
+
+// Stat implements Backend.
+func (b *OS) Stat(name string) (int64, error) {
+	p, err := b.resolve(name)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, fmt.Errorf("storage: stat %s: %w", name, err)
+	}
+	return fi.Size(), nil
+}
+
+// List implements Backend.
+func (b *OS) List(dir string) ([]string, error) {
+	p, err := b.resolve(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(p)
+	if err != nil {
+		return nil, fmt.Errorf("storage: list %s: %w", dir, err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() {
+			n += "/"
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Exists implements Backend.
+func (b *OS) Exists(name string) bool {
+	p, err := b.resolve(name)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(p)
+	return err == nil
+}
+
+// Remove implements Backend.
+func (b *OS) Remove(name string) error {
+	p, err := b.resolve(name)
+	if err != nil {
+		return err
+	}
+	if err := os.RemoveAll(p); err != nil {
+		return fmt.Errorf("storage: remove %s: %w", name, err)
+	}
+	return nil
+}
+
+// IsNotExist reports whether an error from a Backend denotes a missing file.
+func IsNotExist(err error) bool {
+	var pe *fs.PathError
+	return errorsAs(err, &pe) && os.IsNotExist(pe)
+}
+
+// errorsAs is a tiny local wrapper to keep the import list tidy.
+func errorsAs(err error, target *(*fs.PathError)) bool {
+	for err != nil {
+		if pe, ok := err.(*fs.PathError); ok {
+			*target = pe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

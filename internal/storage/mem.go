@@ -1,0 +1,129 @@
+package storage
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mem is an in-memory Backend used by tests and fast benchmarks. It is safe
+// for concurrent use.
+type Mem struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem { return &Mem{files: map[string][]byte{}} }
+
+func memClean(name string) string { return strings.TrimPrefix(path.Clean("/"+name), "/") }
+
+// WriteFile implements Backend.
+func (b *Mem) WriteFile(name string, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.files[memClean(name)] = append([]byte(nil), data...)
+	return nil
+}
+
+// ReadFile implements Backend.
+func (b *Mem) ReadFile(name string) ([]byte, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	data, ok := b.files[memClean(name)]
+	if !ok {
+		return nil, fmt.Errorf("storage: read %s: file does not exist", name)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// ReadAt implements Backend.
+func (b *Mem) ReadAt(name string, off int64, p []byte) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	data, ok := b.files[memClean(name)]
+	if !ok {
+		return fmt.Errorf("storage: read %s: file does not exist", name)
+	}
+	if off < 0 || off+int64(len(p)) > int64(len(data)) {
+		return fmt.Errorf("storage: read %s@%d+%d: out of range (size %d)", name, off, len(p), len(data))
+	}
+	copy(p, data[off:])
+	return nil
+}
+
+// Stat implements Backend.
+func (b *Mem) Stat(name string) (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	data, ok := b.files[memClean(name)]
+	if !ok {
+		return 0, fmt.Errorf("storage: stat %s: file does not exist", name)
+	}
+	return int64(len(data)), nil
+}
+
+// List implements Backend.
+func (b *Mem) List(dir string) ([]string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	prefix := memClean(dir)
+	if prefix != "" {
+		prefix += "/"
+	}
+	seen := map[string]bool{}
+	for name := range b.files {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			seen[rest[:i+1]] = true // directory entry
+		} else {
+			seen[rest] = true
+		}
+	}
+	if len(seen) == 0 && prefix != "" {
+		return nil, fmt.Errorf("storage: list %s: directory does not exist", dir)
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Exists implements Backend.
+func (b *Mem) Exists(name string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	clean := memClean(name)
+	if _, ok := b.files[clean]; ok {
+		return true
+	}
+	prefix := clean + "/"
+	for n := range b.files {
+		if strings.HasPrefix(n, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// Remove implements Backend.
+func (b *Mem) Remove(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	clean := memClean(name)
+	delete(b.files, clean)
+	prefix := clean + "/"
+	for n := range b.files {
+		if strings.HasPrefix(n, prefix) {
+			delete(b.files, n)
+		}
+	}
+	return nil
+}

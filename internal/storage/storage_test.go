@@ -1,0 +1,233 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// backendCases runs the same conformance suite over both backends.
+func backendCases(t *testing.T, mk func(t *testing.T) Backend) {
+	t.Helper()
+
+	t.Run("write-read-roundtrip", func(t *testing.T) {
+		b := mk(t)
+		data := []byte("hello checkpoint")
+		if err := b.WriteFile("run/ckpt-100/model.ltsf", data); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ReadFile("run/ckpt-100/model.ltsf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(data) {
+			t.Fatalf("got %q", got)
+		}
+	})
+
+	t.Run("read-missing", func(t *testing.T) {
+		b := mk(t)
+		if _, err := b.ReadFile("nope"); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+
+	t.Run("readat", func(t *testing.T) {
+		b := mk(t)
+		if err := b.WriteFile("f", []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		p := make([]byte, 4)
+		if err := b.ReadAt("f", 3, p); err != nil {
+			t.Fatal(err)
+		}
+		if string(p) != "3456" {
+			t.Fatalf("ReadAt = %q", p)
+		}
+		if err := b.ReadAt("f", 8, make([]byte, 4)); err == nil {
+			t.Fatal("expected out-of-range error")
+		}
+	})
+
+	t.Run("stat", func(t *testing.T) {
+		b := mk(t)
+		b.WriteFile("s", make([]byte, 123))
+		n, err := b.Stat("s")
+		if err != nil || n != 123 {
+			t.Fatalf("stat = %d, %v", n, err)
+		}
+		if _, err := b.Stat("missing"); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+
+	t.Run("list", func(t *testing.T) {
+		b := mk(t)
+		b.WriteFile("d/a", []byte("1"))
+		b.WriteFile("d/b", []byte("2"))
+		b.WriteFile("d/sub/c", []byte("3"))
+		names, err := b.List("d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"a", "b", "sub/"}
+		if len(names) != len(want) {
+			t.Fatalf("list = %v", names)
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("list = %v, want %v", names, want)
+			}
+		}
+	})
+
+	t.Run("exists-remove", func(t *testing.T) {
+		b := mk(t)
+		b.WriteFile("x/y/z", []byte("1"))
+		if !b.Exists("x/y/z") || !b.Exists("x/y") || !b.Exists("x") {
+			t.Fatal("exists failed")
+		}
+		if b.Exists("x/q") {
+			t.Fatal("phantom file")
+		}
+		if err := b.Remove("x"); err != nil {
+			t.Fatal(err)
+		}
+		if b.Exists("x/y/z") {
+			t.Fatal("remove did not recurse")
+		}
+	})
+
+	t.Run("overwrite", func(t *testing.T) {
+		b := mk(t)
+		b.WriteFile("f", []byte("old"))
+		b.WriteFile("f", []byte("newer"))
+		got, _ := b.ReadFile("f")
+		if string(got) != "newer" {
+			t.Fatalf("got %q", got)
+		}
+	})
+}
+
+func TestOSBackend(t *testing.T) {
+	backendCases(t, func(t *testing.T) Backend {
+		b, err := NewOS(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+}
+
+func TestMemBackend(t *testing.T) {
+	backendCases(t, func(t *testing.T) Backend { return NewMem() })
+}
+
+func TestOSBackendRejectsEscape(t *testing.T) {
+	b, _ := NewOS(t.TempDir())
+	if err := b.WriteFile("../evil", []byte("x")); err == nil {
+		t.Fatal("path escape allowed")
+	}
+}
+
+func TestProfileTimes(t *testing.T) {
+	p := Profile{Name: "t", ReadBandwidth: 1e9, WriteBandwidth: 5e8, OpenLatency: time.Millisecond}
+	if got := p.ReadTime(1e9); got != time.Second+time.Millisecond {
+		t.Fatalf("ReadTime = %v", got)
+	}
+	if got := p.WriteTime(5e8); got != time.Second+time.Millisecond {
+		t.Fatalf("WriteTime = %v", got)
+	}
+}
+
+func TestMeterCountsAndSimTime(t *testing.T) {
+	m := NewMeter(NewMem(), Profile{Name: "t", ReadBandwidth: 1e6, WriteBandwidth: 1e6, OpenLatency: time.Millisecond})
+	data := make([]byte, 1000)
+	if err := m.WriteFile("a", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ReadFile("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReadAt("a", 0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.FilesWritten != 1 || s.FilesRead != 2 {
+		t.Fatalf("files: %+v", s)
+	}
+	if s.BytesWritten != 1000 || s.BytesRead != 1100 {
+		t.Fatalf("bytes: %+v", s)
+	}
+	// 3 opens (3ms) + 2100 bytes at 1e6 B/s (2.1ms) = 5.1ms.
+	want := 3*time.Millisecond + 2100*time.Microsecond
+	if s.SimTime != want {
+		t.Fatalf("sim time = %v, want %v", s.SimTime, want)
+	}
+}
+
+func TestMeterByteScale(t *testing.T) {
+	m := NewMeter(NewMem(), Profile{Name: "t", ReadBandwidth: 1e6, WriteBandwidth: 1e6})
+	m.ByteScale = 1000 // sim bytes stand for 1000× true bytes
+	m.WriteFile("a", make([]byte, 100))
+	s := m.Stats()
+	if s.BytesWritten != 100 {
+		t.Fatalf("raw bytes = %d", s.BytesWritten)
+	}
+	if s.SimTime != 100*time.Millisecond { // 100*1000 bytes / 1e6 B/s
+		t.Fatalf("scaled sim time = %v", s.SimTime)
+	}
+}
+
+func TestMeterErrorsNotCharged(t *testing.T) {
+	m := NewMeter(NewMem(), Lustre())
+	if _, err := m.ReadFile("missing"); err == nil {
+		t.Fatal("expected error")
+	}
+	if s := m.Stats(); s.FilesRead != 0 {
+		t.Fatalf("failed read charged: %+v", s)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(NewMem(), Lustre())
+	m.WriteFile("a", []byte("x"))
+	m.Reset()
+	if s := m.Stats(); s != (Stats{}) {
+		t.Fatalf("reset left %+v", s)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{FilesRead: 1, BytesRead: 10, SimTime: time.Second}
+	b := Stats{FilesWritten: 2, BytesWritten: 20, SimTime: time.Second}
+	c := a.Add(b)
+	if c.FilesRead != 1 || c.FilesWritten != 2 || c.BytesRead != 10 || c.BytesWritten != 20 || c.SimTime != 2*time.Second {
+		t.Fatalf("add = %+v", c)
+	}
+}
+
+func TestMeterConcurrentSafety(t *testing.T) {
+	m := NewMeter(NewMem(), LocalNVMe())
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(i int) {
+			name := fmt.Sprintf("f%d", i)
+			if err := m.WriteFile(name, make([]byte, 64)); err != nil {
+				done <- err
+				return
+			}
+			_, err := m.ReadFile(name)
+			done <- err
+		}(i)
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	if s.FilesWritten != 16 || s.FilesRead != 16 {
+		t.Fatalf("concurrent counts: %+v", s)
+	}
+}

@@ -1,0 +1,229 @@
+package tailor
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/recipe"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+)
+
+func TestLinearMergeAverages(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	r := newRun(t, b, cfg, 2, []int{5, 10}, nil)
+
+	rec := &recipe.Recipe{
+		MergeMethod: "linear",
+		Models: []recipe.WeightedSource{
+			{Checkpoint: "run/checkpoint-5"},
+			{Checkpoint: "run/checkpoint-10"},
+		},
+		Output: "soup",
+	}
+	stats, err := Merge(b, rec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CheckpointsUsed != 2 || stats.ShardFileLoads != 0 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	c, err := ckpt.Open(b, "soup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := "model.norm.weight"
+	got, err := c.Weights().ReadTensor(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a5, _ := r.models[5].Tensor(name)
+	a10, _ := r.models[10].Tensor(name)
+	for i := 0; i < got.Len(); i++ {
+		want := tensor.BF16ToF32(tensor.F32ToBF16((a5.At(i) + a10.At(i)) / 2))
+		if math.Abs(float64(got.At(i)-want)) > 1e-6 {
+			t.Fatalf("elem %d: %v, want average %v", i, got.At(i), want)
+		}
+	}
+}
+
+func TestLinearMergeExtremeWeightIsIdentity(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	r := newRun(t, b, cfg, 2, []int{5, 10}, nil)
+	rec := &recipe.Recipe{
+		MergeMethod: "linear",
+		Models: []recipe.WeightedSource{
+			{Checkpoint: "run/checkpoint-5", Weight: 1e-12},
+			{Checkpoint: "run/checkpoint-10", Weight: 1},
+		},
+		Output: "soup",
+	}
+	if _, err := Merge(b, rec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := ckpt.Open(b, "soup")
+	for _, name := range []string{"model.norm.weight", "model.layers.0.self_attn.q_proj.weight"} {
+		got, _ := c.Weights().ReadTensor(name)
+		want, _ := r.models[10].Tensor(name)
+		for i := 0; i < got.Len(); i++ {
+			if math.Abs(float64(got.At(i)-want.At(i))) > 1e-2 {
+				t.Fatalf("%s[%d]: %v vs %v", name, i, got.At(i), want.At(i))
+			}
+		}
+	}
+}
+
+func TestSlerpEndpoints(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	r := newRun(t, b, cfg, 2, []int{5, 10}, nil)
+	for _, tc := range []struct {
+		t    float64
+		step int
+	}{{0, 5}, {1, 10}} {
+		rec := &recipe.Recipe{
+			MergeMethod: "slerp",
+			T:           tc.t,
+			Models: []recipe.WeightedSource{
+				{Checkpoint: "run/checkpoint-5"},
+				{Checkpoint: "run/checkpoint-10"},
+			},
+			Output: "soup",
+		}
+		if _, err := Merge(b, rec, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		c, _ := ckpt.Open(b, "soup")
+		got, _ := c.Weights().ReadTensor("model.norm.weight")
+		want, _ := r.models[tc.step].Tensor("model.norm.weight")
+		for i := 0; i < got.Len(); i++ {
+			if math.Abs(float64(got.At(i)-want.At(i))) > 1e-2 {
+				t.Fatalf("t=%v elem %d: %v vs %v", tc.t, i, got.At(i), want.At(i))
+			}
+		}
+	}
+}
+
+func TestSlerpUnitVectors(t *testing.T) {
+	// Orthogonal unit vectors at t=0.5 must stay unit length (the property
+	// lerp does not have).
+	a := []float32{1, 0}
+	b := []float32{0, 1}
+	out := slerpBlend(a, b, 0.5)
+	norm := math.Sqrt(float64(out[0]*out[0] + out[1]*out[1]))
+	if math.Abs(norm-1) > 1e-6 {
+		t.Fatalf("slerp norm = %v", norm)
+	}
+	if math.Abs(float64(out[0]-out[1])) > 1e-6 {
+		t.Fatalf("slerp midpoint not symmetric: %v", out)
+	}
+}
+
+func TestSlerpDegenerateFallsBackToLerp(t *testing.T) {
+	a := []float32{1, 1}
+	out := slerpBlend(a, a, 0.25)
+	for i := range out {
+		if math.Abs(float64(out[i]-1)) > 1e-6 {
+			t.Fatalf("identical-vector slerp = %v", out)
+		}
+	}
+	zero := []float32{0, 0}
+	out = slerpBlend(zero, []float32{2, 0}, 0.5)
+	if math.Abs(float64(out[0]-1)) > 1e-6 {
+		t.Fatalf("zero-vector slerp = %v", out)
+	}
+}
+
+// Blend outputs cannot resume training: no optimizer shards are written and
+// restore refuses them. This is exactly MergeKit's limitation (§3).
+func TestBlendOutputsCannotResume(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	newRun(t, b, cfg, 2, []int{5, 10}, nil)
+	rec := &recipe.Recipe{
+		MergeMethod: "linear",
+		Models: []recipe.WeightedSource{
+			{Checkpoint: "run/checkpoint-5"},
+			{Checkpoint: "run/checkpoint-10"},
+		},
+		Output: "soup",
+	}
+	if _, err := Merge(b, rec, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Exists("soup/zero") {
+		t.Fatal("blend wrote optimizer shards")
+	}
+	if _, _, _, err := ckpt.Restore(b, "soup", tensor.BF16); err == nil {
+		t.Fatal("blend output restored as resumable")
+	}
+}
+
+func TestBlendValidation(t *testing.T) {
+	cases := []*recipe.Recipe{
+		{MergeMethod: "linear", Output: "o", Models: []recipe.WeightedSource{{Checkpoint: "a"}}},                                                           // 1 model
+		{MergeMethod: "slerp", Output: "o", Models: []recipe.WeightedSource{{Checkpoint: "a"}, {Checkpoint: "b"}, {Checkpoint: "c"}}},                      // 3 models
+		{MergeMethod: "slerp", Output: "o", T: 1.5, Models: []recipe.WeightedSource{{Checkpoint: "a"}, {Checkpoint: "b"}}},                                 // t out of range
+		{MergeMethod: "linear", Output: "o", Optimizer: true, Models: []recipe.WeightedSource{{Checkpoint: "a"}, {Checkpoint: "b"}}},                       // optimizer
+		{MergeMethod: "linear", Output: "o", Models: []recipe.WeightedSource{{Checkpoint: "a", Weight: -1}, {Checkpoint: "b"}}},                            // negative
+		{MergeMethod: "linear", Output: "", Models: []recipe.WeightedSource{{Checkpoint: "a"}, {Checkpoint: "b"}}},                                         // no output
+		{MergeMethod: "linear", Output: "o", Base: "x", Slices: []recipe.Slice{{}}, Models: []recipe.WeightedSource{{Checkpoint: "a"}, {Checkpoint: "b"}}}, // slices
+		{MergeMethod: "passthrough", Base: "x", Output: "o", Models: []recipe.WeightedSource{{Checkpoint: "a"}}},                                           // models on passthrough
+	}
+	for i, rec := range cases {
+		if err := rec.Validate(); err == nil {
+			t.Errorf("case %d: invalid blend recipe accepted: %+v", i, rec)
+		}
+	}
+}
+
+func TestBlendRejectsPartialSources(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	newRun(t, b, cfg, 2, []int{5}, map[int][]modelcfg.LayerRef{5: {modelcfg.Block(0)}})
+	rec := &recipe.Recipe{
+		MergeMethod: "linear",
+		Models: []recipe.WeightedSource{
+			{Checkpoint: "run/checkpoint-5"},
+			{Checkpoint: "run/checkpoint-5"},
+		},
+		Output: "soup",
+	}
+	if _, err := Merge(b, rec, Options{}); err == nil || !strings.Contains(err.Error(), "partial") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBlendRecipeYAMLRoundtrip(t *testing.T) {
+	src := `
+merge_method: slerp
+t: 0.4
+models:
+  - checkpoint: run/checkpoint-100
+  - checkpoint: run/checkpoint-200
+output: soup
+`
+	rec, err := recipe.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.T != 0.4 || len(rec.Models) != 2 || !rec.IsBlend() {
+		t.Fatalf("recipe: %+v", rec)
+	}
+	out, err := rec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := recipe.Parse(out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if back.T != rec.T || len(back.Models) != 2 || back.Models[0].Checkpoint != "run/checkpoint-100" {
+		t.Fatalf("roundtrip: %+v", back)
+	}
+}

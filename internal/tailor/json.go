@@ -1,0 +1,11 @@
+package tailor
+
+import "encoding/json"
+
+func jsonMarshalIndent(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

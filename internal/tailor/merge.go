@@ -1,0 +1,296 @@
+package tailor
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/parallel"
+	"llmtailor/internal/recipe"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+	"llmtailor/internal/zero"
+)
+
+// LoadOrder selects how optimizer shard files are loaded.
+type LoadOrder uint8
+
+const (
+	// Straightforward loads each (checkpoint, rank) shard file exactly
+	// once and extracts every needed group from it — the efficient order
+	// ("layers 1–16 from checkpoint-100, layers 17–32 from checkpoint-200").
+	Straightforward LoadOrder = iota
+	// Interleaved replicates the paper's pathological "parity" measurement
+	// (§5.4, Table 7): layers are processed strictly in model order and the
+	// source shard file is re-loaded for every layer, because the optimizer
+	// state can only be accessed after a full file load and nothing is
+	// cached across layers.
+	Interleaved
+)
+
+// String names the load order for reports.
+func (o LoadOrder) String() string {
+	if o == Interleaved {
+		return "interleaved"
+	}
+	return "straightforward"
+}
+
+// Options tunes a merge run.
+type Options struct {
+	// Workers bounds the rank-level parallelism of optimizer merging
+	// (default 1; the paper's multiprocessing corresponds to >1).
+	Workers int
+	// LoadOrder selects shard-file loading behaviour (default
+	// Straightforward).
+	LoadOrder LoadOrder
+}
+
+// Stats reports what a merge did.
+type Stats struct {
+	// TensorsRead counts individual weight tensors fetched lazily.
+	TensorsRead int
+	// ShardFileLoads counts whole optimizer shard-file reads, the dominant
+	// I/O cost (Table 7's driver).
+	ShardFileLoads int64
+	// CheckpointsUsed is the number of distinct source checkpoints.
+	CheckpointsUsed int
+	// WallTime is the measured duration of the merge.
+	WallTime time.Duration
+}
+
+// Merge executes a recipe end to end and returns merge statistics. Blend
+// methods (linear, slerp) take the weights-only path; passthrough builds and
+// executes a full layer-level plan including optimizer state.
+func Merge(b storage.Backend, r *recipe.Recipe, opts Options) (*Stats, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if r.IsBlend() {
+		start := time.Now()
+		stats := &Stats{}
+		if err := mergeBlend(b, r, stats); err != nil {
+			return nil, err
+		}
+		stats.WallTime = time.Since(start)
+		return stats, nil
+	}
+	plan, err := NewPlan(b, r)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(b, plan, opts)
+}
+
+// Execute runs a previously validated plan.
+func Execute(b storage.Backend, plan *Plan, opts Options) (*Stats, error) {
+	start := time.Now()
+	stats := &Stats{CheckpointsUsed: len(plan.Sources)}
+
+	if err := mergeWeights(b, plan, stats); err != nil {
+		return nil, err
+	}
+	if plan.Recipe.Optimizer {
+		if err := mergeOptimizer(b, plan, opts, stats); err != nil {
+			return nil, err
+		}
+	}
+	if err := copyConfigs(b, plan); err != nil {
+		return nil, err
+	}
+	stats.WallTime = time.Since(start)
+	return stats, nil
+}
+
+// mergeWeights assembles the consolidated output weights file, reading each
+// tensor lazily from its assigned source.
+func mergeWeights(b storage.Backend, plan *Plan, stats *Stats) error {
+	outDType := tensor.BF16
+	if plan.Recipe.DType != "" {
+		d, err := tensor.ParseDType(plan.Recipe.DType)
+		if err != nil {
+			return err
+		}
+		outDType = d
+	}
+	var tensors []*tensor.Tensor
+	for _, spec := range plan.Config.Tensors() {
+		srcPath := plan.Assign[spec.Layer]
+		src := plan.Sources[srcPath]
+		t, err := src.Weights().ReadTensor(spec.Name)
+		if err != nil {
+			return fmt.Errorf("tailor: read %s from %s: %w", spec.Name, srcPath, err)
+		}
+		stats.TensorsRead++
+		if t.DType != outDType {
+			t = t.Convert(outDType)
+		}
+		tensors = append(tensors, t)
+	}
+	return ckpt.WriteLTSF(b, plan.Recipe.Output+"/model.ltsf", plan.Config.Name, tensors)
+}
+
+// mergeOptimizer assembles one output shard file per rank by copying group
+// shards from the sources. Ranks run under a bounded worker pool.
+func mergeOptimizer(b storage.Backend, plan *Plan, opts Options, stats *Stats) error {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var loads atomic.Int64
+	var stepMu sync.Mutex
+	outStep := 0
+
+	err := parallel.ForEach(workers, plan.WorldSize, func(rank int) error {
+		shards, metas, step, n, err := buildRankShards(b, plan, opts.LoadOrder, rank)
+		if err != nil {
+			return err
+		}
+		loads.Add(n)
+		stepMu.Lock()
+		if step > outStep {
+			outStep = step
+		}
+		stepMu.Unlock()
+		name := plan.Recipe.Output + "/" + ckpt.ShardFileName(rank)
+		return ckpt.WriteShardFile(b, name, rank, plan.WorldSize, step, plan.Layout.Kind, metas, shards)
+	})
+	stats.ShardFileLoads = loads.Load()
+	return err
+}
+
+// buildRankShards gathers rank's shard of every layout group from the
+// assigned sources, honouring the requested load order. It returns the
+// shards in layout order, their metadata, the maximum source step and the
+// number of shard-file loads performed.
+func buildRankShards(b storage.Backend, plan *Plan, order LoadOrder, rank int) (
+	[]*zero.GroupShard, []ckpt.ShardGroupMeta, int, int64, error) {
+
+	nGroups := plan.Layout.NumGroups()
+	shards := make([]*zero.GroupShard, nGroups)
+	metas := make([]ckpt.ShardGroupMeta, nGroups)
+	var loads int64
+	maxStep := 0
+
+	extract := func(f *ckpt.ShardFile, ref modelcfg.LayerRef) error {
+		groups, err := plan.Layout.GroupsOfLayer(ref)
+		if err != nil {
+			return err
+		}
+		for _, gi := range groups {
+			s, m, err := f.GroupByIndex(gi)
+			if err != nil {
+				return fmt.Errorf("tailor: layer %s: %w", ref, err)
+			}
+			if m.Numel != plan.Layout.Groups[gi].Numel {
+				return fmt.Errorf("tailor: layer %s group %d numel %d != layout %d", ref, gi, m.Numel, plan.Layout.Groups[gi].Numel)
+			}
+			shards[gi] = s
+			metas[gi] = m
+		}
+		if f.Step > maxStep {
+			maxStep = f.Step
+		}
+		return nil
+	}
+
+	switch order {
+	case Straightforward:
+		// One load per (source, rank); extract all of that source's layers.
+		bySrc := map[string][]modelcfg.LayerRef{}
+		for ref, path := range plan.Assign {
+			bySrc[path] = append(bySrc[path], ref)
+		}
+		// Deterministic source order.
+		for _, path := range plan.Recipe.Checkpoints() {
+			refs, ok := bySrc[path]
+			if !ok {
+				continue
+			}
+			f, err := plan.Sources[path].ReadOptimShard(rank)
+			if err != nil {
+				return nil, nil, 0, 0, err
+			}
+			loads++
+			for _, ref := range refs {
+				if err := extract(f, ref); err != nil {
+					return nil, nil, 0, 0, err
+				}
+			}
+		}
+	case Interleaved:
+		// Model order; reload the source file for every layer, caching
+		// nothing (the paper's worst-case measurement).
+		for _, ref := range plan.Config.AllLayers() {
+			path := plan.Assign[ref]
+			f, err := plan.Sources[path].ReadOptimShard(rank)
+			if err != nil {
+				return nil, nil, 0, 0, err
+			}
+			loads++
+			if err := extract(f, ref); err != nil {
+				return nil, nil, 0, 0, err
+			}
+		}
+	default:
+		return nil, nil, 0, 0, fmt.Errorf("tailor: unknown load order %d", order)
+	}
+
+	for gi := range shards {
+		if shards[gi] == nil {
+			return nil, nil, 0, 0, fmt.Errorf("tailor: rank %d: group %d (%s) never filled", rank, gi, plan.Layout.Groups[gi].Layer)
+		}
+	}
+	return shards, metas, maxStep, loads, nil
+}
+
+// copyConfigs copies configuration files verbatim from the designated
+// source (§4.4) and writes the output manifest and latest pointer.
+func copyConfigs(b storage.Backend, plan *Plan) error {
+	src := plan.Recipe.ConfigsSource()
+	for _, f := range []string{"config.json", "trainer_state.json"} {
+		data, err := b.ReadFile(src + "/" + f)
+		if err != nil {
+			return fmt.Errorf("tailor: copy %s: %w", f, err)
+		}
+		if err := b.WriteFile(plan.Recipe.Output+"/"+f, data); err != nil {
+			return err
+		}
+	}
+
+	man := ckpt.Manifest{
+		Step:     plan.Sources[src].State.Step,
+		Strategy: "tailor-merge",
+		Complete: true,
+	}
+	if !plan.Recipe.Optimizer {
+		man.Strategy = "tailor-merge-weights-only"
+	}
+	for _, ref := range plan.Config.AllLayers() {
+		man.Layers = append(man.Layers, ref.String())
+	}
+	if err := writeManifest(b, plan.Recipe.Output+"/manifest.json", &man); err != nil {
+		return err
+	}
+
+	// Refresh the parent directory's latest pointer so resume tooling
+	// finds the merged checkpoint.
+	parts := strings.Split(plan.Recipe.Output, "/")
+	latest := "latest"
+	if len(parts) > 1 {
+		latest = strings.Join(parts[:len(parts)-1], "/") + "/latest"
+	}
+	return b.WriteFile(latest, []byte(parts[len(parts)-1]))
+}
+
+func writeManifest(b storage.Backend, name string, man *ckpt.Manifest) error {
+	data, err := jsonMarshalIndent(man)
+	if err != nil {
+		return err
+	}
+	return b.WriteFile(name, data)
+}

@@ -1,0 +1,67 @@
+// Package tensor provides the numeric substrate for the LLMTailor
+// reproduction: densely stored tensors in FP32, FP16 and BF16, bit-exact
+// conversions between them, deterministic random number generation, and the
+// small set of vector operations the simulated trainer and merge engine need.
+//
+// Design notes:
+//   - FP32 data is held as []float32; FP16 and BF16 are held as []uint16 with
+//     explicit conversion helpers. This mirrors the storage widths that drive
+//     all checkpoint size arithmetic in the paper (2 bytes for half-precision
+//     weights, 4 bytes for FP32 master weights and Adam moments).
+//   - Everything is deterministic under a seed; no package-level mutable
+//     state.
+package tensor
+
+import "fmt"
+
+// DType identifies the element type of a Tensor.
+type DType uint8
+
+const (
+	// F32 is IEEE-754 binary32.
+	F32 DType = iota
+	// F16 is IEEE-754 binary16.
+	F16
+	// BF16 is bfloat16 (truncated binary32).
+	BF16
+)
+
+// Size returns the element width in bytes.
+func (d DType) Size() int {
+	switch d {
+	case F32:
+		return 4
+	case F16, BF16:
+		return 2
+	default:
+		panic(fmt.Sprintf("tensor: unknown dtype %d", d))
+	}
+}
+
+// String returns the canonical lowercase name used in checkpoint headers.
+func (d DType) String() string {
+	switch d {
+	case F32:
+		return "float32"
+	case F16:
+		return "float16"
+	case BF16:
+		return "bfloat16"
+	default:
+		return fmt.Sprintf("dtype(%d)", d)
+	}
+}
+
+// ParseDType converts a checkpoint-header name back into a DType.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "float32", "fp32", "f32":
+		return F32, nil
+	case "float16", "fp16", "f16", "half":
+		return F16, nil
+	case "bfloat16", "bf16":
+		return BF16, nil
+	default:
+		return 0, fmt.Errorf("tensor: unknown dtype %q", s)
+	}
+}

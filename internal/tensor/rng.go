@@ -1,0 +1,74 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic generator (splitmix64) with a
+// Box-Muller normal sampler. Each tensor initialisation derives its own RNG
+// from a (seed, name) pair so results are independent of initialisation
+// order — a property the trainer's resume-equivalence tests rely on.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal variate from Box-Muller.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded with s.
+func NewRNG(s uint64) *RNG { return &RNG{state: s} }
+
+// NewNamedRNG derives an independent stream from a base seed and a name,
+// e.g. a tensor name. The derivation is FNV-1a over the name mixed into the
+// seed, so the same (seed, name) always produces the same stream.
+func NewNamedRNG(seed uint64, name string) *RNG {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return &RNG{state: seed ^ h}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value (splitmix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate via Box-Muller.
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v float64
+	for {
+		u = r.Float64()
+		if u > 1e-300 {
+			break
+		}
+	}
+	v = r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.spare = mag * math.Sin(2*math.Pi*v)
+	r.hasSpare = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// NormFloat32 returns a standard normal variate as float32.
+func (r *RNG) NormFloat32() float32 { return float32(r.NormFloat64()) }

@@ -1,0 +1,189 @@
+package yamlite
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Marshal renders a value built from map[string]any, []any and scalars into
+// the yamlite subset. Map keys are emitted in sorted order so output is
+// deterministic. Values outside the supported set return an error.
+func Marshal(v any) ([]byte, error) {
+	var b strings.Builder
+	if err := encode(&b, v, 0, false); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+func encode(b *strings.Builder, v any, indent int, inline bool) error {
+	pad := strings.Repeat(" ", indent)
+	switch val := v.(type) {
+	case nil:
+		b.WriteString(pad + "null\n")
+	case map[string]any:
+		if len(val) == 0 {
+			return fmt.Errorf("yamlite: cannot marshal empty map (no flow-map syntax)")
+		}
+		keys := make([]string, 0, len(val))
+		for k := range val {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			p := pad
+			if inline && i == 0 {
+				p = "" // first key follows "- " on the same line
+			}
+			child := val[k]
+			if isScalar(child) {
+				s, err := scalarString(child)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(b, "%s%s: %s\n", p, encodeKey(k), s)
+				continue
+			}
+			if seq, ok := child.([]any); ok && allScalars(seq) {
+				s, err := flowString(seq)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(b, "%s%s: %s\n", p, encodeKey(k), s)
+				continue
+			}
+			fmt.Fprintf(b, "%s%s:\n", p, encodeKey(k))
+			if err := encode(b, child, indent+2, false); err != nil {
+				return err
+			}
+		}
+	case []any:
+		if len(val) == 0 {
+			b.WriteString(pad + "[]\n")
+			return nil
+		}
+		for _, item := range val {
+			if isScalar(item) {
+				s, err := scalarString(item)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(b, "%s- %s\n", pad, s)
+				continue
+			}
+			if m, ok := item.(map[string]any); ok && len(m) > 0 {
+				fmt.Fprintf(b, "%s- ", pad)
+				if err := encode(b, m, indent+2, true); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("yamlite: cannot marshal nested sequence item %T", item)
+		}
+	default:
+		if !isScalar(v) {
+			return fmt.Errorf("yamlite: cannot marshal %T", v)
+		}
+		s, err := scalarString(v)
+		if err != nil {
+			return err
+		}
+		b.WriteString(pad + s + "\n")
+	}
+	return nil
+}
+
+func isScalar(v any) bool {
+	switch v.(type) {
+	case nil, string, bool, int, int64, float64:
+		return true
+	}
+	return false
+}
+
+func allScalars(seq []any) bool {
+	for _, v := range seq {
+		if !isScalar(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func flowString(seq []any) (string, error) {
+	parts := make([]string, len(seq))
+	for i, v := range seq {
+		s, err := scalarString(v)
+		if err != nil {
+			return "", err
+		}
+		parts[i] = s
+	}
+	return "[" + strings.Join(parts, ", ") + "]", nil
+}
+
+func scalarString(v any) (string, error) {
+	switch val := v.(type) {
+	case nil:
+		return "null", nil
+	case bool:
+		return strconv.FormatBool(val), nil
+	case int:
+		return strconv.Itoa(val), nil
+	case int64:
+		return strconv.FormatInt(val, 10), nil
+	case float64:
+		s := strconv.FormatFloat(val, 'g', -1, 64)
+		// Keep floats recognisable as floats on re-parse.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s, nil
+	case string:
+		if needsQuoting(val) {
+			return strconv.Quote(val), nil
+		}
+		return val, nil
+	default:
+		return "", fmt.Errorf("yamlite: cannot marshal scalar %T", v)
+	}
+}
+
+// needsQuoting is deliberately conservative: anything outside a small set of
+// plainly unambiguous ASCII strings is emitted quoted. strconv.Quote/Unquote
+// round-trip every Go string exactly, so quoting is always safe; bare output
+// is only a readability nicety for names like "checkpoint-1000".
+func needsQuoting(s string) bool {
+	if s == "" || s == "null" || s == "~" || s == "true" || s == "false" || s == "True" || s == "False" {
+		return true
+	}
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return true
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true
+	}
+	if s[0] == '-' || s[0] == ' ' || s[len(s)-1] == ' ' || s[0] == '?' || s[0] == '!' || s[0] == '%' || s[0] == '@' || s[0] == '`' {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7F {
+			return true // control bytes and all non-ASCII
+		}
+		switch c {
+		case ':', '#', '[', ']', '{', '}', '\'', '"', ',', '&', '*', '|', '>':
+			return true
+		}
+	}
+	return false
+}
+
+func encodeKey(k string) string {
+	if needsQuoting(k) {
+		return strconv.Quote(k)
+	}
+	return k
+}

@@ -1,0 +1,134 @@
+// Package llmtailor is the public API of the LLMTailor reproduction: a
+// layer-wise tailoring tool that assembles fully resumable "Frankenstein"
+// training checkpoints from parts of multiple checkpoints — weights,
+// optimizer state and configuration files included.
+//
+// The package re-exports the library's main entry points over the internal
+// implementation:
+//
+//	// Open a storage root, parse a recipe, and merge.
+//	back, _ := llmtailor.OpenDir("/data/runs")
+//	rec, _ := llmtailor.ParseRecipe(yamlBytes)
+//	stats, _ := llmtailor.Merge(back, rec, llmtailor.MergeOptions{Workers: 8})
+//
+//	// Or reconstruct the newest complete state from partial checkpoints.
+//	rec, _ = llmtailor.RecipeFromManifests(back, "sft-run", failStep, cfg, "merged")
+//
+// A simulated training substrate (llmtailor/internal/train) produces
+// checkpoints with the same anatomy as DeepSpeed ZeRO-3 runs; see the
+// examples/ directory and DESIGN.md for the full reproduction map.
+package llmtailor
+
+import (
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/recipe"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/strategy"
+	"llmtailor/internal/tailor"
+	"llmtailor/internal/tensor"
+	"llmtailor/internal/train"
+)
+
+// Re-exported core types. The aliases keep the public surface small while
+// the implementation lives in internal packages.
+type (
+	// Backend is the storage abstraction checkpoints live on.
+	Backend = storage.Backend
+	// Recipe is a parsed YAML merge recipe.
+	Recipe = recipe.Recipe
+	// MergeOptions tunes a merge run (worker pool, load order).
+	MergeOptions = tailor.Options
+	// MergeStats reports a merge's I/O behaviour.
+	MergeStats = tailor.Stats
+	// Plan is a validated merge plan (dry-run inspectable).
+	Plan = tailor.Plan
+	// ModelConfig is a transformer geometry.
+	ModelConfig = modelcfg.Config
+	// LayerRef identifies a mergeable layer.
+	LayerRef = modelcfg.LayerRef
+	// Checkpoint is an open checkpoint handle.
+	Checkpoint = ckpt.Checkpoint
+	// Manifest lists what a (possibly partial) checkpoint holds.
+	Manifest = ckpt.Manifest
+	// TrainerConfig parameterises the simulated training substrate.
+	TrainerConfig = train.Config
+	// Trainer is the simulated trainer.
+	Trainer = train.Trainer
+	// Strategy selects layers per checkpoint event.
+	Strategy = strategy.Strategy
+)
+
+// Load orders for optimizer shard files (see Table 7 in the paper).
+const (
+	// Straightforward loads each source shard file once.
+	Straightforward = tailor.Straightforward
+	// Interleaved reloads the shard file per layer (the paper's
+	// pathological parity measurement).
+	Interleaved = tailor.Interleaved
+)
+
+// OpenDir returns a Backend rooted at an OS directory.
+func OpenDir(root string) (Backend, error) { return storage.NewOS(root) }
+
+// NewMemBackend returns an in-memory Backend (tests, demos).
+func NewMemBackend() Backend { return storage.NewMem() }
+
+// ParseRecipe decodes a YAML merge recipe.
+func ParseRecipe(src []byte) (*Recipe, error) { return recipe.Parse(src) }
+
+// ParityRecipe builds the §5.2 use-case recipe: odd layers + embed_tokens
+// from prev, even layers + lm_head + final norm from cur.
+func ParityRecipe(prev, cur string, cfg *ModelConfig, output string) *Recipe {
+	return recipe.Parity(prev, cur, cfg, output)
+}
+
+// RecipeFromManifests reconstructs the newest complete state from a run of
+// partial checkpoints at or before failStep (0 = no cutoff).
+func RecipeFromManifests(b Backend, runRoot string, failStep int, cfg *ModelConfig, output string) (*Recipe, error) {
+	return recipe.FromManifests(b, runRoot, failStep, cfg, output)
+}
+
+// NewPlan validates a recipe against its source checkpoints without
+// executing it.
+func NewPlan(b Backend, r *Recipe) (*Plan, error) { return tailor.NewPlan(b, r) }
+
+// Merge executes a recipe end to end.
+func Merge(b Backend, r *Recipe, opts MergeOptions) (*MergeStats, error) {
+	return tailor.Merge(b, r, opts)
+}
+
+// OpenCheckpoint opens a checkpoint directory for inspection.
+func OpenCheckpoint(b Backend, dir string) (*Checkpoint, error) { return ckpt.Open(b, dir) }
+
+// VerifyCheckpoint re-reads a checkpoint end to end (weights CRCs, shard
+// geometry, group coverage) and reports every inconsistency.
+func VerifyCheckpoint(b Backend, dir string) (*tailor.VerifyReport, error) {
+	return tailor.Verify(b, dir)
+}
+
+// LatestCheckpoint resolves a run root's "latest" pointer.
+func LatestCheckpoint(b Backend, runRoot string) (string, error) { return ckpt.Latest(b, runRoot) }
+
+// ListCheckpoints returns a run root's checkpoint directories sorted by step.
+func ListCheckpoints(b Backend, runRoot string) ([]string, error) { return ckpt.List(b, runRoot) }
+
+// ModelByName returns a preset geometry: "llama3.2-1b", "llama3.1-8b",
+// "qwen2.5-7b", or the tiny test models.
+func ModelByName(name string) (*ModelConfig, error) { return modelcfg.ByName(name) }
+
+// StrategyByName returns a built-in partial-checkpoint policy: "full",
+// "parity", "filter" or "delta-topk".
+func StrategyByName(name string) (Strategy, error) { return strategy.ByName(name) }
+
+// NewTrainer builds a fresh simulated training run.
+func NewTrainer(cfg TrainerConfig, b Backend) (*Trainer, error) { return train.New(cfg, b) }
+
+// ResumeTrainer continues a run from a complete (possibly merged)
+// checkpoint.
+func ResumeTrainer(cfg TrainerConfig, b Backend, dir string) (*Trainer, error) {
+	return train.Resume(cfg, b, dir)
+}
+
+// RestoreModelDType is the dtype used when restoring checkpoints.
+var RestoreModelDType = tensor.BF16

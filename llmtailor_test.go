@@ -1,0 +1,138 @@
+package llmtailor_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"llmtailor"
+	"llmtailor/internal/train"
+)
+
+// End-to-end through the public facade only: train with parity partials on a
+// real OS-backed directory, crash, auto-generate a recipe, merge, resume,
+// and verify the final loss matches an uninterrupted baseline.
+func TestFacadeEndToEndOnDisk(t *testing.T) {
+	root := t.TempDir()
+	back, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := llmtailor.ModelByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := train.TaskByName("sft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity, err := llmtailor.StrategyByName("parity")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base := llmtailor.TrainerConfig{
+		Model: cfg, Seed: 5, Task: task,
+		TotalSteps: 90, WarmupSteps: 4, BaseLR: 2e-3,
+		CkptInterval: 9, WorldSize: 2, RunRoot: "run",
+	}
+
+	// Baseline in memory.
+	mem := llmtailor.NewMemBackend()
+	trA, err := llmtailor.NewTrainer(base, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA, err := trA.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crashing parity run on disk.
+	cfgB := base
+	cfgB.Strategy = parity
+	cfgB.FailAt = 58
+	trB, err := llmtailor.NewTrainer(cfgB, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trB.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpoint directories actually exist on disk.
+	if _, err := os.Stat(filepath.Join(root, "run", "checkpoint-54", "model.ltsf")); err != nil {
+		t.Fatal(err)
+	}
+
+	dirs, err := llmtailor.ListCheckpoints(back, "run")
+	if err != nil || len(dirs) != 6 {
+		t.Fatalf("checkpoints = %v, %v", dirs, err)
+	}
+	latest, err := llmtailor.LatestCheckpoint(back, "run")
+	if err != nil || latest != "run/checkpoint-54" {
+		t.Fatalf("latest = %q, %v", latest, err)
+	}
+
+	rec, err := llmtailor.RecipeFromManifests(back, "run", 0, cfg, "run/merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := llmtailor.NewPlan(back, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Describe() == "" {
+		t.Fatal("empty plan description")
+	}
+	if _, err := llmtailor.Merge(back, rec, llmtailor.MergeOptions{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := llmtailor.OpenCheckpoint(back, "run/merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Manifest.Complete {
+		t.Fatal("merged checkpoint not complete")
+	}
+
+	trC, err := llmtailor.ResumeTrainer(base, back, "run/merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resC, err := trC.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(resC.FinalLoss - resA.FinalLoss); d > 0.03 {
+		t.Fatalf("facade parity recovery loss delta %v (orig %v merged %v)", d, resA.FinalLoss, resC.FinalLoss)
+	}
+}
+
+func TestFacadeRecipeParsing(t *testing.T) {
+	rec, err := llmtailor.ParseRecipe([]byte("base_checkpoint: a\noutput: b\ntailor:\n  optimizer: true\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Base != "a" || !rec.Optimizer {
+		t.Fatalf("recipe = %+v", rec)
+	}
+	if _, err := llmtailor.ParseRecipe([]byte("nonsense: [")); err == nil {
+		t.Fatal("bad recipe accepted")
+	}
+}
+
+func TestFacadeLookups(t *testing.T) {
+	if _, err := llmtailor.ModelByName("nope"); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := llmtailor.StrategyByName("nope"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	cfg, err := llmtailor.ModelByName("qwen2.5-7b")
+	if err != nil || cfg.NumLayers != 28 {
+		t.Errorf("qwen preset: %+v, %v", cfg, err)
+	}
+}
