@@ -1,0 +1,39 @@
+# Tier-1 verification plus the perf-record targets. `make ci` is what a CI
+# workflow should run.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check ci bench bench-record clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+ci: fmt-check vet build race
+
+# Quick benchmark sweep of the streaming merge hot path.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMerge' -benchmem .
+
+# Refresh BENCH_merge.json (the perf record future PRs diff against) with a
+# stable measurement.
+bench-record:
+	$(GO) test -run '^$$' -bench 'BenchmarkMergeFullStreamed' -benchtime=5x .
+	@cat BENCH_merge.json
+
+clean:
+	rm -f llmtailor trainsim paperbench ckptstat

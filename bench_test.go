@@ -10,7 +10,9 @@
 package llmtailor_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
 	"llmtailor"
@@ -205,6 +207,135 @@ func BenchmarkTable7LoadStrategies(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Streaming merge: before/after -----------------------------------------
+
+// setupMergeBench saves two full checkpoints of the scaled 1B geometry and
+// returns the backend plus a parity recipe factory.
+func setupMergeBench(b *testing.B) (*modelcfg.Config, *storage.Mem) {
+	b.Helper()
+	cfg := modelcfg.Llama32_1B().DefaultSimScale()
+	back := storage.NewMem()
+	m, _ := model.NewInitialized(cfg, tensor.BF16, 42)
+	o, _ := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
+	for _, step := range []int{100, 200} {
+		if err := ckpt.Save(back, ckpt.SaveSpec{
+			Dir: ckpt.DirName(step), Model: m, Optim: o, WorldSize: 2,
+			State: ckpt.TrainerState{Step: step, Seed: 42},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return cfg, back
+}
+
+// bufferedMergeWeights replays the seed's pre-streaming behaviour: every
+// tensor of the output model is accumulated in memory and written as one
+// in-memory container — the "before" of the streaming refactor.
+func bufferedMergeWeights(back storage.Backend, plan *tailor.Plan) error {
+	var tensors []*tensor.Tensor
+	for _, spec := range plan.Config.Tensors() {
+		src := plan.Sources[plan.Assign[spec.Layer]]
+		t, err := src.Weights().ReadTensor(spec.Name)
+		if err != nil {
+			return err
+		}
+		tensors = append(tensors, t)
+	}
+	return ckpt.WriteLTSF(back, plan.Recipe.Output+"/model.ltsf", plan.Config.Name, tensors)
+}
+
+// BenchmarkMergeWeightsStreamedVsBuffered compares the streamed pipeline
+// (bounded in-flight bytes, overlapped read/convert/write) against the
+// seed's accumulate-everything approach on the weights hot path. -benchmem
+// makes the peak-memory difference visible as B/op.
+func BenchmarkMergeWeightsStreamedVsBuffered(b *testing.B) {
+	cfg, back := setupMergeBench(b)
+
+	b.Run("buffered-seed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := recipe.Parity(ckpt.DirName(100), ckpt.DirName(200), cfg, "out")
+			rec.Optimizer = false
+			plan, err := tailor.NewPlan(back, rec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := bufferedMergeWeights(back, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(benchName("streamed-workers", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec := recipe.Parity(ckpt.DirName(100), ckpt.DirName(200), cfg, "out")
+				rec.Optimizer = false
+				if _, err := tailor.Merge(back, rec, tailor.Options{
+					Workers: workers, MaxInFlight: 8 << 20,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMergeFullStreamed runs the complete streamed merge (weights +
+// optimizer + configs) and emits BENCH_merge.json, the perf record future
+// PRs diff against.
+func BenchmarkMergeFullStreamed(b *testing.B) {
+	cfg, back := setupMergeBench(b)
+	var last *tailor.Stats
+	for i := 0; i < b.N; i++ {
+		rec := recipe.Parity(ckpt.DirName(100), ckpt.DirName(200), cfg, "out")
+		stats, err := tailor.Merge(back, rec, tailor.Options{Workers: 4, MaxInFlight: 8 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = stats
+	}
+	b.ReportMetric(float64(last.PeakInFlightBytes), "peak-inflight-bytes")
+	b.ReportMetric(float64(last.BytesRead), "bytes-read/op")
+	b.ReportMetric(float64(last.BytesWritten), "bytes-written/op")
+	writeMergeBenchRecord(b, cfg.Name, last)
+}
+
+// mergeBenchRecord is the schema of BENCH_merge.json.
+type mergeBenchRecord struct {
+	Bench             string  `json:"bench"`
+	Model             string  `json:"model"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	TensorsRead       int     `json:"tensors_read"`
+	ShardFileLoads    int64   `json:"shard_file_loads"`
+	BytesRead         int64   `json:"bytes_read"`
+	BytesWritten      int64   `json:"bytes_written"`
+	PeakInFlightBytes int64   `json:"peak_inflight_bytes"`
+	MaxInFlight       int64   `json:"max_inflight"`
+	Workers           int     `json:"workers"`
+}
+
+func writeMergeBenchRecord(b *testing.B, model string, stats *tailor.Stats) {
+	b.Helper()
+	rec := mergeBenchRecord{
+		Bench:             "merge-full-streamed",
+		Model:             model,
+		NsPerOp:           float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		TensorsRead:       stats.TensorsRead,
+		ShardFileLoads:    stats.ShardFileLoads,
+		BytesRead:         stats.BytesRead,
+		BytesWritten:      stats.BytesWritten,
+		PeakInFlightBytes: stats.PeakInFlightBytes,
+		MaxInFlight:       8 << 20,
+		Workers:           4,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_merge.json", append(data, '\n'), 0o644); err != nil {
+		b.Logf("bench record not written: %v", err)
+	}
 }
 
 // --- Motivation and ablations ----------------------------------------------

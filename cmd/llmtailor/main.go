@@ -83,8 +83,10 @@ func runMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	root := fs.String("root", "", "storage root directory containing the checkpoints")
 	recipePath := fs.String("recipe", "", "YAML recipe file")
-	workers := fs.Int("workers", 4, "parallel shard-loading workers")
+	workers := fs.Int("workers", 4, "parallel shard-loading / tensor-reading workers")
 	interleaved := fs.Bool("interleaved", false, "use the pathological per-layer load order (Table 7's parity mode)")
+	maxInFlight := fs.Int64("max-inflight", 0, "bound on in-flight tensor bytes in the weights pipeline (0 = unbounded)")
+	chunkBytes := fs.Int("chunk-bytes", 0, "streaming I/O chunk size in bytes (0 = default)")
 	fs.Parse(args)
 
 	b, err := openRoot(*root)
@@ -95,7 +97,11 @@ func runMerge(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := llmtailor.MergeOptions{Workers: *workers}
+	opts := llmtailor.MergeOptions{
+		Workers:     *workers,
+		MaxInFlight: *maxInFlight,
+		ChunkBytes:  *chunkBytes,
+	}
 	if *interleaved {
 		opts.LoadOrder = tailor.Interleaved
 	}
@@ -106,6 +112,8 @@ func runMerge(args []string) error {
 	fmt.Printf("merged %d checkpoints -> %s\n", stats.CheckpointsUsed, rec.Output)
 	fmt.Printf("  weight tensors read: %d\n", stats.TensorsRead)
 	fmt.Printf("  optimizer shard file loads: %d\n", stats.ShardFileLoads)
+	fmt.Printf("  bytes read: %d  written: %d\n", stats.BytesRead, stats.BytesWritten)
+	fmt.Printf("  peak in-flight tensor bytes: %d\n", stats.PeakInFlightBytes)
 	fmt.Printf("  wall time: %v\n", stats.WallTime)
 	return nil
 }

@@ -1,0 +1,3 @@
+module llmtailor
+
+go 1.24

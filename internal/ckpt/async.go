@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"llmtailor/internal/parallel"
 	"llmtailor/internal/storage"
 )
 
@@ -12,11 +13,11 @@ import (
 // paper notes are composable with partial checkpointing). Save snapshots the
 // model and optimizer state synchronously (the only part that must stall the
 // training step) and performs serialisation and I/O on a background
-// goroutine. At most `depth` writes may be in flight; further Saves block,
-// bounding memory at depth+1 state copies.
+// goroutine, via the same ordered pipeline primitive the merge engine uses.
+// At most `depth` writes may be in flight; further Saves block, bounding
+// memory at depth+1 state copies.
 type AsyncSaver struct {
-	jobs chan SaveSpec
-	wg   sync.WaitGroup
+	pipe *parallel.Pipeline[SaveSpec, error]
 
 	mu   sync.Mutex
 	errs []error
@@ -29,42 +30,46 @@ func NewAsyncSaver(b storage.Backend, depth int) *AsyncSaver {
 	if depth < 1 {
 		depth = 1
 	}
-	s := &AsyncSaver{jobs: make(chan SaveSpec, depth-1)}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for spec := range s.jobs {
+	s := &AsyncSaver{}
+	// The pipeline's own error channel would abort on the first failure;
+	// checkpoint saves must instead attempt every write and report the
+	// combined outcome, so failures travel as values into the sink.
+	s.pipe = parallel.NewPipeline(1, depth-1,
+		func(spec SaveSpec) (error, error) {
 			if err := Save(b, spec); err != nil {
+				return fmt.Errorf("ckpt: async save %s: %w", spec.Dir, err), nil
+			}
+			return nil, nil
+		},
+		func(saveErr error) error {
+			if saveErr != nil {
 				s.mu.Lock()
-				s.errs = append(s.errs, fmt.Errorf("ckpt: async save %s: %w", spec.Dir, err))
+				s.errs = append(s.errs, saveErr)
 				s.mu.Unlock()
 			}
-		}
-	}()
+			return nil
+		})
 	return s
 }
 
 // Save snapshots the spec's live state and enqueues the write. It returns as
 // soon as the snapshot is taken (and a queue slot is free); the caller may
-// immediately mutate the model and optimizer.
+// immediately mutate the model and optimizer. Save is safe to race with
+// Wait: a Save that loses the race reports an error instead of panicking on
+// a closed queue.
 func (s *AsyncSaver) Save(spec SaveSpec) error {
-	s.mu.Lock()
-	if s.done {
-		s.mu.Unlock()
-		return fmt.Errorf("ckpt: async save after Wait")
-	}
-	s.mu.Unlock()
-
 	// Snapshot: deep-copy model and optimizer so training can continue.
 	modelCopy := spec.Model.Clone()
 	spec.Optim = spec.Optim.Clone(modelCopy)
 	spec.Model = modelCopy
-	s.jobs <- spec
+	if err := s.pipe.Push(spec); err != nil {
+		return fmt.Errorf("ckpt: async save after Wait")
+	}
 	return nil
 }
 
 // Wait drains all pending writes and returns the combined error of every
-// failed save. The saver cannot be reused afterwards.
+// failed save. The saver cannot be reused afterwards; Wait is idempotent.
 func (s *AsyncSaver) Wait() error {
 	s.mu.Lock()
 	if s.done {
@@ -74,8 +79,11 @@ func (s *AsyncSaver) Wait() error {
 	s.done = true
 	s.mu.Unlock()
 
-	close(s.jobs)
-	s.wg.Wait()
+	if err := s.pipe.Close(); err != nil {
+		s.mu.Lock()
+		s.errs = append(s.errs, err)
+		s.mu.Unlock()
+	}
 	return s.combinedErr()
 }
 

@@ -120,6 +120,42 @@ func TestAsyncSaveAfterWaitRejected(t *testing.T) {
 	}
 }
 
+// Regression for the seed's Save/Wait race: Save checked done under the
+// mutex but sent on the jobs channel after releasing it, so a Save racing
+// Wait could send on a closed channel and panic. Run with -race.
+func TestAsyncSaveWaitRaceDoesNotPanic(t *testing.T) {
+	m, o := buildOptim(t, modelcfg.Tiny(), 57)
+	for iter := 0; iter < 30; iter++ {
+		b := storage.NewMem()
+		s := NewAsyncSaver(b, 2)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 1; i <= 4; i++ {
+				if err := s.Save(SaveSpec{Dir: fmt.Sprintf("run/checkpoint-%d", i),
+					Model: m, Optim: o, WorldSize: 1,
+					State: TrainerState{Step: i, Seed: 57}}); err != nil {
+					// Losing the race to Wait is the accepted outcome —
+					// an error, never a panic.
+					return
+				}
+			}
+		}()
+		if err := s.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		// Whatever was accepted before Wait won must be fully written.
+		if dirs, err := List(b, "run"); err == nil {
+			for _, d := range dirs {
+				if _, _, _, err := Restore(b, d, tensor.BF16); err != nil {
+					t.Fatalf("accepted save %s not restorable: %v", d, err)
+				}
+			}
+		}
+	}
+}
+
 // failingBackend rejects every write, to exercise async error collection.
 type failingBackend struct{ storage.Backend }
 

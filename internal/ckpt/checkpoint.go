@@ -162,12 +162,29 @@ func Save(b storage.Backend, spec SaveSpec) error {
 	}
 
 	// 4. Run-root "latest" pointer (the dir's last path element).
-	parts := strings.Split(spec.Dir, "/")
-	latestPath := "latest"
-	if len(parts) > 1 {
-		latestPath = strings.Join(parts[:len(parts)-1], "/") + "/latest"
+	return WriteLatestPointer(b, spec.Dir)
+}
+
+// LatestPointerPath returns where the "latest" pointer for a checkpoint
+// directory lives: next to the directory, i.e. in its parent. A
+// single-segment dir ("merged") has the backend root as its run root, so
+// its pointer is the root-level "latest" file — a deliberate, documented
+// edge case: Latest(b, "") resolves it.
+func LatestPointerPath(dir string) string {
+	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+		return dir[:i] + "/latest"
 	}
-	return b.WriteFile(latestPath, []byte(parts[len(parts)-1]))
+	return "latest"
+}
+
+// WriteLatestPointer refreshes the run root's "latest" pointer to name the
+// given checkpoint directory, so resume tooling finds it.
+func WriteLatestPointer(b storage.Backend, dir string) error {
+	name := dir
+	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+		name = dir[i+1:]
+	}
+	return b.WriteFile(LatestPointerPath(dir), []byte(name))
 }
 
 func writeJSON(b storage.Backend, name string, v any) error {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 
 	"llmtailor/internal/modelcfg"
@@ -52,6 +53,8 @@ type ShardFile struct {
 	// metadata (same indices).
 	Meta   []ShardGroupMeta
 	Shards []*zero.GroupShard
+	// FileBytes is the on-disk container size, for I/O accounting.
+	FileBytes int64
 }
 
 // GroupByIndex returns the shard and metadata of the group with the given
@@ -73,41 +76,109 @@ func ShardFileName(rank int) string {
 }
 
 // WriteShardFile serialises one rank's shards of the given groups. meta and
-// shards must be parallel slices.
+// shards must be parallel slices. It is a convenience loop over
+// ShardFileWriter; streaming producers should feed groups one at a time.
 func WriteShardFile(b storage.Backend, name string, rank, worldSize, step int,
 	layout optim.LayoutKind, meta []ShardGroupMeta, shards []*zero.GroupShard) error {
 	if len(meta) != len(shards) {
 		return fmt.Errorf("ckpt: %d metas vs %d shards", len(meta), len(shards))
 	}
-	hdr := ltosHeader{
-		Version: FormatVersion, Rank: rank, WorldSize: worldSize,
-		Step: step, Layout: layout.String(),
-		Groups: make([]ShardGroupMeta, len(meta)),
+	w, err := NewShardFileWriter(b, name, rank, worldSize, step, layout, 0)
+	if err != nil {
+		return err
 	}
-	var payload []byte
+	defer w.Abort()
 	for i, m := range meta {
-		s := shards[i]
-		if s.Rank != rank {
-			return fmt.Errorf("ckpt: shard for rank %d written into rank %d file", s.Rank, rank)
+		if err := w.WriteGroup(m, shards[i]); err != nil {
+			return err
 		}
-		start := int64(len(payload))
-		payload = appendF32(payload, s.Master)
-		payload = appendF32(payload, s.ExpAvg)
-		payload = appendF32(payload, s.ExpAvgSq)
-		end := int64(len(payload))
-		m.ShardLen = s.Numel()
-		m.Offsets = [2]int64{start, end}
-		m.CRC32 = crc32.ChecksumIEEE(payload[start:end])
-		hdr.Groups[i] = m
 	}
-	return writeContainer(b, name, ltosMagic, hdr, payload)
+	return w.Close()
 }
 
-func appendF32(dst []byte, src []float32) []byte {
-	for _, v := range src {
-		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+// ShardFileWriter streams an LTOS shard file group by group, mirroring
+// LTSFWriter: groups are accepted one at a time through the shared
+// containerWriter lifecycle. Byte-identical to WriteShardFile given the
+// same groups in the same order.
+type ShardFileWriter struct {
+	containerWriter
+	rank int
+	hdr  ltosHeader
+}
+
+// NewShardFileWriter opens a streaming writer for one rank's optimizer
+// shard file. chunkBytes <= 0 selects the default chunk size.
+func NewShardFileWriter(b storage.Backend, name string, rank, worldSize, step int,
+	layout optim.LayoutKind, chunkBytes int) (*ShardFileWriter, error) {
+	cw, err := newContainerWriter(b, name, ltosMagic, chunkBytes)
+	if err != nil {
+		return nil, err
 	}
-	return dst
+	return &ShardFileWriter{
+		containerWriter: cw,
+		rank:            rank,
+		hdr: ltosHeader{
+			Version: FormatVersion, Rank: rank, WorldSize: worldSize,
+			Step: step, Layout: layout.String(),
+		},
+	}, nil
+}
+
+// WriteGroup appends one group's shard (master + exp_avg + exp_avg_sq) and
+// records its metadata. The shard may be released once WriteGroup returns.
+func (w *ShardFileWriter) WriteGroup(m ShardGroupMeta, s *zero.GroupShard) error {
+	if err := w.writable(); err != nil {
+		return err
+	}
+	if s.Rank != w.rank {
+		return fmt.Errorf("ckpt: shard for rank %d written into rank %d file", s.Rank, w.rank)
+	}
+	crc := crc32.NewIEEE()
+	mw := io.MultiWriter(w.spool, crc)
+	var n int64
+	for _, sec := range [][]float32{s.Master, s.ExpAvg, s.ExpAvgSq} {
+		k, err := writeF32s(mw, w.buf, sec)
+		n += k
+		if err != nil {
+			w.err = fmt.Errorf("ckpt: %s: spool group %d: %w", w.name, m.Index, err)
+			return w.err
+		}
+	}
+	m.ShardLen = s.Numel()
+	m.Offsets = [2]int64{w.off, w.off + n}
+	m.CRC32 = crc.Sum32()
+	w.hdr.Groups = append(w.hdr.Groups, m)
+	w.off += n
+	return nil
+}
+
+// Close writes the final container and releases the scratch space.
+func (w *ShardFileWriter) Close() error { return w.finish(w.hdr) }
+
+// writeF32s streams a float32 slice little-endian through buf-sized chunks.
+func writeF32s(w io.Writer, buf []byte, src []float32) (int64, error) {
+	perChunk := len(buf) / 4
+	if perChunk < 1 {
+		buf = make([]byte, 4096)
+		perChunk = len(buf) / 4
+	}
+	var total int64
+	for base := 0; base < len(src); base += perChunk {
+		end := base + perChunk
+		if end > len(src) {
+			end = len(src)
+		}
+		chunk := buf[:(end-base)*4]
+		for i := base; i < end; i++ {
+			binary.LittleEndian.PutUint32(chunk[(i-base)*4:], math.Float32bits(src[i]))
+		}
+		n, err := w.Write(chunk)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 func decodeF32(src []byte, n int64) []float32 {
@@ -120,26 +191,42 @@ func decodeF32(src []byte, n int64) []float32 {
 
 // ReadShardFile reads and decodes an entire rank optimizer file. There is
 // deliberately no lazy variant: like DeepSpeed's pickled optimizer states,
-// a shard file must be fully loaded before any group can be used (§5.4).
+// a shard file must be fully loaded before any group can be used (§5.4) —
+// but the read streams group by group, so peak transient memory is one
+// group's payload rather than the whole encoded file alongside its decoded
+// form.
 func ReadShardFile(b storage.Backend, name string) (*ShardFile, error) {
-	raw, err := b.ReadFile(name)
+	size, err := b.Stat(name)
 	if err != nil {
 		return nil, err
 	}
-	if len(raw) < 12 {
-		return nil, fmt.Errorf("ckpt: %s: truncated (%d bytes)", name, len(raw))
+	r, err := b.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	if size < 12 {
+		return nil, fmt.Errorf("ckpt: %s: truncated (%d bytes)", name, size)
+	}
+	head := make([]byte, 12)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("ckpt: %s: read header: %w", name, err)
 	}
 	for i := range ltosMagic {
-		if raw[i] != ltosMagic[i] {
-			return nil, fmt.Errorf("ckpt: %s: bad magic %q", name, raw[:4])
+		if head[i] != ltosMagic[i] {
+			return nil, fmt.Errorf("ckpt: %s: bad magic %q", name, head[:4])
 		}
 	}
-	hlen := int64(binary.LittleEndian.Uint64(raw[4:12]))
-	if hlen <= 0 || 12+hlen > int64(len(raw)) {
+	hlen := int64(binary.LittleEndian.Uint64(head[4:12]))
+	if hlen <= 0 || 12+hlen > size {
 		return nil, fmt.Errorf("ckpt: %s: corrupt header length %d", name, hlen)
 	}
+	hj := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hj); err != nil {
+		return nil, fmt.Errorf("ckpt: %s: read header body: %w", name, err)
+	}
 	var hdr ltosHeader
-	if err := json.Unmarshal(raw[12:12+hlen], &hdr); err != nil {
+	if err := json.Unmarshal(hj, &hdr); err != nil {
 		return nil, fmt.Errorf("ckpt: %s: decode header: %w", name, err)
 	}
 	if hdr.Version != FormatVersion {
@@ -149,19 +236,33 @@ func ReadShardFile(b storage.Backend, name string) (*ShardFile, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %s: %w", name, err)
 	}
-	payload := raw[12+hlen:]
+	payloadLen := size - 12 - hlen
 
 	f := &ShardFile{
 		Rank: hdr.Rank, WorldSize: hdr.WorldSize, Step: hdr.Step,
-		Layout: layout,
-		Meta:   hdr.Groups,
-		Shards: make([]*zero.GroupShard, len(hdr.Groups)),
+		Layout:    layout,
+		Meta:      hdr.Groups,
+		Shards:    make([]*zero.GroupShard, len(hdr.Groups)),
+		FileBytes: size,
 	}
+	var pos int64 // current offset within the payload section
 	for i, m := range hdr.Groups {
-		if m.Offsets[0] < 0 || m.Offsets[1] > int64(len(payload)) || m.Offsets[0] > m.Offsets[1] {
+		if m.Offsets[0] < 0 || m.Offsets[1] > payloadLen || m.Offsets[0] > m.Offsets[1] {
 			return nil, fmt.Errorf("ckpt: %s: group %d offsets %v out of range", name, m.Index, m.Offsets)
 		}
-		seg := payload[m.Offsets[0]:m.Offsets[1]]
+		if m.Offsets[0] < pos {
+			return nil, fmt.Errorf("ckpt: %s: group %d offsets %v overlap previous group", name, m.Index, m.Offsets)
+		}
+		if skip := m.Offsets[0] - pos; skip > 0 {
+			if _, err := io.CopyN(io.Discard, r, skip); err != nil {
+				return nil, fmt.Errorf("ckpt: %s: group %d: %w", name, m.Index, err)
+			}
+		}
+		seg := make([]byte, m.Offsets[1]-m.Offsets[0])
+		if _, err := io.ReadFull(r, seg); err != nil {
+			return nil, fmt.Errorf("ckpt: %s: group %d: %w", name, m.Index, err)
+		}
+		pos = m.Offsets[1]
 		if got := crc32.ChecksumIEEE(seg); got != m.CRC32 {
 			return nil, fmt.Errorf("ckpt: %s: group %d CRC mismatch", name, m.Index)
 		}

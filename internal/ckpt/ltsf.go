@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"sort"
 
 	"llmtailor/internal/storage"
@@ -51,40 +52,185 @@ type ltsfHeader struct {
 
 // WriteLTSF serialises the given tensors into an LTSF container at name.
 // Tensor payload order follows the given slice order; the header indexes
-// them by name for lazy retrieval.
+// them by name for lazy retrieval. It is a convenience loop over LTSFWriter
+// for callers that already hold every tensor; streaming producers should use
+// LTSFWriter directly and feed tensors one at a time.
 func WriteLTSF(b storage.Backend, name, modelName string, tensors []*tensor.Tensor) error {
-	hdr := ltsfHeader{Version: FormatVersion, Model: modelName, Tensors: make(map[string]ltsfTensorMeta, len(tensors))}
-	var payload []byte
-	var off int64
+	w, err := NewLTSFWriter(b, name, modelName, 0)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
 	for _, t := range tensors {
-		if _, dup := hdr.Tensors[t.Name]; dup {
-			return fmt.Errorf("ckpt: duplicate tensor %q in LTSF write", t.Name)
-		}
-		start := off
-		payload = t.Encode(payload)
-		off = int64(len(payload))
-		hdr.Tensors[t.Name] = ltsfTensorMeta{
-			DType:   t.DType.String(),
-			Shape:   append([]int(nil), t.Shape...),
-			Offsets: [2]int64{start, off},
-			CRC32:   crc32.ChecksumIEEE(payload[start:off]),
+		if err := w.WriteTensor(t); err != nil {
+			return err
 		}
 	}
-	return writeContainer(b, name, ltsfMagic, hdr, payload)
+	return w.Close()
 }
 
-// writeContainer assembles magic + header length + JSON header + payload.
-func writeContainer(b storage.Backend, name string, magic [4]byte, hdr any, payload []byte) error {
+// containerWriter is the spool-then-assemble lifecycle shared by the
+// streaming LTSF and LTOS writers: payload sections are encoded in bounded
+// chunks into backend scratch space (a temp file for OS-rooted backends),
+// and finish assembles magic + header + payload through the backend's
+// streaming writer. Peak memory is one chunk plus accumulated metadata —
+// never the payload.
+type containerWriter struct {
+	b     storage.Backend
+	name  string
+	magic [4]byte
+	spool storage.Spool
+	buf   []byte
+	off   int64
+	wrote int64
+	err   error
+	done  bool
+}
+
+func newContainerWriter(b storage.Backend, name string, magic [4]byte, chunkBytes int) (containerWriter, error) {
+	spool, err := storage.NewSpool(b)
+	if err != nil {
+		return containerWriter{}, err
+	}
+	return containerWriter{
+		b:     b,
+		name:  name,
+		magic: magic,
+		spool: spool,
+		buf:   make([]byte, storage.ChunkOrDefault(chunkBytes)),
+	}, nil
+}
+
+// writable gates a section write, reporting any sticky or lifecycle error.
+func (w *containerWriter) writable() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.done {
+		return fmt.Errorf("ckpt: write to %s after Close", w.name)
+	}
+	return nil
+}
+
+// finish writes the final container with the given header and releases the
+// scratch space. Idempotent; returns the sticky error if the writer failed.
+func (w *containerWriter) finish(hdr any) error {
+	if w.err != nil {
+		w.Abort()
+		return w.err
+	}
+	if w.done {
+		return nil
+	}
+	w.done = true
+	n, err := writeContainerStream(w.b, w.name, w.magic, hdr, w.spool, w.buf)
+	w.wrote = n
+	w.spool = nil
+	return err
+}
+
+// Abort discards the writer without producing the file (safe after Close).
+func (w *containerWriter) Abort() {
+	w.done = true
+	if w.spool != nil {
+		w.spool.Discard()
+		w.spool = nil
+	}
+}
+
+// BytesWritten returns the total container size once Close has succeeded.
+func (w *containerWriter) BytesWritten() int64 { return w.wrote }
+
+// LTSFWriter streams an LTSF container section by section: tensors are
+// accepted one at a time through the shared containerWriter lifecycle. The
+// bytes produced are identical to WriteLTSF given the same tensors in the
+// same order.
+type LTSFWriter struct {
+	containerWriter
+	hdr ltsfHeader
+}
+
+// NewLTSFWriter opens a streaming writer targeting name. chunkBytes <= 0
+// selects the default chunk size.
+func NewLTSFWriter(b storage.Backend, name, modelName string, chunkBytes int) (*LTSFWriter, error) {
+	cw, err := newContainerWriter(b, name, ltsfMagic, chunkBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &LTSFWriter{
+		containerWriter: cw,
+		hdr:             ltsfHeader{Version: FormatVersion, Model: modelName, Tensors: map[string]ltsfTensorMeta{}},
+	}, nil
+}
+
+// WriteTensor appends one tensor's payload and records its metadata. The
+// tensor may be released by the caller as soon as WriteTensor returns.
+func (w *LTSFWriter) WriteTensor(t *tensor.Tensor) error {
+	if err := w.writable(); err != nil {
+		return err
+	}
+	if _, dup := w.hdr.Tensors[t.Name]; dup {
+		return fmt.Errorf("ckpt: duplicate tensor %q in LTSF write", t.Name)
+	}
+	crc := crc32.NewIEEE()
+	n, err := t.EncodeTo(io.MultiWriter(w.spool, crc), w.buf)
+	if err != nil {
+		w.err = fmt.Errorf("ckpt: %s: spool tensor %q: %w", w.name, t.Name, err)
+		return w.err
+	}
+	w.hdr.Tensors[t.Name] = ltsfTensorMeta{
+		DType:   t.DType.String(),
+		Shape:   append([]int(nil), t.Shape...),
+		Offsets: [2]int64{w.off, w.off + n},
+		CRC32:   crc.Sum32(),
+	}
+	w.off += n
+	return nil
+}
+
+// Close writes the final container and releases the scratch space.
+func (w *LTSFWriter) Close() error { return w.finish(w.hdr) }
+
+// writeContainerStream streams magic + header length + JSON header + the
+// spooled payload to the backend, returning the container's total size.
+func writeContainerStream(b storage.Backend, name string, magic [4]byte, hdr any, spool storage.Spool, buf []byte) (int64, error) {
 	hj, err := json.Marshal(hdr)
 	if err != nil {
-		return fmt.Errorf("ckpt: marshal header: %w", err)
+		spool.Discard()
+		return 0, fmt.Errorf("ckpt: marshal header: %w", err)
 	}
-	buf := make([]byte, 0, 12+len(hj)+len(payload))
-	buf = append(buf, magic[:]...)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(hj)))
-	buf = append(buf, hj...)
-	buf = append(buf, payload...)
-	return b.WriteFile(name, buf)
+	pr, err := spool.Reader()
+	if err != nil {
+		spool.Discard()
+		return 0, fmt.Errorf("ckpt: %s: read spool: %w", name, err)
+	}
+	defer pr.Close()
+	out, err := b.Create(name)
+	if err != nil {
+		return 0, err
+	}
+	prefix := make([]byte, 0, 12)
+	prefix = append(prefix, magic[:]...)
+	prefix = binary.LittleEndian.AppendUint64(prefix, uint64(len(hj)))
+	var total int64
+	for _, seg := range [][]byte{prefix, hj} {
+		n, err := out.Write(seg)
+		total += int64(n)
+		if err != nil {
+			out.Close()
+			return total, fmt.Errorf("ckpt: write %s: %w", name, err)
+		}
+	}
+	n, err := io.CopyBuffer(out, pr, buf)
+	total += n
+	if err != nil {
+		out.Close()
+		return total, fmt.Errorf("ckpt: write %s payload: %w", name, err)
+	}
+	if err := out.Close(); err != nil {
+		return total, fmt.Errorf("ckpt: close %s: %w", name, err)
+	}
+	return total, nil
 }
 
 // readContainerHeader reads the magic, validates it, decodes the JSON header
@@ -157,6 +303,17 @@ func (r *LTSFReader) Names() []string {
 func (r *LTSFReader) Has(name string) bool {
 	_, ok := r.hdr.Tensors[name]
 	return ok
+}
+
+// PayloadSize returns the stored byte size of the named tensor's payload
+// (header-only metadata — no payload I/O). The merge pipeline uses it to
+// reserve in-flight memory before reading.
+func (r *LTSFReader) PayloadSize(name string) (int64, bool) {
+	meta, ok := r.hdr.Tensors[name]
+	if !ok {
+		return 0, false
+	}
+	return meta.Offsets[1] - meta.Offsets[0], true
 }
 
 // ReadTensor lazily reads one tensor's payload, verifies its CRC and

@@ -1,0 +1,74 @@
+package parallel
+
+import "sync"
+
+// ByteGate is a weighted admission gate bounding the total bytes in flight
+// through a pipeline, with a high-water mark for reporting. Producers
+// Acquire a tensor's byte cost before admitting it and the consumer Releases
+// it once the bytes are durably written; acquiring in push order (with an
+// in-order consumer releasing in the same order) makes the gate
+// deadlock-free by construction.
+type ByteGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// capacity <= 0 means unbounded (the gate still tracks the peak).
+	capacity int64
+	used     int64
+	peak     int64
+}
+
+// NewByteGate returns a gate admitting at most capacity in-flight bytes.
+// capacity <= 0 disables the bound but keeps peak tracking.
+func NewByteGate(capacity int64) *ByteGate {
+	g := &ByteGate{capacity: capacity}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Acquire blocks until n bytes fit under the capacity. A single item larger
+// than the whole capacity is admitted alone (when nothing else is in
+// flight) rather than deadlocking.
+func (g *ByteGate) Acquire(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.capacity > 0 {
+		for g.used > 0 && g.used+n > g.capacity {
+			g.cond.Wait()
+		}
+	}
+	g.used += n
+	if g.used > g.peak {
+		g.peak = g.used
+	}
+}
+
+// Release returns n bytes to the gate.
+func (g *ByteGate) Release(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	g.mu.Lock()
+	g.used -= n
+	if g.used < 0 {
+		g.used = 0
+	}
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// InFlight returns the bytes currently admitted.
+func (g *ByteGate) InFlight() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used
+}
+
+// Peak returns the high-water mark of admitted bytes.
+func (g *ByteGate) Peak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}

@@ -10,6 +10,7 @@ package storage
 
 import (
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path"
@@ -26,6 +27,13 @@ type Backend interface {
 	WriteFile(name string, data []byte) error
 	// ReadFile returns the full contents of a file.
 	ReadFile(name string) ([]byte, error)
+	// Create opens a sequential streaming writer that creates or replaces
+	// the file, creating parent directories as needed. The file contents
+	// are defined once Close returns; abandoning a writer without Close
+	// may leave a partial file behind.
+	Create(name string) (io.WriteCloser, error)
+	// Open opens a sequential streaming reader over the file.
+	Open(name string) (io.ReadCloser, error)
 	// ReadAt reads len(p) bytes at offset off of a file. Weight files are
 	// read this way (lazy, per tensor); optimizer shards deliberately
 	// never use it (paper §5.4: no lazy loading of optimizer state).
@@ -94,6 +102,39 @@ func (b *OS) ReadFile(name string) ([]byte, error) {
 	}
 	return data, nil
 }
+
+// Create implements Backend: the stream writes straight to the target path,
+// mirroring WriteFile's non-atomic create-or-replace semantics.
+func (b *OS) Create(name string) (io.WriteCloser, error) {
+	p, err := b.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return nil, fmt.Errorf("storage: mkdir for %s: %w", name, err)
+	}
+	f, err := os.Create(p)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// Open implements Backend.
+func (b *OS) Open(name string) (io.ReadCloser, error) {
+	p, err := b.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// NewSpool gives OS backends file-backed scratch space (see NewSpool).
+func (b *OS) NewSpool() (Spool, error) { return newFileSpool() }
 
 // ReadAt implements Backend.
 func (b *OS) ReadAt(name string, off int64, p []byte) error {

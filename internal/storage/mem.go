@@ -1,7 +1,9 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"path"
 	"sort"
 	"strings"
@@ -37,6 +39,46 @@ func (b *Mem) ReadFile(name string) ([]byte, error) {
 		return nil, fmt.Errorf("storage: read %s: file does not exist", name)
 	}
 	return append([]byte(nil), data...), nil
+}
+
+// Create implements Backend. The stream accumulates privately and the file
+// becomes visible atomically when the writer is closed.
+func (b *Mem) Create(name string) (io.WriteCloser, error) {
+	return &memWriter{b: b, name: memClean(name)}, nil
+}
+
+type memWriter struct {
+	b      *Mem
+	name   string
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("storage: write %s: stream closed", w.name)
+	}
+	return w.buf.Write(p)
+}
+
+func (w *memWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	w.b.mu.Lock()
+	defer w.b.mu.Unlock()
+	w.b.files[w.name] = append([]byte(nil), w.buf.Bytes()...)
+	return nil
+}
+
+// Open implements Backend.
+func (b *Mem) Open(name string) (io.ReadCloser, error) {
+	data, err := b.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
 }
 
 // ReadAt implements Backend.

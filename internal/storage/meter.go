@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"io"
 	"sync"
 	"time"
 )
@@ -44,12 +45,23 @@ func LocalNVMe() Profile {
 
 // ReadTime returns the modelled time to read n bytes as one file.
 func (p Profile) ReadTime(n int64) time.Duration {
-	return p.OpenLatency + time.Duration(float64(n)/p.ReadBandwidth*float64(time.Second))
+	return p.OpenLatency + p.ReadChunkTime(n)
 }
 
 // WriteTime returns the modelled time to write n bytes as one file.
 func (p Profile) WriteTime(n int64) time.Duration {
-	return p.OpenLatency + time.Duration(float64(n)/p.WriteBandwidth*float64(time.Second))
+	return p.OpenLatency + p.WriteChunkTime(n)
+}
+
+// ReadChunkTime returns the bandwidth-only time to read n bytes mid-stream
+// (no open latency; streamed reads charge OpenLatency once at Open).
+func (p Profile) ReadChunkTime(n int64) time.Duration {
+	return time.Duration(float64(n) / p.ReadBandwidth * float64(time.Second))
+}
+
+// WriteChunkTime returns the bandwidth-only time to write n bytes mid-stream.
+func (p Profile) WriteChunkTime(n int64) time.Duration {
+	return time.Duration(float64(n) / p.WriteBandwidth * float64(time.Second))
 }
 
 // Stats aggregates I/O activity observed by a Meter.
@@ -160,6 +172,75 @@ func (m *Meter) ReadAt(name string, off int64, p []byte) error {
 	m.chargeRead(int64(len(p)))
 	return nil
 }
+
+// Create implements Backend. The stream is charged exactly like a WriteFile
+// of the same total size: one file + OpenLatency at Create, bytes and
+// bandwidth time per chunk as they are written.
+func (m *Meter) Create(name string) (io.WriteCloser, error) {
+	w, err := m.Backend.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.stats.FilesWritten++
+	m.stats.SimTime += m.Profile.OpenLatency
+	m.mu.Unlock()
+	return &meteredWriter{m: m, w: w}, nil
+}
+
+// Open implements Backend with the same per-chunk accounting as Create.
+func (m *Meter) Open(name string) (io.ReadCloser, error) {
+	r, err := m.Backend.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.stats.FilesRead++
+	m.stats.SimTime += m.Profile.OpenLatency
+	m.mu.Unlock()
+	return &meteredReader{m: m, r: r}, nil
+}
+
+// NewSpool delegates to the wrapped backend so OS-rooted meters still get
+// file-backed scratch space. Spool traffic is deliberately uncharged: it is
+// node-local staging, not parallel-filesystem I/O.
+func (m *Meter) NewSpool() (Spool, error) { return NewSpool(m.Backend) }
+
+type meteredWriter struct {
+	m *Meter
+	w io.WriteCloser
+}
+
+func (w *meteredWriter) Write(p []byte) (int, error) {
+	n, err := w.w.Write(p)
+	if n > 0 {
+		w.m.mu.Lock()
+		w.m.stats.BytesWritten += int64(n)
+		w.m.stats.SimTime += w.m.Profile.WriteChunkTime(w.m.scale(int64(n)))
+		w.m.mu.Unlock()
+	}
+	return n, err
+}
+
+func (w *meteredWriter) Close() error { return w.w.Close() }
+
+type meteredReader struct {
+	m *Meter
+	r io.ReadCloser
+}
+
+func (r *meteredReader) Read(p []byte) (int, error) {
+	n, err := r.r.Read(p)
+	if n > 0 {
+		r.m.mu.Lock()
+		r.m.stats.BytesRead += int64(n)
+		r.m.stats.SimTime += r.m.Profile.ReadChunkTime(r.m.scale(int64(n)))
+		r.m.mu.Unlock()
+	}
+	return n, err
+}
+
+func (r *meteredReader) Close() error { return r.r.Close() }
 
 // Stat implements Backend (uncharged: metadata only).
 func (m *Meter) Stat(name string) (int64, error) { return m.Backend.Stat(name) }

@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DefaultChunkBytes is the chunk size streaming callers use when they do not
+// specify one. 256 KiB keeps per-stream buffers negligible next to tensor
+// payloads while amortising per-call overhead.
+const DefaultChunkBytes = 256 * 1024
+
+// ChunkOrDefault normalises a chunk-size knob: non-positive means default.
+func ChunkOrDefault(n int) int {
+	if n <= 0 {
+		return DefaultChunkBytes
+	}
+	return n
+}
+
+// Spool is unmetered scratch space for staging a container payload whose
+// header (offsets, CRCs) is only known once the payload has been produced.
+// Write the payload, then call Reader exactly once to stream it back out;
+// Discard releases resources and is safe to call at any point (including
+// after Reader's Close).
+type Spool interface {
+	io.Writer
+	// Len returns the number of bytes written so far.
+	Len() int64
+	// Reader finishes the write side and streams the spooled bytes back.
+	// Closing the reader releases the spool.
+	Reader() (io.ReadCloser, error)
+	// Discard drops the spool without reading it. Idempotent.
+	Discard() error
+}
+
+// spooler is implemented by backends that can provide out-of-memory scratch
+// space (the OS backend spools to a temp file so assembling a container never
+// holds the payload in memory).
+type spooler interface {
+	NewSpool() (Spool, error)
+}
+
+// NewSpool returns scratch space appropriate for the backend: file-backed for
+// OS-rooted backends (and meters over them), in-memory otherwise. Spools are
+// implementation scratch — they are never charged to a Meter.
+func NewSpool(b Backend) (Spool, error) {
+	if s, ok := b.(spooler); ok {
+		return s.NewSpool()
+	}
+	return &memSpool{}, nil
+}
+
+// memSpool buffers the payload in memory (the Mem backend would hold the
+// bytes in memory anyway).
+type memSpool struct {
+	buf bytes.Buffer
+}
+
+func (s *memSpool) Write(p []byte) (int, error) { return s.buf.Write(p) }
+func (s *memSpool) Len() int64                  { return int64(s.buf.Len()) }
+func (s *memSpool) Discard() error              { s.buf.Reset(); return nil }
+
+func (s *memSpool) Reader() (io.ReadCloser, error) {
+	return io.NopCloser(&s.buf), nil
+}
+
+// fileSpool spools to an unlinked-on-close temp file outside the backend
+// root, so payload staging is bounded-memory and never visible to List.
+type fileSpool struct {
+	f    *os.File
+	n    int64
+	done bool
+}
+
+func newFileSpool() (Spool, error) {
+	f, err := os.CreateTemp("", "llmtailor-spool-*")
+	if err != nil {
+		return nil, fmt.Errorf("storage: create spool: %w", err)
+	}
+	return &fileSpool{f: f}, nil
+}
+
+func (s *fileSpool) Write(p []byte) (int, error) {
+	n, err := s.f.Write(p)
+	s.n += int64(n)
+	return n, err
+}
+
+func (s *fileSpool) Len() int64 { return s.n }
+
+func (s *fileSpool) Reader() (io.ReadCloser, error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("storage: rewind spool: %w", err)
+	}
+	return spoolReader{s}, nil
+}
+
+func (s *fileSpool) Discard() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	name := s.f.Name()
+	s.f.Close()
+	return os.Remove(name)
+}
+
+// spoolReader reads the spooled bytes back and removes the file on Close.
+type spoolReader struct{ s *fileSpool }
+
+func (r spoolReader) Read(p []byte) (int, error) { return r.s.f.Read(p) }
+func (r spoolReader) Close() error               { return r.s.Discard() }

@@ -5,6 +5,8 @@ import (
 	"math"
 
 	"llmtailor/internal/ckpt"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/parallel"
 	"llmtailor/internal/recipe"
 	"llmtailor/internal/storage"
 	"llmtailor/internal/tensor"
@@ -14,7 +16,10 @@ import (
 // reproduce MergeKit's model-soup style merging: weights only — the output
 // carries no optimizer shards and therefore cannot resume training, the
 // exact limitation the paper's §3 identifies and passthrough+tailor removes.
-func mergeBlend(b storage.Backend, r *recipe.Recipe, stats *Stats) error {
+// Like the passthrough weights path, blending runs as a bounded pipeline:
+// per-tensor blend jobs fan out over Options.Workers and a single ordered
+// consumer streams the results into the output container.
+func mergeBlend(b storage.Backend, r *recipe.Recipe, opts Options, stats *Stats) error {
 	sources := make([]*ckpt.Checkpoint, len(r.Models))
 	for i, m := range r.Models {
 		c, err := ckpt.Open(b, m.Checkpoint)
@@ -43,30 +48,65 @@ func mergeBlend(b storage.Backend, r *recipe.Recipe, stats *Stats) error {
 		outDType = d
 	}
 
-	var outTensors []*tensor.Tensor
-	weights := r.NormalizedWeights()
-	for _, spec := range cfg.Tensors() {
-		inputs := make([][]float32, len(sources))
-		for i, src := range sources {
-			t, err := src.Weights().ReadTensor(spec.Name)
-			if err != nil {
-				return fmt.Errorf("tailor: blend read %s from %s: %w", spec.Name, r.Models[i].Checkpoint, err)
-			}
-			stats.TensorsRead++
-			inputs[i] = t.Float32s()
-		}
-		var blended []float32
-		if r.MergeMethod == "linear" {
-			blended = linearBlend(inputs, weights)
-		} else {
-			blended = slerpBlend(inputs[0], inputs[1], r.T)
-		}
-		out := tensor.New(spec.Name, outDType, spec.Shape...)
-		out.CopyFromF32(blended)
-		outTensors = append(outTensors, out)
-	}
-	if err := ckpt.WriteLTSF(b, r.Output+"/model.ltsf", cfg.Name, outTensors); err != nil {
+	w, err := ckpt.NewLTSFWriter(b, r.Output+"/model.ltsf", cfg.Name, opts.ChunkBytes)
+	if err != nil {
 		return err
+	}
+	defer w.Abort()
+
+	type done struct {
+		t        *tensor.Tensor
+		srcBytes int64
+	}
+	weights := r.NormalizedWeights()
+	gate := parallel.NewByteGate(opts.MaxInFlight)
+	pipe := parallel.NewPipeline(opts.Workers, pipelineDepth(opts.Workers),
+		func(spec modelcfg.TensorSpec) (done, error) {
+			inputs := make([][]float32, len(sources))
+			var srcBytes int64
+			for i, src := range sources {
+				t, err := src.Weights().ReadTensor(spec.Name)
+				if err != nil {
+					return done{}, fmt.Errorf("tailor: blend read %s from %s: %w", spec.Name, r.Models[i].Checkpoint, err)
+				}
+				srcBytes += t.Bytes()
+				inputs[i] = t.Float32s()
+			}
+			var blended []float32
+			if r.MergeMethod == "linear" {
+				blended = linearBlend(inputs, weights)
+			} else {
+				blended = slerpBlend(inputs[0], inputs[1], r.T)
+			}
+			out := tensor.New(spec.Name, outDType, spec.Shape...)
+			out.CopyFromF32(blended)
+			return done{out, srcBytes}, nil
+		},
+		func(d done) error {
+			if err := w.WriteTensor(d.t); err != nil {
+				return err
+			}
+			stats.TensorsRead += len(sources)
+			stats.BytesRead += d.srcBytes
+			return nil
+		})
+	for _, spec := range cfg.Tensors() {
+		cost := blendCost(sources, spec, outDType)
+		gate.Acquire(cost)
+		if err := pipe.PushWithCleanup(spec, func() { gate.Release(cost) }); err != nil {
+			gate.Release(cost)
+			break
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	stats.BytesWritten += w.BytesWritten()
+	if p := gate.Peak(); p > stats.PeakInFlightBytes {
+		stats.PeakInFlightBytes = p
 	}
 
 	// Configs from the first model (or configs_from); weights-only manifest.
@@ -92,6 +132,21 @@ func mergeBlend(b storage.Backend, r *recipe.Recipe, stats *Stats) error {
 		man.Layers = append(man.Layers, ref.String())
 	}
 	return writeManifest(b, r.Output+"/manifest.json", &man)
+}
+
+// blendCost estimates a blend job's in-flight bytes: every source tensor is
+// expanded to float32 for the arithmetic, plus the blended output.
+func blendCost(sources []*ckpt.Checkpoint, spec modelcfg.TensorSpec, outDType tensor.DType) int64 {
+	f32Bytes := spec.NumElems() * 4
+	var cost int64
+	for _, src := range sources {
+		if n, ok := src.Weights().PayloadSize(spec.Name); ok {
+			cost += n + f32Bytes // stored payload plus its float32 expansion
+		} else {
+			cost += f32Bytes
+		}
+	}
+	return cost + spec.NumElems()*int64(outDType.Size())
 }
 
 func maxStep(sources []*ckpt.Checkpoint) int {

@@ -2,8 +2,6 @@ package tailor
 
 import (
 	"fmt"
-	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,12 +40,21 @@ func (o LoadOrder) String() string {
 
 // Options tunes a merge run.
 type Options struct {
-	// Workers bounds the rank-level parallelism of optimizer merging
+	// Workers bounds both the tensor-read parallelism of the weights
+	// pipeline and the rank-level parallelism of optimizer merging
 	// (default 1; the paper's multiprocessing corresponds to >1).
 	Workers int
 	// LoadOrder selects shard-file loading behaviour (default
 	// Straightforward).
 	LoadOrder LoadOrder
+	// ChunkBytes is the streaming I/O chunk size for container writes
+	// (default storage.DefaultChunkBytes).
+	ChunkBytes int
+	// MaxInFlight bounds the total payload bytes of tensors admitted into
+	// the weights pipeline and not yet written to the output container.
+	// 0 (default) means unbounded; Stats.PeakInFlightBytes reports the
+	// high-water mark either way.
+	MaxInFlight int64
 }
 
 // Stats reports what a merge did.
@@ -61,6 +68,15 @@ type Stats struct {
 	CheckpointsUsed int
 	// WallTime is the measured duration of the merge.
 	WallTime time.Duration
+	// BytesRead counts payload and container bytes fetched from sources
+	// (weight tensor payloads, whole shard files, copied configs).
+	BytesRead int64
+	// BytesWritten counts bytes of output containers and configs.
+	BytesWritten int64
+	// PeakInFlightBytes is the high-water mark of tensor payload bytes
+	// admitted into the weights pipeline and not yet written — the
+	// quantity Options.MaxInFlight bounds.
+	PeakInFlightBytes int64
 }
 
 // Merge executes a recipe end to end and returns merge statistics. Blend
@@ -73,7 +89,7 @@ func Merge(b storage.Backend, r *recipe.Recipe, opts Options) (*Stats, error) {
 	if r.IsBlend() {
 		start := time.Now()
 		stats := &Stats{}
-		if err := mergeBlend(b, r, stats); err != nil {
+		if err := mergeBlend(b, r, opts, stats); err != nil {
 			return nil, err
 		}
 		stats.WallTime = time.Since(start)
@@ -91,7 +107,7 @@ func Execute(b storage.Backend, plan *Plan, opts Options) (*Stats, error) {
 	start := time.Now()
 	stats := &Stats{CheckpointsUsed: len(plan.Sources)}
 
-	if err := mergeWeights(b, plan, stats); err != nil {
+	if err := mergeWeights(b, plan, opts, stats); err != nil {
 		return nil, err
 	}
 	if plan.Recipe.Optimizer {
@@ -99,16 +115,21 @@ func Execute(b storage.Backend, plan *Plan, opts Options) (*Stats, error) {
 			return nil, err
 		}
 	}
-	if err := copyConfigs(b, plan); err != nil {
+	if err := copyConfigs(b, plan, stats); err != nil {
 		return nil, err
 	}
 	stats.WallTime = time.Since(start)
 	return stats, nil
 }
 
-// mergeWeights assembles the consolidated output weights file, reading each
-// tensor lazily from its assigned source.
-func mergeWeights(b storage.Backend, plan *Plan, stats *Stats) error {
+// mergeWeights assembles the consolidated output weights file as a bounded-
+// memory pipeline: per-tensor read jobs are admitted under the MaxInFlight
+// byte gate (in model order, which makes the gate deadlock-free), fanned out
+// over Options.Workers readers, and drained by a single in-order consumer
+// streaming into the output container. Peak memory is bounded by the gate
+// instead of the full model size, and reads overlap both each other and the
+// output write.
+func mergeWeights(b storage.Backend, plan *Plan, opts Options, stats *Stats) error {
 	outDType := tensor.BF16
 	if plan.Recipe.DType != "" {
 		d, err := tensor.ParseDType(plan.Recipe.DType)
@@ -117,63 +138,144 @@ func mergeWeights(b storage.Backend, plan *Plan, stats *Stats) error {
 		}
 		outDType = d
 	}
-	var tensors []*tensor.Tensor
+	w, err := ckpt.NewLTSFWriter(b, plan.Recipe.Output+"/model.ltsf", plan.Config.Name, opts.ChunkBytes)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+
+	type job struct {
+		spec modelcfg.TensorSpec
+		src  string
+	}
+	type done struct {
+		t        *tensor.Tensor
+		srcBytes int64
+	}
+	gate := parallel.NewByteGate(opts.MaxInFlight)
+	pipe := parallel.NewPipeline(opts.Workers, pipelineDepth(opts.Workers),
+		func(j job) (done, error) {
+			t, err := plan.Sources[j.src].Weights().ReadTensor(j.spec.Name)
+			if err != nil {
+				return done{}, fmt.Errorf("tailor: read %s from %s: %w", j.spec.Name, j.src, err)
+			}
+			srcBytes := t.Bytes()
+			if t.DType != outDType {
+				t = t.Convert(outDType)
+			}
+			return done{t, srcBytes}, nil
+		},
+		func(d done) error {
+			if err := w.WriteTensor(d.t); err != nil {
+				return err
+			}
+			stats.TensorsRead++
+			stats.BytesRead += d.srcBytes
+			return nil
+		})
+
 	for _, spec := range plan.Config.Tensors() {
 		srcPath := plan.Assign[spec.Layer]
-		src := plan.Sources[srcPath]
-		t, err := src.Weights().ReadTensor(spec.Name)
-		if err != nil {
-			return fmt.Errorf("tailor: read %s from %s: %w", spec.Name, srcPath, err)
+		cost := weightCost(plan.Sources[srcPath].Weights(), spec, outDType)
+		// Admission happens in push order and release in sink order, so the
+		// gate can never strand the head-of-line job behind later ones.
+		gate.Acquire(cost)
+		if err := pipe.PushWithCleanup(job{spec, srcPath}, func() { gate.Release(cost) }); err != nil {
+			gate.Release(cost)
+			break
 		}
-		stats.TensorsRead++
-		if t.DType != outDType {
-			t = t.Convert(outDType)
-		}
-		tensors = append(tensors, t)
 	}
-	return ckpt.WriteLTSF(b, plan.Recipe.Output+"/model.ltsf", plan.Config.Name, tensors)
+	if err := pipe.Close(); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	stats.BytesWritten += w.BytesWritten()
+	if p := gate.Peak(); p > stats.PeakInFlightBytes {
+		stats.PeakInFlightBytes = p
+	}
+	return nil
+}
+
+// weightCost estimates the in-flight bytes of one tensor job: the stored
+// source payload, plus the converted copy when the output dtype differs.
+func weightCost(src *ckpt.LTSFReader, spec modelcfg.TensorSpec, outDType tensor.DType) int64 {
+	outBytes := spec.NumElems() * int64(outDType.Size())
+	srcBytes, ok := src.PayloadSize(spec.Name)
+	if !ok {
+		return outBytes
+	}
+	if srcBytes != outBytes {
+		// A dtype conversion briefly holds both representations.
+		return srcBytes + outBytes
+	}
+	return srcBytes
+}
+
+// pipelineDepth bounds how many completed tensors may queue between the
+// reader pool and the ordered writer; the byte gate is the real memory
+// bound, this only keeps the ordering queue short.
+func pipelineDepth(workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // mergeOptimizer assembles one output shard file per rank by copying group
-// shards from the sources. Ranks run under a bounded worker pool.
+// shards from the sources. Ranks run under a bounded worker pool; each
+// rank's output streams group by group through a ShardFileWriter, so a
+// worker's peak memory is one rank shard, never the whole optimizer state.
 func mergeOptimizer(b storage.Backend, plan *Plan, opts Options, stats *Stats) error {
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	var loads atomic.Int64
-	var stepMu sync.Mutex
-	outStep := 0
+	var loads, bytesIn, bytesOut atomic.Int64
 
 	err := parallel.ForEach(workers, plan.WorldSize, func(rank int) error {
-		shards, metas, step, n, err := buildRankShards(b, plan, opts.LoadOrder, rank)
+		shards, metas, step, n, readBytes, err := buildRankShards(b, plan, opts.LoadOrder, rank)
 		if err != nil {
 			return err
 		}
 		loads.Add(n)
-		stepMu.Lock()
-		if step > outStep {
-			outStep = step
-		}
-		stepMu.Unlock()
+		bytesIn.Add(readBytes)
 		name := plan.Recipe.Output + "/" + ckpt.ShardFileName(rank)
-		return ckpt.WriteShardFile(b, name, rank, plan.WorldSize, step, plan.Layout.Kind, metas, shards)
+		w, err := ckpt.NewShardFileWriter(b, name, rank, plan.WorldSize, step, plan.Layout.Kind, opts.ChunkBytes)
+		if err != nil {
+			return err
+		}
+		defer w.Abort()
+		for i, m := range metas {
+			if err := w.WriteGroup(m, shards[i]); err != nil {
+				return err
+			}
+			shards[i] = nil // release the shard as soon as it is spooled
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		bytesOut.Add(w.BytesWritten())
+		return nil
 	})
 	stats.ShardFileLoads = loads.Load()
+	stats.BytesRead += bytesIn.Load()
+	stats.BytesWritten += bytesOut.Load()
 	return err
 }
 
 // buildRankShards gathers rank's shard of every layout group from the
 // assigned sources, honouring the requested load order. It returns the
-// shards in layout order, their metadata, the maximum source step and the
-// number of shard-file loads performed.
+// shards in layout order, their metadata, the maximum source step, the
+// number of shard-file loads performed and the bytes those loads read.
 func buildRankShards(b storage.Backend, plan *Plan, order LoadOrder, rank int) (
-	[]*zero.GroupShard, []ckpt.ShardGroupMeta, int, int64, error) {
+	[]*zero.GroupShard, []ckpt.ShardGroupMeta, int, int64, int64, error) {
 
 	nGroups := plan.Layout.NumGroups()
 	shards := make([]*zero.GroupShard, nGroups)
 	metas := make([]ckpt.ShardGroupMeta, nGroups)
-	var loads int64
+	var loads, readBytes int64
 	maxStep := 0
 
 	extract := func(f *ckpt.ShardFile, ref modelcfg.LayerRef) error {
@@ -213,12 +315,13 @@ func buildRankShards(b storage.Backend, plan *Plan, order LoadOrder, rank int) (
 			}
 			f, err := plan.Sources[path].ReadOptimShard(rank)
 			if err != nil {
-				return nil, nil, 0, 0, err
+				return nil, nil, 0, 0, 0, err
 			}
 			loads++
+			readBytes += f.FileBytes
 			for _, ref := range refs {
 				if err := extract(f, ref); err != nil {
-					return nil, nil, 0, 0, err
+					return nil, nil, 0, 0, 0, err
 				}
 			}
 		}
@@ -229,28 +332,29 @@ func buildRankShards(b storage.Backend, plan *Plan, order LoadOrder, rank int) (
 			path := plan.Assign[ref]
 			f, err := plan.Sources[path].ReadOptimShard(rank)
 			if err != nil {
-				return nil, nil, 0, 0, err
+				return nil, nil, 0, 0, 0, err
 			}
 			loads++
+			readBytes += f.FileBytes
 			if err := extract(f, ref); err != nil {
-				return nil, nil, 0, 0, err
+				return nil, nil, 0, 0, 0, err
 			}
 		}
 	default:
-		return nil, nil, 0, 0, fmt.Errorf("tailor: unknown load order %d", order)
+		return nil, nil, 0, 0, 0, fmt.Errorf("tailor: unknown load order %d", order)
 	}
 
 	for gi := range shards {
 		if shards[gi] == nil {
-			return nil, nil, 0, 0, fmt.Errorf("tailor: rank %d: group %d (%s) never filled", rank, gi, plan.Layout.Groups[gi].Layer)
+			return nil, nil, 0, 0, 0, fmt.Errorf("tailor: rank %d: group %d (%s) never filled", rank, gi, plan.Layout.Groups[gi].Layer)
 		}
 	}
-	return shards, metas, maxStep, loads, nil
+	return shards, metas, maxStep, loads, readBytes, nil
 }
 
 // copyConfigs copies configuration files verbatim from the designated
 // source (§4.4) and writes the output manifest and latest pointer.
-func copyConfigs(b storage.Backend, plan *Plan) error {
+func copyConfigs(b storage.Backend, plan *Plan, stats *Stats) error {
 	src := plan.Recipe.ConfigsSource()
 	for _, f := range []string{"config.json", "trainer_state.json"} {
 		data, err := b.ReadFile(src + "/" + f)
@@ -260,6 +364,8 @@ func copyConfigs(b storage.Backend, plan *Plan) error {
 		if err := b.WriteFile(plan.Recipe.Output+"/"+f, data); err != nil {
 			return err
 		}
+		stats.BytesRead += int64(len(data))
+		stats.BytesWritten += int64(len(data))
 	}
 
 	man := ckpt.Manifest{
@@ -277,14 +383,11 @@ func copyConfigs(b storage.Backend, plan *Plan) error {
 		return err
 	}
 
-	// Refresh the parent directory's latest pointer so resume tooling
-	// finds the merged checkpoint.
-	parts := strings.Split(plan.Recipe.Output, "/")
-	latest := "latest"
-	if len(parts) > 1 {
-		latest = strings.Join(parts[:len(parts)-1], "/") + "/latest"
-	}
-	return b.WriteFile(latest, []byte(parts[len(parts)-1]))
+	// Refresh the run root's latest pointer so resume tooling finds the
+	// merged checkpoint. For a single-segment Output ("merged") the run
+	// root is the backend root itself, so the pointer lands at the
+	// root-level "latest" — see ckpt.LatestPointerPath.
+	return ckpt.WriteLatestPointer(b, plan.Recipe.Output)
 }
 
 func writeManifest(b storage.Backend, name string, man *ckpt.Manifest) error {

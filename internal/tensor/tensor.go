@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 )
 
@@ -223,6 +224,41 @@ func (t *Tensor) Encode(dst []byte) []byte {
 		dst = binary.LittleEndian.AppendUint16(dst, u)
 	}
 	return dst
+}
+
+// EncodeTo streams the little-endian serialisation of the tensor payload to
+// w in chunks of at most len(buf) bytes, so a tensor can be written without
+// materialising its full encoding. buf must hold at least one element; a nil
+// or undersized buf gets a small local buffer. Returns the bytes written.
+func (t *Tensor) EncodeTo(w io.Writer, buf []byte) (int64, error) {
+	elem := t.DType.Size()
+	if len(buf) < elem {
+		buf = make([]byte, 4096)
+	}
+	perChunk := len(buf) / elem
+	var total int64
+	for base := 0; base < t.Len(); base += perChunk {
+		end := base + perChunk
+		if end > t.Len() {
+			end = t.Len()
+		}
+		chunk := buf[:(end-base)*elem]
+		if t.DType == F32 {
+			for i := base; i < end; i++ {
+				binary.LittleEndian.PutUint32(chunk[(i-base)*4:], math.Float32bits(t.f32[i]))
+			}
+		} else {
+			for i := base; i < end; i++ {
+				binary.LittleEndian.PutUint16(chunk[(i-base)*2:], t.u16[i])
+			}
+		}
+		n, err := w.Write(chunk)
+		total += int64(n)
+		if err != nil {
+			return total, fmt.Errorf("tensor: encode %s: %w", t.Name, err)
+		}
+	}
+	return total, nil
 }
 
 // Decode fills the tensor from a little-endian payload produced by Encode.

@@ -6,10 +6,13 @@
 // The package re-exports the library's main entry points over the internal
 // implementation:
 //
-//	// Open a storage root, parse a recipe, and merge.
+//	// Open a storage root, parse a recipe, and merge. The merge engine is
+//	// a streaming pipeline: MaxInFlight caps its peak tensor memory.
 //	back, _ := llmtailor.OpenDir("/data/runs")
 //	rec, _ := llmtailor.ParseRecipe(yamlBytes)
-//	stats, _ := llmtailor.Merge(back, rec, llmtailor.MergeOptions{Workers: 8})
+//	stats, _ := llmtailor.Merge(back, rec, llmtailor.MergeOptions{
+//		Workers: 8, MaxInFlight: 2 << 30,
+//	})
 //
 //	// Or reconstruct the newest complete state from partial checkpoints.
 //	rec, _ = llmtailor.RecipeFromManifests(back, "sft-run", failStep, cfg, "merged")
@@ -37,9 +40,17 @@ type (
 	Backend = storage.Backend
 	// Recipe is a parsed YAML merge recipe.
 	Recipe = recipe.Recipe
-	// MergeOptions tunes a merge run (worker pool, load order).
+	// MergeOptions tunes a merge run. Workers sets both the tensor-read
+	// fan-out of the streaming weights pipeline and the rank-level
+	// parallelism of optimizer merging; LoadOrder selects shard-file
+	// loading behaviour; MaxInFlight bounds the payload bytes admitted
+	// into the weights pipeline but not yet written (0 = unbounded), so a
+	// merge of an arbitrarily large model runs in bounded memory; and
+	// ChunkBytes sets the streaming I/O chunk size.
 	MergeOptions = tailor.Options
-	// MergeStats reports a merge's I/O behaviour.
+	// MergeStats reports a merge's I/O behaviour, including BytesRead /
+	// BytesWritten volumes and PeakInFlightBytes, the high-water mark the
+	// MergeOptions.MaxInFlight knob bounds.
 	MergeStats = tailor.Stats
 	// Plan is a validated merge plan (dry-run inspectable).
 	Plan = tailor.Plan

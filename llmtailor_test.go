@@ -111,6 +111,73 @@ func TestFacadeEndToEndOnDisk(t *testing.T) {
 	}
 }
 
+// The format-stability roundtrip the streaming refactor must preserve: a
+// merge run under a tight MaxInFlight byte budget produces a checkpoint
+// that resumes training through the public facade, and its weight file is
+// byte-identical to an unbounded merge's.
+func TestStreamedMergeOutputResumesTraining(t *testing.T) {
+	back := llmtailor.NewMemBackend()
+	cfg, err := llmtailor.ModelByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := train.TaskByName("sft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := llmtailor.TrainerConfig{
+		Model: cfg, Seed: 11, Task: task,
+		TotalSteps: 40, WarmupSteps: 4, BaseLR: 2e-3,
+		CkptInterval: 10, WorldSize: 2, RunRoot: "run",
+	}
+	tr, err := llmtailor.NewTrainer(base, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := llmtailor.ParityRecipe("run/checkpoint-30", "run/checkpoint-40", cfg, "run/merged")
+	stats, err := llmtailor.Merge(back, rec, llmtailor.MergeOptions{
+		Workers: 4, MaxInFlight: 1 << 17, ChunkBytes: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PeakInFlightBytes <= 0 || stats.PeakInFlightBytes > 1<<17 {
+		t.Fatalf("peak in-flight %d outside (0, %d]", stats.PeakInFlightBytes, 1<<17)
+	}
+
+	rec2 := llmtailor.ParityRecipe("run/checkpoint-30", "run/checkpoint-40", cfg, "run/merged-unbounded")
+	if _, err := llmtailor.Merge(back, rec2, llmtailor.MergeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := back.ReadFile("run/merged/model.ltsf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.ReadFile("run/merged-unbounded/model.ltsf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("bounded and unbounded merges produced different weight files")
+	}
+
+	trC, err := llmtailor.ResumeTrainer(base, back, "run/merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trC.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalStep != base.TotalSteps {
+		t.Fatalf("resumed run ended at step %d, want %d", res.FinalStep, base.TotalSteps)
+	}
+}
+
 func TestFacadeRecipeParsing(t *testing.T) {
 	rec, err := llmtailor.ParseRecipe([]byte("base_checkpoint: a\noutput: b\ntailor:\n  optimizer: true\n"))
 	if err != nil {
