@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-record clean
+.PHONY: all build test race vet fmt-check ci fuzz-smoke doctor-smoke bench bench-record clean
 
 all: build test
 
@@ -13,8 +13,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The experiments package replays whole paper use-cases; under the race
+# detector it alone needs ~25 minutes, past go test's default 10m
+# per-binary timeout.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 vet:
 	$(GO) vet ./...
@@ -23,7 +26,30 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build race
+ci: fmt-check vet build race fuzz-smoke doctor-smoke
+
+# Brief run of every fuzz target (the checked-in testdata/fuzz corpus plus
+# ~5s of new coverage each); any reader panic fails the build.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzReadShardFile$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzLTSFReader$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/recipe -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
+
+# Exercise the doctor exit-code contract end to end: 2 when torn/orphaned
+# checkpoint directories are found, 0 after -fix repairs them.
+doctor-smoke:
+	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
+	$(GO) build -o $$tmp/llmtailor ./cmd/llmtailor || exit 1; \
+	mkdir -p $$tmp/root/run/checkpoint-10 $$tmp/root/run/checkpoint-20.tmp; \
+	echo '{}' > $$tmp/root/run/checkpoint-10/manifest.json; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run run > /dev/null; rc=$$?; \
+	if [ $$rc -ne 2 ]; then echo "doctor-smoke: want exit 2 on sick root, got $$rc"; exit 1; fi; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run run -fix > /dev/null || \
+		{ echo "doctor-smoke: -fix failed"; exit 1; }; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run run > /dev/null || \
+		{ echo "doctor-smoke: root still sick after -fix"; exit 1; }; \
+	echo "doctor-smoke: OK"
 
 # Quick benchmark sweep of the streaming merge hot path.
 bench:

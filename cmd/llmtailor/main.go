@@ -7,18 +7,24 @@
 //	llmtailor merge   -root DIR -recipe FILE [-workers N] [-interleaved]
 //	llmtailor plan    -root DIR -recipe FILE
 //	llmtailor inspect -root DIR -ckpt CHECKPOINT_DIR
+//	llmtailor doctor  -root DIR [-run RUN_ROOT] [-fix]
 //	llmtailor gen-recipe -root DIR -run RUN_ROOT -model NAME -fail-step N -output DIR [-write FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"llmtailor"
 	"llmtailor/internal/modelcfg"
 	"llmtailor/internal/tailor"
 )
+
+// exitProblems is the doctor exit code when uncommitted (torn / orphaned)
+// checkpoint directories are found and not fixed; CI keys off it.
+const exitProblems = 2
 
 func main() {
 	if len(os.Args) < 2 {
@@ -37,6 +43,16 @@ func main() {
 		err = runGenRecipe(os.Args[2:])
 	case "verify":
 		err = runVerify(os.Args[2:])
+	case "doctor":
+		problems, derr := runDoctor(os.Args[2:], os.Stdout)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "llmtailor:", derr)
+			os.Exit(1)
+		}
+		if problems > 0 {
+			os.Exit(exitProblems)
+		}
+		return
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -58,7 +74,15 @@ commands:
   plan        validate a recipe and print the merge plan (dry run)
   inspect     print a checkpoint's anatomy
   verify      re-read a checkpoint end to end and check consistency
-  gen-recipe  build a recipe from partial-checkpoint manifests`)
+  doctor      classify checkpoints (committed / torn / orphaned staging)
+              and optionally repair the run root; exits 0 when healthy,
+              2 when problems were found and left in place
+  gen-recipe  build a recipe from partial-checkpoint manifests
+
+examples:
+  llmtailor doctor -root /data -run sft-run        # report only
+  llmtailor doctor -root /data -run sft-run -fix   # remove torn/orphaned
+                                                   # dirs, re-aim 'latest'`)
 }
 
 func openRoot(root string) (llmtailor.Backend, error) {
@@ -191,6 +215,66 @@ func runVerify(args []string) error {
 		return fmt.Errorf("%d problems found", len(rep.Problems))
 	}
 	return nil
+}
+
+// runDoctor scans (and with -fix repairs) a run root. It returns the
+// number of problem directories left in place — the caller maps a
+// non-zero count to exit code 2 so scripts and CI can gate on health.
+func runDoctor(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	run := fs.String("run", "", "run root under the storage root (default: the root itself)")
+	fix := fs.Bool("fix", false, "remove torn/orphaned directories and re-aim the latest pointer")
+	fs.Parse(args)
+
+	b, err := openRoot(*root)
+	if err != nil {
+		return 0, err
+	}
+	statuses, err := llmtailor.ScanCheckpoints(b, *run)
+	if err != nil {
+		return 0, err
+	}
+	problems := 0
+	for _, st := range statuses {
+		if st.State == llmtailor.StateCommitted {
+			fmt.Fprintf(out, "  %-12s %s (step %d)\n", st.State, st.Path, st.Step)
+			continue
+		}
+		problems++
+		fmt.Fprintf(out, "  %-12s %s — %s\n", st.State, st.Path, st.Detail)
+	}
+	if len(statuses) == 0 {
+		fmt.Fprintf(out, "no checkpoint directories under %q\n", *run)
+	}
+	if problems == 0 {
+		fmt.Fprintln(out, "healthy: every checkpoint is committed")
+		return 0, nil
+	}
+	if !*fix {
+		fmt.Fprintf(out, "%d problem(s); run with -fix to repair\n", problems)
+		return problems, nil
+	}
+	rep, err := llmtailor.RepairCheckpoints(b, *run)
+	if err != nil {
+		return problems, err
+	}
+	for _, p := range rep.Published {
+		fmt.Fprintf(out, "published %s (completed a crashed rename)\n", p)
+	}
+	for _, r := range rep.Removed {
+		fmt.Fprintf(out, "removed %s\n", r)
+	}
+	if rep.LatestFixed {
+		if rep.Latest == "" {
+			fmt.Fprintln(out, "removed dangling latest pointer (no committed checkpoint remains)")
+		} else {
+			fmt.Fprintf(out, "latest pointer -> %s\n", rep.Latest)
+		}
+	}
+	fmt.Fprintf(out, "repaired: %d directories removed, %d published\n",
+		len(rep.Removed), len(rep.Published))
+	return 0, nil
 }
 
 func runGenRecipe(args []string) error {

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"llmtailor"
@@ -103,6 +104,65 @@ func TestCLIGenRecipe(t *testing.T) {
 	// The generated recipe must actually merge.
 	if err := runMerge([]string{"-root", root, "-recipe", out}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCLIDoctor(t *testing.T) {
+	root := t.TempDir()
+	writeRun(t, root)
+	var out strings.Builder
+
+	// Healthy root: zero problems (exit code 0 in main).
+	problems, err := runDoctor([]string{"-root", root, "-run", "run"}, &out)
+	if err != nil || problems != 0 {
+		t.Fatalf("healthy doctor: %d problems, %v\n%s", problems, err, out.String())
+	}
+	if !strings.Contains(out.String(), "healthy") {
+		t.Fatalf("output: %s", out.String())
+	}
+
+	// Tear a checkpoint and drop an orphan: doctor reports both without
+	// -fix (main maps this to exit code 2).
+	if err := os.Remove(filepath.Join(root, "run", "checkpoint-20", ckpt.CommitMarkerName)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "run", "checkpoint-30.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	problems, err = runDoctor([]string{"-root", root, "-run", "run"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems != 2 {
+		t.Fatalf("problems = %d, want 2\n%s", problems, out.String())
+	}
+	if !strings.Contains(out.String(), "torn") || !strings.Contains(out.String(), "orphaned-tmp") {
+		t.Fatalf("output: %s", out.String())
+	}
+	// Report-only mode must not delete anything.
+	if _, err := os.Stat(filepath.Join(root, "run", "checkpoint-20")); err != nil {
+		t.Fatal("doctor without -fix removed a directory")
+	}
+
+	// -fix repairs and returns zero problems; a rescan stays healthy.
+	out.Reset()
+	problems, err = runDoctor([]string{"-root", root, "-run", "run", "-fix"}, &out)
+	if err != nil || problems != 0 {
+		t.Fatalf("fix doctor: %d problems, %v\n%s", problems, err, out.String())
+	}
+	if _, err := os.Stat(filepath.Join(root, "run", "checkpoint-20")); !os.IsNotExist(err) {
+		t.Fatal("-fix left the torn checkpoint")
+	}
+	out.Reset()
+	problems, err = runDoctor([]string{"-root", root, "-run", "run"}, &out)
+	if err != nil || problems != 0 {
+		t.Fatalf("post-fix doctor: %d problems, %v", problems, err)
+	}
+	// The pointer survived repair aimed at the committed checkpoint.
+	data, err := os.ReadFile(filepath.Join(root, "run", "latest"))
+	if err != nil || string(data) != "checkpoint-10" {
+		t.Fatalf("latest = %q, %v", data, err)
 	}
 }
 

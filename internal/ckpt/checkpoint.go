@@ -80,8 +80,11 @@ type SaveSpec struct {
 }
 
 // Save writes a checkpoint directory: consolidated weights, per-rank
-// optimizer shards, config, trainer state and manifest. It also refreshes
-// the run-root "latest" pointer.
+// optimizer shards, config, trainer state and manifest. The write is
+// crash-consistent: every file is staged into `<dir>.tmp`, sealed with a
+// COMMITTED marker (per-file sizes and CRCs) and published with one atomic
+// rename before the run-root "latest" pointer moves. A crash at any point
+// leaves the previous checkpoint intact and resolvable.
 func Save(b storage.Backend, spec SaveSpec) error {
 	cfg := spec.Model.Config
 	layers := spec.Layers
@@ -98,19 +101,8 @@ func Save(b storage.Backend, spec SaveSpec) error {
 	if cfg.TieWordEmbeddings && inSet[modelcfg.LMHead] {
 		return fmt.Errorf("ckpt: model %s ties embeddings; lm_head is not a separate layer", cfg.Name)
 	}
-
-	// 1. Consolidated weights (only tensors of saved layers).
-	var weights []*tensor.Tensor
-	for i, s := range spec.Model.Specs() {
-		if inSet[s.Layer] {
-			weights = append(weights, spec.Model.Tensors()[i])
-		}
-	}
-	if err := WriteLTSF(b, spec.Dir+"/model.ltsf", cfg.Name, weights); err != nil {
-		return err
-	}
-
-	// 2. Optimizer shards: only groups belonging to saved layers.
+	// Validate the layout before opening the transaction, so spec errors
+	// never leave a staging directory behind.
 	o := spec.Optim
 	var metas []ShardGroupMeta
 	var states []*optim.GroupState
@@ -126,26 +118,46 @@ func Save(b storage.Backend, spec SaveSpec) error {
 			states = append(states, o.States[gi])
 		}
 	}
+
+	txn, err := Begin(b, spec.Dir)
+	if err != nil {
+		return err
+	}
+	defer txn.Abort()
+	sb, dir := txn.Backend(), txn.Dir()
+
+	// 1. Consolidated weights (only tensors of saved layers).
+	var weights []*tensor.Tensor
+	for i, s := range spec.Model.Specs() {
+		if inSet[s.Layer] {
+			weights = append(weights, spec.Model.Tensors()[i])
+		}
+	}
+	if err := WriteLTSF(sb, dir+"/model.ltsf", cfg.Name, weights); err != nil {
+		return err
+	}
+
+	// 2. Optimizer shards: only groups belonging to saved layers.
 	byRank, err := zero.ShardAll(states, spec.WorldSize)
 	if err != nil {
 		return err
 	}
 	for r := 0; r < spec.WorldSize; r++ {
-		name := spec.Dir + "/" + ShardFileName(r)
-		if err := WriteShardFile(b, name, r, spec.WorldSize, o.StepCount, o.Layout.Kind, metas, byRank[r]); err != nil {
+		name := dir + "/" + ShardFileName(r)
+		if err := WriteShardFile(sb, name, r, spec.WorldSize, o.StepCount, o.Layout.Kind, metas, byRank[r]); err != nil {
 			return err
 		}
 	}
 
 	// 3. Config, trainer state, manifest.
-	if err := writeJSON(b, spec.Dir+"/config.json", cfg); err != nil {
+	if err := writeJSON(sb, dir+"/config.json", cfg); err != nil {
 		return err
 	}
 	st := spec.State
 	st.WorldSize = spec.WorldSize
 	st.Layout = o.Layout.Kind.String()
 	st.Hyper = o.Hyper
-	if err := writeJSON(b, spec.Dir+"/trainer_state.json", &st); err != nil {
+	if err := writeJSON(sb, dir+"/trainer_state.json", &st); err != nil {
 		return err
 	}
 	man := Manifest{
@@ -157,11 +169,14 @@ func Save(b storage.Backend, spec SaveSpec) error {
 		man.Layers = append(man.Layers, ref.String())
 	}
 	sort.Strings(man.Layers)
-	if err := writeJSON(b, spec.Dir+"/manifest.json", &man); err != nil {
+	if err := writeJSON(sb, dir+"/manifest.json", &man); err != nil {
 		return err
 	}
 
-	// 4. Run-root "latest" pointer (the dir's last path element).
+	// 4. Seal and publish, then move the run-root "latest" pointer.
+	if err := txn.Commit(st.Step); err != nil {
+		return err
+	}
 	return WriteLatestPointer(b, spec.Dir)
 }
 
@@ -178,13 +193,20 @@ func LatestPointerPath(dir string) string {
 }
 
 // WriteLatestPointer refreshes the run root's "latest" pointer to name the
-// given checkpoint directory, so resume tooling finds it.
+// given checkpoint directory, so resume tooling finds it. The update is
+// atomic (write-staging + rename): a crash mid-update leaves the previous
+// pointer intact, never a truncated one.
 func WriteLatestPointer(b storage.Backend, dir string) error {
 	name := dir
 	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
 		name = dir[i+1:]
 	}
-	return b.WriteFile(LatestPointerPath(dir), []byte(name))
+	p := LatestPointerPath(dir)
+	tmp := p + stagingSuffix
+	if err := b.WriteFile(tmp, []byte(name)); err != nil {
+		return err
+	}
+	return b.Rename(tmp, p)
 }
 
 func writeJSON(b storage.Backend, name string, v any) error {
@@ -265,25 +287,41 @@ func (c *Checkpoint) ReadOptimShard(rank int) (*ShardFile, error) {
 // WorldSize returns the rank count recorded at save time.
 func (c *Checkpoint) WorldSize() int { return c.State.WorldSize }
 
-// Latest resolves the run root's "latest" pointer to a checkpoint dir path.
+// Latest resolves the run root's "latest" pointer to a checkpoint dir
+// path. Only committed checkpoints are ever returned: when the pointer
+// dangles, or its target fails the commit check (a crash window, external
+// mutilation), Latest falls back to the newest committed checkpoint under
+// the run root instead of handing resume tooling a torn directory.
 func Latest(b storage.Backend, runRoot string) (string, error) {
 	p := "latest"
 	if runRoot != "" {
 		p = runRoot + "/latest"
 	}
-	data, err := b.ReadFile(p)
-	if err != nil {
-		return "", fmt.Errorf("ckpt: no latest pointer under %q: %w", runRoot, err)
+	var pointerErr error
+	if data, err := b.ReadFile(p); err != nil {
+		pointerErr = fmt.Errorf("ckpt: no latest pointer under %q: %w", runRoot, err)
+	} else {
+		dir := strings.TrimSpace(string(data))
+		if runRoot != "" {
+			dir = runRoot + "/" + dir
+		}
+		if err := CheckCommit(b, dir); err == nil {
+			return dir, nil
+		} else {
+			pointerErr = fmt.Errorf("ckpt: latest pointer target unusable: %w", err)
+		}
 	}
-	name := strings.TrimSpace(string(data))
-	if runRoot != "" {
-		return runRoot + "/" + name, nil
+	// Fall back to the newest committed checkpoint.
+	if dirs, err := List(b, runRoot); err == nil && len(dirs) > 0 {
+		return dirs[len(dirs)-1], nil
 	}
-	return name, nil
+	return "", fmt.Errorf("ckpt: no committed checkpoint under %q: %w", runRoot, pointerErr)
 }
 
-// List returns the checkpoint directory paths under a run root, sorted by
-// step number.
+// List returns the committed checkpoint directory paths under a run root,
+// sorted by step number. Uncommitted directories — torn checkpoints,
+// abandoned `.tmp` staging trees — are skipped, so every returned path is
+// safe to Open.
 func List(b storage.Backend, runRoot string) ([]string, error) {
 	entries, err := b.List(runRoot)
 	if err != nil {
@@ -300,12 +338,15 @@ func List(b storage.Backend, runRoot string) ([]string, error) {
 		}
 		name := strings.TrimSuffix(e, "/")
 		var step int
-		if _, err := fmt.Sscanf(name, "checkpoint-%d", &step); err != nil {
+		if _, err := fmt.Sscanf(name, "checkpoint-%d", &step); err != nil || IsStagingPath(name) {
 			continue
 		}
 		p := name
 		if runRoot != "" {
 			p = runRoot + "/" + name
+		}
+		if err := CheckCommit(b, p); err != nil {
+			continue
 		}
 		items = append(items, item{p, step})
 	}

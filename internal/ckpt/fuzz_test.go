@@ -1,0 +1,153 @@
+package ckpt
+
+// Fuzz targets for the container readers. The contract under test: corrupt
+// input — truncated, bit-flipped, adversarial headers — must surface as an
+// error, never as a panic or an unbounded allocation. Seeds are the golden
+// containers the writers produce, plus truncations and bit flips of them;
+// the regression corpus lives in testdata/fuzz/.
+
+import (
+	"testing"
+
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+	"llmtailor/internal/zero"
+)
+
+// goldenLTSF builds a small deterministic LTSF container.
+func goldenLTSF(tb testing.TB) []byte {
+	tb.Helper()
+	a := tensor.New("a", tensor.BF16, 2, 3)
+	b := tensor.New("b", tensor.F32, 4)
+	for i := 0; i < a.Len(); i++ {
+		a.Set(i, float32(i)-1.5)
+	}
+	for i := 0; i < b.Len(); i++ {
+		b.Set(i, float32(i)*0.25)
+	}
+	mem := storage.NewMem()
+	if err := WriteLTSF(mem, "m", "fuzz", []*tensor.Tensor{a, b}); err != nil {
+		tb.Fatal(err)
+	}
+	data, _ := mem.ReadFile("m")
+	return data
+}
+
+// goldenLTOS builds a small deterministic optimizer shard container.
+func goldenLTOS(tb testing.TB) []byte {
+	tb.Helper()
+	m, o := buildOptim(tb, modelcfg.Tiny(), 99)
+	_ = m
+	var metas []ShardGroupMeta
+	for _, g := range o.Layout.Groups[:2] {
+		metas = append(metas, metaForGroup(g))
+	}
+	byRank, err := zero.ShardAll(o.States[:2], 2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mem := storage.NewMem()
+	if err := WriteShardFile(mem, "s", 0, 2, 7, o.Layout.Kind, metas, byRank[0]); err != nil {
+		tb.Fatal(err)
+	}
+	data, _ := mem.ReadFile("s")
+	return data
+}
+
+// container assembles magic + length-prefixed JSON header + payload, for
+// hand-crafting adversarial inputs.
+func container(magic []byte, hdr string, payload []byte) []byte {
+	out := append([]byte(nil), magic...)
+	out = append(out, byte(len(hdr)), 0, 0, 0, 0, 0, 0, 0)
+	out = append(out, hdr...)
+	return append(out, payload...)
+}
+
+// Regression: adversarial LTSF headers that once slipped past validation.
+// Zero dimensions would panic inside tensor.New, and a single huge
+// dimension would wrap numel*size around int64 to match an empty payload
+// range — both must surface as Open errors, never panics.
+func TestOpenLTSFRejectsAdversarialHeaders(t *testing.T) {
+	cases := map[string]string{
+		"zero-dim": `{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[0],"data_offsets":[0,0],"crc32":0}}}`,
+		"overflow": `{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[4611686018427387904],"data_offsets":[0,0],"crc32":0}}}`,
+		"negative": `{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[-4],"data_offsets":[0,16],"crc32":0}}}`,
+		"escape":   `{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[64],"data_offsets":[0,256],"crc32":0}}}`,
+	}
+	for name, hdr := range cases {
+		b := storage.NewMem()
+		if err := b.WriteFile("m", container([]byte("LTSF"), hdr, []byte("payload"))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenLTSF(b, "m"); err == nil {
+			t.Errorf("%s: adversarial header accepted", name)
+		}
+	}
+}
+
+func addMutations(f *testing.F, golden []byte) {
+	f.Add(golden)
+	for _, cut := range []int{1, 7, 13, len(golden) / 2, len(golden) - 1} {
+		if cut < len(golden) {
+			f.Add(golden[:cut])
+		}
+	}
+	for _, pos := range []int{4, 8, 15, len(golden) / 3, len(golden) - 2} {
+		if pos < len(golden) {
+			flipped := append([]byte(nil), golden...)
+			flipped[pos] ^= 0x40
+			f.Add(flipped)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("LTSF"))
+	f.Add([]byte("LTOS"))
+}
+
+func FuzzReadShardFile(f *testing.F) {
+	addMutations(f, goldenLTOS(f))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := storage.NewMem()
+		if err := b.WriteFile("s", data); err != nil {
+			t.Fatal(err)
+		}
+		sf, err := ReadShardFile(b, "s")
+		if err != nil {
+			return // corrupt input must error, and did
+		}
+		// A successful read must be internally consistent.
+		for i, m := range sf.Meta {
+			if sf.Shards[i].Numel() != m.ShardLen {
+				t.Fatalf("group %d: shard len %d != header %d", i, sf.Shards[i].Numel(), m.ShardLen)
+			}
+		}
+	})
+}
+
+func FuzzLTSFReader(f *testing.F) {
+	addMutations(f, goldenLTSF(f))
+	f.Add(container([]byte("LTSF"),
+		`{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[0],"data_offsets":[0,0],"crc32":0}}}`, nil))
+	f.Add(container([]byte("LTSF"),
+		`{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[4611686018427387904],"data_offsets":[0,0],"crc32":0}}}`, nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b := storage.NewMem()
+		if err := b.WriteFile("m", data); err != nil {
+			t.Fatal(err)
+		}
+		r, err := OpenLTSF(b, "m")
+		if err != nil {
+			return
+		}
+		for _, name := range r.Names() {
+			ts, err := r.ReadTensor(name)
+			if err != nil {
+				continue // CRC or payload error: fine
+			}
+			if size, ok := r.PayloadSize(name); !ok || int64(ts.Bytes()) != size {
+				t.Fatalf("tensor %q: decoded %d bytes, header says %d", name, ts.Bytes(), size)
+			}
+		}
+	})
+}

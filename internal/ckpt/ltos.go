@@ -217,8 +217,9 @@ func ReadShardFile(b storage.Backend, name string) (*ShardFile, error) {
 			return nil, fmt.Errorf("ckpt: %s: bad magic %q", name, head[:4])
 		}
 	}
+	// Compare without adding (overflow-safe against adversarial lengths).
 	hlen := int64(binary.LittleEndian.Uint64(head[4:12]))
-	if hlen <= 0 || 12+hlen > size {
+	if hlen <= 0 || hlen > size-12 {
 		return nil, fmt.Errorf("ckpt: %s: corrupt header length %d", name, hlen)
 	}
 	hj := make([]byte, hlen)
@@ -266,8 +267,10 @@ func ReadShardFile(b storage.Backend, name string) (*ShardFile, error) {
 		if got := crc32.ChecksumIEEE(seg); got != m.CRC32 {
 			return nil, fmt.Errorf("ckpt: %s: group %d CRC mismatch", name, m.Index)
 		}
-		if int64(len(seg)) != m.ShardLen*12 {
-			return nil, fmt.Errorf("ckpt: %s: group %d payload %d bytes, want %d", name, m.Index, len(seg), m.ShardLen*12)
+		// Range-check ShardLen before multiplying: a near-MaxInt64 value
+		// could wrap ShardLen*12 around to len(seg) and pass the equality.
+		if m.ShardLen < 0 || m.ShardLen > int64(len(seg)) || int64(len(seg)) != m.ShardLen*12 {
+			return nil, fmt.Errorf("ckpt: %s: group %d payload %d bytes, want 12×%d", name, m.Index, len(seg), m.ShardLen)
 		}
 		f.Shards[i] = &zero.GroupShard{
 			GroupIndex: m.Index,

@@ -250,7 +250,9 @@ func readContainerHeader(b storage.Backend, name string, magic [4]byte, hdr any)
 	if err != nil {
 		return 0, err
 	}
-	if hlen <= 0 || 12+hlen > size {
+	// Compare without adding: a near-MaxInt64 header length would overflow
+	// 12+hlen and sail past the bound into a giant allocation.
+	if hlen <= 0 || hlen > size-12 {
 		return 0, fmt.Errorf("ckpt: %s: corrupt header length %d (file %d bytes)", name, hlen, size)
 	}
 	hj := make([]byte, hlen)
@@ -272,7 +274,10 @@ type LTSFReader struct {
 	payloadOff int64
 }
 
-// OpenLTSF reads and validates the header of an LTSF file.
+// OpenLTSF reads and validates the header of an LTSF file. Every tensor
+// entry is bounds-checked against the payload here, so later ReadTensor
+// allocations are capped by the real file size no matter what a corrupt or
+// adversarial header claims.
 func OpenLTSF(b storage.Backend, name string) (*LTSFReader, error) {
 	r := &LTSFReader{backend: b, name: name}
 	off, err := readContainerHeader(b, name, ltsfMagic, &r.hdr)
@@ -282,8 +287,52 @@ func OpenLTSF(b storage.Backend, name string) (*LTSFReader, error) {
 	if r.hdr.Version != FormatVersion {
 		return nil, fmt.Errorf("ckpt: %s: version %d, want %d", name, r.hdr.Version, FormatVersion)
 	}
+	size, err := b.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := size - off
+	for tn, meta := range r.hdr.Tensors {
+		if err := validateTensorMeta(tn, meta, payloadLen); err != nil {
+			return nil, fmt.Errorf("ckpt: %s: %w", name, err)
+		}
+	}
 	r.payloadOff = off
 	return r, nil
+}
+
+// validateTensorMeta rejects header entries whose dtype, shape or offsets
+// are inconsistent or escape the payload — the guards that keep truncated
+// and bit-flipped containers erroring instead of panicking or allocating
+// unbounded memory.
+func validateTensorMeta(name string, meta ltsfTensorMeta, payloadLen int64) error {
+	dt, err := tensor.ParseDType(meta.DType)
+	if err != nil {
+		return fmt.Errorf("tensor %q: %w", name, err)
+	}
+	if meta.Offsets[0] < 0 || meta.Offsets[1] < meta.Offsets[0] || meta.Offsets[1] > payloadLen {
+		return fmt.Errorf("tensor %q: offsets %v outside payload (%d bytes)", name, meta.Offsets, payloadLen)
+	}
+	numel := int64(1)
+	for _, d := range meta.Shape {
+		// Dimensions must be positive (tensor.New rejects 0 and negatives
+		// by panicking — this reader must error instead), and the running
+		// product must stay within the payload, checked by division so it
+		// can never wrap around int64.
+		if d <= 0 {
+			return fmt.Errorf("tensor %q: non-positive dimension %d", name, d)
+		}
+		if numel > payloadLen/int64(d) {
+			return fmt.Errorf("tensor %q: shape %v overflows payload (%d bytes)", name, meta.Shape, payloadLen)
+		}
+		numel *= int64(d)
+	}
+	// numel ≤ payloadLen here, so numel*size cannot overflow.
+	if want := numel * int64(dt.Size()); want != meta.Offsets[1]-meta.Offsets[0] {
+		return fmt.Errorf("tensor %q: shape %v (%s) needs %d bytes, offsets hold %d",
+			name, meta.Shape, meta.DType, want, meta.Offsets[1]-meta.Offsets[0])
+	}
+	return nil
 }
 
 // Model returns the model name recorded at write time.

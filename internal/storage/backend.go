@@ -47,6 +47,12 @@ type Backend interface {
 	Exists(name string) bool
 	// Remove deletes a file or directory tree.
 	Remove(name string) error
+	// Rename atomically moves a file or directory tree to a new name,
+	// creating the destination's parent directories as needed. Renaming
+	// over an existing file replaces it; renaming over an existing
+	// directory fails. This is the publication primitive of the checkpoint
+	// commit protocol: a staged directory becomes visible in one step.
+	Rename(oldName, newName string) error
 }
 
 // OS is a Backend rooted at a real directory.
@@ -75,7 +81,9 @@ func (b *OS) resolve(name string) (string, error) {
 	return filepath.Join(b.Root, filepath.FromSlash(clean)), nil
 }
 
-// WriteFile implements Backend.
+// WriteFile implements Backend. Data is fsynced before the write reports
+// success: the commit protocol's publishing rename is only crash-durable
+// if the staged bytes reached stable storage first.
 func (b *OS) WriteFile(name string, data []byte) error {
 	p, err := b.resolve(name)
 	if err != nil {
@@ -84,7 +92,19 @@ func (b *OS) WriteFile(name string, data []byte) error {
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("storage: mkdir for %s: %w", name, err)
 	}
-	if err := os.WriteFile(p, data, 0o644); err != nil {
+	f, err := os.Create(p)
+	if err != nil {
+		return fmt.Errorf("storage: write %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: write %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: sync %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("storage: write %s: %w", name, err)
 	}
 	return nil
@@ -104,7 +124,8 @@ func (b *OS) ReadFile(name string) ([]byte, error) {
 }
 
 // Create implements Backend: the stream writes straight to the target path,
-// mirroring WriteFile's non-atomic create-or-replace semantics.
+// mirroring WriteFile's non-atomic create-or-replace semantics. Close
+// fsyncs before returning, so a stream that closed cleanly is durable.
 func (b *OS) Create(name string) (io.WriteCloser, error) {
 	p, err := b.resolve(name)
 	if err != nil {
@@ -117,7 +138,20 @@ func (b *OS) Create(name string) (io.WriteCloser, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: create %s: %w", name, err)
 	}
-	return f, nil
+	return syncOnClose{f}, nil
+}
+
+// syncOnClose fsyncs the file before closing it.
+type syncOnClose struct{ f *os.File }
+
+func (s syncOnClose) Write(p []byte) (int, error) { return s.f.Write(p) }
+
+func (s syncOnClose) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
 }
 
 // Open implements Backend.
@@ -196,6 +230,36 @@ func (b *OS) Exists(name string) bool {
 	}
 	_, err = os.Stat(p)
 	return err == nil
+}
+
+// Rename implements Backend. After the rename the destination's parent
+// directory is fsynced, so the publication survives a host crash — the
+// durability half of the commit protocol's atomic-rename step.
+func (b *OS) Rename(oldName, newName string) error {
+	op, err := b.resolve(oldName)
+	if err != nil {
+		return err
+	}
+	np, err := b.resolve(newName)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(np), 0o755); err != nil {
+		return fmt.Errorf("storage: mkdir for %s: %w", newName, err)
+	}
+	if err := os.Rename(op, np); err != nil {
+		return fmt.Errorf("storage: rename %s -> %s: %w", oldName, newName, err)
+	}
+	syncDir(filepath.Dir(np))
+	return nil
+}
+
+// syncDir fsyncs a directory (best effort — some filesystems reject it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
 }
 
 // Remove implements Backend.

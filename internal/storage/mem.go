@@ -155,6 +155,45 @@ func (b *Mem) Exists(name string) bool {
 	return false
 }
 
+// Rename implements Backend. The move is atomic under the backend mutex:
+// no concurrent reader can observe a half-moved tree.
+func (b *Mem) Rename(oldName, newName string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	oc, nc := memClean(oldName), memClean(newName)
+	if oc == nc {
+		return nil
+	}
+	_, isFile := b.files[oc]
+	oldPrefix := oc + "/"
+	var moved []string
+	for n := range b.files {
+		if strings.HasPrefix(n, oldPrefix) {
+			moved = append(moved, n)
+		}
+	}
+	if !isFile && len(moved) == 0 {
+		return fmt.Errorf("storage: rename %s: file does not exist", oldName)
+	}
+	// Mirror os.Rename: replacing a file is fine, clobbering a directory
+	// that has contents is not.
+	newPrefix := nc + "/"
+	for n := range b.files {
+		if strings.HasPrefix(n, newPrefix) {
+			return fmt.Errorf("storage: rename %s -> %s: destination directory exists", oldName, newName)
+		}
+	}
+	if isFile {
+		b.files[nc] = b.files[oc]
+		delete(b.files, oc)
+	}
+	for _, n := range moved {
+		b.files[nc+n[len(oc):]] = b.files[n]
+		delete(b.files, n)
+	}
+	return nil
+}
+
 // Remove implements Backend.
 func (b *Mem) Remove(name string) error {
 	b.mu.Lock()

@@ -253,3 +253,6 @@ func (m *Meter) Exists(name string) bool { return m.Backend.Exists(name) }
 
 // Remove implements Backend (uncharged).
 func (m *Meter) Remove(name string) error { return m.Backend.Remove(name) }
+
+// Rename implements Backend (uncharged: metadata only).
+func (m *Meter) Rename(oldName, newName string) error { return m.Backend.Rename(oldName, newName) }

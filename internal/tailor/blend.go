@@ -48,7 +48,16 @@ func mergeBlend(b storage.Backend, r *recipe.Recipe, opts Options, stats *Stats)
 		outDType = d
 	}
 
-	w, err := ckpt.NewLTSFWriter(b, r.Output+"/model.ltsf", cfg.Name, opts.ChunkBytes)
+	// Blend outputs publish under the same commit protocol as passthrough
+	// merges: stage, seal with a COMMITTED marker, rename atomically.
+	txn, err := ckpt.Begin(b, r.Output)
+	if err != nil {
+		return err
+	}
+	defer txn.Abort()
+	out, outDir := txn.Backend(), txn.Dir()
+
+	w, err := ckpt.NewLTSFWriter(out, outDir+"/model.ltsf", cfg.Name, opts.ChunkBytes)
 	if err != nil {
 		return err
 	}
@@ -119,7 +128,7 @@ func mergeBlend(b storage.Backend, r *recipe.Recipe, opts Options, stats *Stats)
 		if err != nil {
 			return fmt.Errorf("tailor: blend copy %s: %w", f, err)
 		}
-		if err := b.WriteFile(r.Output+"/"+f, data); err != nil {
+		if err := out.WriteFile(outDir+"/"+f, data); err != nil {
 			return err
 		}
 	}
@@ -131,7 +140,10 @@ func mergeBlend(b storage.Backend, r *recipe.Recipe, opts Options, stats *Stats)
 	for _, ref := range cfg.AllLayers() {
 		man.Layers = append(man.Layers, ref.String())
 	}
-	return writeManifest(b, r.Output+"/manifest.json", &man)
+	if err := writeManifest(out, outDir+"/manifest.json", &man); err != nil {
+		return err
+	}
+	return txn.Commit(man.Step)
 }
 
 // blendCost estimates a blend job's in-flight bytes: every source tensor is

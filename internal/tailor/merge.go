@@ -102,20 +102,41 @@ func Merge(b storage.Backend, r *recipe.Recipe, opts Options) (*Stats, error) {
 	return Execute(b, plan, opts)
 }
 
-// Execute runs a previously validated plan.
+// Execute runs a previously validated plan. The output directory is built
+// under the same commit protocol as ckpt.Save: every file stages into
+// `<output>.tmp`, a COMMITTED marker seals the tree, and one atomic rename
+// publishes it before the latest pointer moves — a merge that crashes
+// mid-flight leaves sources and any previous output untouched.
 func Execute(b storage.Backend, plan *Plan, opts Options) (*Stats, error) {
 	start := time.Now()
 	stats := &Stats{CheckpointsUsed: len(plan.Sources)}
 
-	if err := mergeWeights(b, plan, opts, stats); err != nil {
+	txn, err := ckpt.Begin(b, plan.Recipe.Output)
+	if err != nil {
+		return nil, err
+	}
+	defer txn.Abort()
+	out, outDir := txn.Backend(), txn.Dir()
+
+	if err := mergeWeights(out, outDir, plan, opts, stats); err != nil {
 		return nil, err
 	}
 	if plan.Recipe.Optimizer {
-		if err := mergeOptimizer(b, plan, opts, stats); err != nil {
+		if err := mergeOptimizer(out, outDir, plan, opts, stats); err != nil {
 			return nil, err
 		}
 	}
-	if err := copyConfigs(b, plan, stats); err != nil {
+	if err := copyConfigs(b, out, outDir, plan, stats); err != nil {
+		return nil, err
+	}
+	if err := txn.Commit(plan.Sources[plan.Recipe.ConfigsSource()].State.Step); err != nil {
+		return nil, err
+	}
+	// Refresh the run root's latest pointer so resume tooling finds the
+	// merged checkpoint. For a single-segment Output ("merged") the run
+	// root is the backend root itself, so the pointer lands at the
+	// root-level "latest" — see ckpt.LatestPointerPath.
+	if err := ckpt.WriteLatestPointer(b, plan.Recipe.Output); err != nil {
 		return nil, err
 	}
 	stats.WallTime = time.Since(start)
@@ -129,7 +150,7 @@ func Execute(b storage.Backend, plan *Plan, opts Options) (*Stats, error) {
 // streaming into the output container. Peak memory is bounded by the gate
 // instead of the full model size, and reads overlap both each other and the
 // output write.
-func mergeWeights(b storage.Backend, plan *Plan, opts Options, stats *Stats) error {
+func mergeWeights(out storage.Backend, outDir string, plan *Plan, opts Options, stats *Stats) error {
 	outDType := tensor.BF16
 	if plan.Recipe.DType != "" {
 		d, err := tensor.ParseDType(plan.Recipe.DType)
@@ -138,7 +159,7 @@ func mergeWeights(b storage.Backend, plan *Plan, opts Options, stats *Stats) err
 		}
 		outDType = d
 	}
-	w, err := ckpt.NewLTSFWriter(b, plan.Recipe.Output+"/model.ltsf", plan.Config.Name, opts.ChunkBytes)
+	w, err := ckpt.NewLTSFWriter(out, outDir+"/model.ltsf", plan.Config.Name, opts.ChunkBytes)
 	if err != nil {
 		return err
 	}
@@ -227,7 +248,7 @@ func pipelineDepth(workers int) int {
 // shards from the sources. Ranks run under a bounded worker pool; each
 // rank's output streams group by group through a ShardFileWriter, so a
 // worker's peak memory is one rank shard, never the whole optimizer state.
-func mergeOptimizer(b storage.Backend, plan *Plan, opts Options, stats *Stats) error {
+func mergeOptimizer(out storage.Backend, outDir string, plan *Plan, opts Options, stats *Stats) error {
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
@@ -235,14 +256,14 @@ func mergeOptimizer(b storage.Backend, plan *Plan, opts Options, stats *Stats) e
 	var loads, bytesIn, bytesOut atomic.Int64
 
 	err := parallel.ForEach(workers, plan.WorldSize, func(rank int) error {
-		shards, metas, step, n, readBytes, err := buildRankShards(b, plan, opts.LoadOrder, rank)
+		shards, metas, step, n, readBytes, err := buildRankShards(plan, opts.LoadOrder, rank)
 		if err != nil {
 			return err
 		}
 		loads.Add(n)
 		bytesIn.Add(readBytes)
-		name := plan.Recipe.Output + "/" + ckpt.ShardFileName(rank)
-		w, err := ckpt.NewShardFileWriter(b, name, rank, plan.WorldSize, step, plan.Layout.Kind, opts.ChunkBytes)
+		name := outDir + "/" + ckpt.ShardFileName(rank)
+		w, err := ckpt.NewShardFileWriter(out, name, rank, plan.WorldSize, step, plan.Layout.Kind, opts.ChunkBytes)
 		if err != nil {
 			return err
 		}
@@ -269,7 +290,7 @@ func mergeOptimizer(b storage.Backend, plan *Plan, opts Options, stats *Stats) e
 // assigned sources, honouring the requested load order. It returns the
 // shards in layout order, their metadata, the maximum source step, the
 // number of shard-file loads performed and the bytes those loads read.
-func buildRankShards(b storage.Backend, plan *Plan, order LoadOrder, rank int) (
+func buildRankShards(plan *Plan, order LoadOrder, rank int) (
 	[]*zero.GroupShard, []ckpt.ShardGroupMeta, int, int64, int64, error) {
 
 	nGroups := plan.Layout.NumGroups()
@@ -353,15 +374,17 @@ func buildRankShards(b storage.Backend, plan *Plan, order LoadOrder, rank int) (
 }
 
 // copyConfigs copies configuration files verbatim from the designated
-// source (§4.4) and writes the output manifest and latest pointer.
-func copyConfigs(b storage.Backend, plan *Plan, stats *Stats) error {
+// source (§4.4) and writes the output manifest. Sources are read through
+// the original backend; everything written goes through the transaction's
+// recording backend into the staging directory.
+func copyConfigs(b, out storage.Backend, outDir string, plan *Plan, stats *Stats) error {
 	src := plan.Recipe.ConfigsSource()
 	for _, f := range []string{"config.json", "trainer_state.json"} {
 		data, err := b.ReadFile(src + "/" + f)
 		if err != nil {
 			return fmt.Errorf("tailor: copy %s: %w", f, err)
 		}
-		if err := b.WriteFile(plan.Recipe.Output+"/"+f, data); err != nil {
+		if err := out.WriteFile(outDir+"/"+f, data); err != nil {
 			return err
 		}
 		stats.BytesRead += int64(len(data))
@@ -379,15 +402,7 @@ func copyConfigs(b storage.Backend, plan *Plan, stats *Stats) error {
 	for _, ref := range plan.Config.AllLayers() {
 		man.Layers = append(man.Layers, ref.String())
 	}
-	if err := writeManifest(b, plan.Recipe.Output+"/manifest.json", &man); err != nil {
-		return err
-	}
-
-	// Refresh the run root's latest pointer so resume tooling finds the
-	// merged checkpoint. For a single-segment Output ("merged") the run
-	// root is the backend root itself, so the pointer lands at the
-	// root-level "latest" — see ckpt.LatestPointerPath.
-	return ckpt.WriteLatestPointer(b, plan.Recipe.Output)
+	return writeManifest(out, outDir+"/manifest.json", &man)
 }
 
 func writeManifest(b storage.Backend, name string, man *ckpt.Manifest) error {

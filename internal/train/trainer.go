@@ -179,6 +179,45 @@ func Resume(cfg Config, b storage.Backend, dir string) (*Trainer, error) {
 	return t, nil
 }
 
+// ResumeLatest resumes from the newest committed checkpoint under the run
+// root, walking backwards through older committed checkpoints when the
+// newest is unusable (e.g. a partial checkpoint that needs a merge). Torn
+// and in-flight checkpoint directories are never considered — ckpt.List
+// only surfaces directories whose commit marker verifies — so a run that
+// crashed mid-save resumes from the last durable state.
+func ResumeLatest(cfg Config, b storage.Backend, runRoot string) (*Trainer, error) {
+	dirs, err := ckpt.List(b, runRoot)
+	if err != nil {
+		return nil, fmt.Errorf("train: resume latest under %q: %w", runRoot, err)
+	}
+	if latest, err := ckpt.Latest(b, runRoot); err == nil {
+		// Prefer the pointer's (committed) target; List may not cover
+		// single-segment outputs like a root-level "merged".
+		found := false
+		for _, d := range dirs {
+			if d == latest {
+				found = true
+				break
+			}
+		}
+		if !found {
+			dirs = append(dirs, latest)
+		}
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("train: no committed checkpoint under %q", runRoot)
+	}
+	var lastErr error
+	for i := len(dirs) - 1; i >= 0; i-- {
+		t, err := Resume(cfg, b, dirs[i])
+		if err == nil {
+			return t, nil
+		}
+		lastErr = fmt.Errorf("train: resume %s: %w", dirs[i], err)
+	}
+	return nil, lastErr
+}
+
 func sameGeometry(a, b *modelcfg.Config) error {
 	if a.Name != b.Name || a.NumLayers != b.NumLayers || a.HiddenSize != b.HiddenSize ||
 		a.VocabSize != b.VocabSize || a.TieWordEmbeddings != b.TieWordEmbeddings {

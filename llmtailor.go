@@ -68,7 +68,27 @@ type (
 	Trainer = train.Trainer
 	// Strategy selects layers per checkpoint event.
 	Strategy = strategy.Strategy
+	// CheckpointStatus is one scanned directory's recovery classification
+	// (committed / torn / orphaned staging).
+	CheckpointStatus = ckpt.DirStatus
+	// RepairReport records what RepairCheckpoints removed and fixed.
+	RepairReport = ckpt.RepairReport
+	// FaultBackend injects storage failures at the Nth write/chunk/rename/
+	// close for crash-consistency testing.
+	FaultBackend = storage.Fault
 )
+
+// Checkpoint directory recovery states (see ScanCheckpoints).
+const (
+	StateCommitted   = ckpt.StateCommitted
+	StateTorn        = ckpt.StateTorn
+	StateOrphanTmp   = ckpt.StateOrphanTmp
+	StateUnpublished = ckpt.StateUnpublished
+)
+
+// NewFaultBackend wraps a backend with the fault injector used by the
+// crash-consistency test harness.
+func NewFaultBackend(b Backend) *FaultBackend { return storage.NewFault(b) }
 
 // Load orders for optimizer shard files (see Table 7 in the paper).
 const (
@@ -140,6 +160,31 @@ func NewTrainer(cfg TrainerConfig, b Backend) (*Trainer, error) { return train.N
 func ResumeTrainer(cfg TrainerConfig, b Backend, dir string) (*Trainer, error) {
 	return train.Resume(cfg, b, dir)
 }
+
+// ResumeLatestTrainer continues a run from the newest committed checkpoint
+// under runRoot, falling back to older committed checkpoints when the
+// newest cannot restore. Torn checkpoints from crashed saves are skipped.
+func ResumeLatestTrainer(cfg TrainerConfig, b Backend, runRoot string) (*Trainer, error) {
+	return train.ResumeLatest(cfg, b, runRoot)
+}
+
+// ScanCheckpoints classifies every checkpoint directory under a run root
+// as committed, torn, or an orphaned staging directory — the recovery view
+// `llmtailor doctor` prints.
+func ScanCheckpoints(b Backend, runRoot string) ([]CheckpointStatus, error) {
+	return ckpt.Scan(b, runRoot)
+}
+
+// RepairCheckpoints removes torn checkpoints and orphaned staging
+// directories under a run root and re-aims the latest pointer at the
+// newest committed checkpoint.
+func RepairCheckpoints(b Backend, runRoot string) (*RepairReport, error) {
+	return ckpt.Repair(b, runRoot)
+}
+
+// VerifyCommitted checks a checkpoint directory's commit marker end to end
+// (presence, per-file sizes and CRCs).
+func VerifyCommitted(b Backend, dir string) error { return ckpt.VerifyCommit(b, dir) }
 
 // RestoreModelDType is the dtype used when restoring checkpoints.
 var RestoreModelDType = tensor.BF16

@@ -10,6 +10,92 @@ import (
 	"llmtailor/internal/train"
 )
 
+// Crash-recovery end to end through the public facade on a real OS-backed
+// directory: a save crashes via the fault injector, the doctor surface
+// (ScanCheckpoints / RepairCheckpoints) cleans the root, and
+// ResumeLatestTrainer continues from the last committed checkpoint.
+func TestFacadeCrashRecoveryOnDisk(t *testing.T) {
+	root := t.TempDir()
+	back, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := llmtailor.ModelByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := train.TaskByName("sft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := llmtailor.TrainerConfig{
+		Model: cfg, Seed: 6, Task: task,
+		TotalSteps: 30, WarmupSteps: 4, BaseLR: 2e-3,
+		CkptInterval: 10, WorldSize: 2, RunRoot: "run",
+	}
+
+	// Train to the first checkpoint, then crash the second save mid-write
+	// with torn bytes.
+	first := base
+	first.FailAt = 12
+	tr, err := llmtailor.NewTrainer(first, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	faulty := llmtailor.NewFaultBackend(back)
+	faulty.SetTorn(true)
+	cont, err := llmtailor.ResumeLatestTrainer(base, faulty, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty.FailAt(7)
+	if _, err := cont.Run(); err == nil {
+		t.Fatal("run survived the injected crash")
+	}
+
+	// The crash left residue the scan sees and repair removes.
+	statuses, err := llmtailor.ScanCheckpoints(back, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, other := 0, 0
+	for _, st := range statuses {
+		if st.State == llmtailor.StateCommitted {
+			committed++
+		} else {
+			other++
+		}
+	}
+	if committed != 1 || other == 0 {
+		t.Fatalf("scan after crash: %d committed, %d residue (%+v)", committed, other, statuses)
+	}
+	if _, err := llmtailor.RepairCheckpoints(back, "run"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery resumes from the committed step-10 checkpoint and finishes.
+	rec, err := llmtailor.ResumeLatestTrainer(base, back, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Step() != 10 {
+		t.Fatalf("recovered at step %d, want 10", rec.Step())
+	}
+	res, err := rec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalStep != base.TotalSteps {
+		t.Fatalf("recovered run stopped at %d", res.FinalStep)
+	}
+	if err := llmtailor.VerifyCommitted(back, "run/checkpoint-30"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // End-to-end through the public facade only: train with parity partials on a
 // real OS-backed directory, crash, auto-generate a recipe, merge, resume,
 // and verify the final loss matches an uninterrupted baseline.
