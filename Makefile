@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci fuzz-smoke doctor-smoke bench bench-record clean
+.PHONY: all build test race vet fmt-check ci fuzz-smoke doctor-smoke bench bench-smoke bench-record clean
 
 all: build test
 
@@ -26,7 +26,7 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build race fuzz-smoke doctor-smoke
+ci: fmt-check vet build race fuzz-smoke doctor-smoke bench-smoke
 
 # Brief run of every fuzz target (the checked-in testdata/fuzz corpus plus
 # ~5s of new coverage each); any reader panic fails the build.
@@ -55,11 +55,17 @@ doctor-smoke:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMerge' -benchmem .
 
-# Refresh BENCH_merge.json (the perf record future PRs diff against) with a
-# stable measurement.
+# One iteration of every benchmark in the repo: benchmarks compile and run
+# on each CI pass instead of bit-rotting between perf PRs. Perf-record
+# files are NOT refreshed (that needs BENCH_RECORD=1, see bench-record).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -timeout 30m ./...
+
+# Refresh BENCH_merge.json and BENCH_merge_raw.json (the perf records
+# future PRs diff against) with stable measurements.
 bench-record:
-	$(GO) test -run '^$$' -bench 'BenchmarkMergeFullStreamed' -benchtime=5x .
-	@cat BENCH_merge.json
+	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkMergeFullStreamed|BenchmarkMergeRawVsDecode' -benchtime=5x .
+	@cat BENCH_merge.json BENCH_merge_raw.json
 
 clean:
 	rm -f llmtailor trainsim paperbench ckptstat

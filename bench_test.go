@@ -283,7 +283,10 @@ func BenchmarkMergeWeightsStreamedVsBuffered(b *testing.B) {
 
 // BenchmarkMergeFullStreamed runs the complete streamed merge (weights +
 // optimizer + configs) and emits BENCH_merge.json, the perf record future
-// PRs diff against.
+// PRs diff against. The parity recipe alternates layers between two
+// sources, so every weight tensor rides the zero-decode raw path while the
+// optimizer keeps the group-decode path (whole-shard copies need a single
+// source) — the reported raw counters make that split visible.
 func BenchmarkMergeFullStreamed(b *testing.B) {
 	cfg, back := setupMergeBench(b)
 	var last *tailor.Stats
@@ -298,42 +301,136 @@ func BenchmarkMergeFullStreamed(b *testing.B) {
 	b.ReportMetric(float64(last.PeakInFlightBytes), "peak-inflight-bytes")
 	b.ReportMetric(float64(last.BytesRead), "bytes-read/op")
 	b.ReportMetric(float64(last.BytesWritten), "bytes-written/op")
-	writeMergeBenchRecord(b, cfg.Name, last)
+	b.ReportMetric(float64(last.TensorsRawCopied), "tensors-raw-copied")
+	b.ReportMetric(float64(last.BytesRawCopied), "bytes-raw-copied/op")
+	writeBenchJSON(b, "BENCH_merge.json", mergeBenchRecord{
+		Bench:   "merge-full-streamed",
+		Model:   cfg.Name,
+		NsPerOp: float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+		Stats:   statsFields(last), MaxInFlight: 8 << 20, Workers: 4,
+	})
 }
 
-// mergeBenchRecord is the schema of BENCH_merge.json.
-type mergeBenchRecord struct {
-	Bench             string  `json:"bench"`
-	Model             string  `json:"model"`
-	NsPerOp           float64 `json:"ns_per_op"`
-	TensorsRead       int     `json:"tensors_read"`
-	ShardFileLoads    int64   `json:"shard_file_loads"`
-	BytesRead         int64   `json:"bytes_read"`
-	BytesWritten      int64   `json:"bytes_written"`
-	PeakInFlightBytes int64   `json:"peak_inflight_bytes"`
-	MaxInFlight       int64   `json:"max_inflight"`
-	Workers           int     `json:"workers"`
-}
-
-func writeMergeBenchRecord(b *testing.B, model string, stats *tailor.Stats) {
-	b.Helper()
-	rec := mergeBenchRecord{
-		Bench:             "merge-full-streamed",
-		Model:             model,
-		NsPerOp:           float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-		TensorsRead:       stats.TensorsRead,
-		ShardFileLoads:    stats.ShardFileLoads,
-		BytesRead:         stats.BytesRead,
-		BytesWritten:      stats.BytesWritten,
-		PeakInFlightBytes: stats.PeakInFlightBytes,
-		MaxInFlight:       8 << 20,
-		Workers:           4,
+// BenchmarkMergeRawVsDecode runs the passthrough-heavy shape the fast path
+// exists for — every layer from one source, optimizer included, so both
+// the tensor-extent and the whole-shard raw copies arm — against the same
+// recipe with the fast path disabled, and emits BENCH_merge_raw.json
+// recording both sides.
+func BenchmarkMergeRawVsDecode(b *testing.B) {
+	cfg, back := setupMergeBench(b)
+	mkRec := func() *recipe.Recipe {
+		return &recipe.Recipe{
+			MergeMethod: "passthrough",
+			Base:        ckpt.DirName(200),
+			Optimizer:   true,
+			Output:      "out-raw",
+		}
 	}
-	data, err := json.MarshalIndent(rec, "", "  ")
+	run := func(b *testing.B, noRaw bool) (*tailor.Stats, float64) {
+		var last *tailor.Stats
+		for i := 0; i < b.N; i++ {
+			stats, err := tailor.Merge(back, mkRec(), tailor.Options{
+				Workers: 4, MaxInFlight: 8 << 20, NoRawCopy: noRaw,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = stats
+		}
+		return last, float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+
+	var record rawBenchRecord
+	record.Bench = "merge-raw-vs-decode"
+	record.Model = cfg.Name
+	record.MaxInFlight = 8 << 20
+	record.Workers = 4
+	b.Run("raw", func(b *testing.B) {
+		stats, ns := run(b, false)
+		if stats.TensorsRawCopied == 0 || stats.ShardsRawCopied == 0 {
+			b.Fatalf("raw paths did not arm: %+v", stats)
+		}
+		b.ReportMetric(float64(stats.BytesRawCopied), "bytes-raw-copied/op")
+		record.Raw = mergeBenchRecord{NsPerOp: ns, Stats: statsFields(stats)}
+	})
+	b.Run("decode", func(b *testing.B) {
+		stats, ns := run(b, true)
+		if stats.TensorsRawCopied != 0 || stats.ShardsRawCopied != 0 {
+			b.Fatalf("NoRawCopy run raw-copied: %+v", stats)
+		}
+		record.Decode = mergeBenchRecord{NsPerOp: ns, Stats: statsFields(stats)}
+	})
+	if record.Raw.NsPerOp > 0 && record.Decode.NsPerOp > 0 {
+		record.Speedup = record.Decode.NsPerOp / record.Raw.NsPerOp
+		writeBenchJSON(b, "BENCH_merge_raw.json", record)
+	}
+}
+
+// statsFields extracts the Stats counters shared by the bench records.
+func statsFields(s *tailor.Stats) mergeStatsRecord {
+	return mergeStatsRecord{
+		TensorsRead:       s.TensorsRead,
+		TensorsRawCopied:  s.TensorsRawCopied,
+		ShardFileLoads:    s.ShardFileLoads,
+		ShardsRawCopied:   s.ShardsRawCopied,
+		BytesRead:         s.BytesRead,
+		BytesWritten:      s.BytesWritten,
+		BytesRawCopied:    s.BytesRawCopied,
+		PeakInFlightBytes: s.PeakInFlightBytes,
+	}
+}
+
+// mergeStatsRecord mirrors tailor.Stats in the bench JSON records.
+type mergeStatsRecord struct {
+	TensorsRead       int   `json:"tensors_read"`
+	TensorsRawCopied  int   `json:"tensors_raw_copied"`
+	ShardFileLoads    int64 `json:"shard_file_loads"`
+	ShardsRawCopied   int   `json:"shards_raw_copied"`
+	BytesRead         int64 `json:"bytes_read"`
+	BytesWritten      int64 `json:"bytes_written"`
+	BytesRawCopied    int64 `json:"bytes_raw_copied"`
+	PeakInFlightBytes int64 `json:"peak_inflight_bytes"`
+}
+
+// mergeBenchRecord is the schema of BENCH_merge.json (and of each side of
+// BENCH_merge_raw.json).
+type mergeBenchRecord struct {
+	Bench       string           `json:"bench,omitempty"`
+	Model       string           `json:"model,omitempty"`
+	NsPerOp     float64          `json:"ns_per_op"`
+	Stats       mergeStatsRecord `json:"stats"`
+	MaxInFlight int64            `json:"max_inflight,omitempty"`
+	Workers     int              `json:"workers,omitempty"`
+}
+
+// rawBenchRecord is the schema of BENCH_merge_raw.json: the same recipe
+// measured with the zero-decode fast path on and off.
+type rawBenchRecord struct {
+	Bench       string           `json:"bench"`
+	Model       string           `json:"model"`
+	MaxInFlight int64            `json:"max_inflight"`
+	Workers     int              `json:"workers"`
+	Raw         mergeBenchRecord `json:"raw"`
+	Decode      mergeBenchRecord `json:"decode"`
+	// Speedup is decode ns/op over raw ns/op (>1 means the fast path won).
+	Speedup float64 `json:"speedup"`
+}
+
+// writeBenchJSON refreshes a perf-record file. Records are only written
+// when BENCH_RECORD is set (the bench-record make target sets it), so CI's
+// bench-smoke pass — one noisy iteration of everything — never clobbers
+// the committed records.
+func writeBenchJSON(b *testing.B, name string, v any) {
+	b.Helper()
+	if os.Getenv("BENCH_RECORD") == "" {
+		b.Logf("%s not refreshed (set BENCH_RECORD=1 to write perf records)", name)
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_merge.json", append(data, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		b.Logf("bench record not written: %v", err)
 	}
 }

@@ -70,7 +70,11 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `llmtailor — layer-wise checkpoint tailoring
 
 commands:
-  merge       execute a YAML merge recipe
+  merge       execute a YAML merge recipe; tensors whose stored dtype
+              already matches the output (and, for single-source recipes,
+              whole optimizer shard files) are raw-copied without decoding
+              — the reported "raw-copied" stats count them; -no-raw-copy
+              forces the decode path (identical output bytes)
   plan        validate a recipe and print the merge plan (dry run)
   inspect     print a checkpoint's anatomy
   verify      re-read a checkpoint end to end and check consistency
@@ -111,6 +115,7 @@ func runMerge(args []string) error {
 	interleaved := fs.Bool("interleaved", false, "use the pathological per-layer load order (Table 7's parity mode)")
 	maxInFlight := fs.Int64("max-inflight", 0, "bound on in-flight tensor bytes in the weights pipeline (0 = unbounded)")
 	chunkBytes := fs.Int("chunk-bytes", 0, "streaming I/O chunk size in bytes (0 = default)")
+	noRawCopy := fs.Bool("no-raw-copy", false, "disable the zero-decode fast path (raw tensor-extent and shard-file copies); output bytes are identical either way")
 	fs.Parse(args)
 
 	b, err := openRoot(*root)
@@ -125,6 +130,7 @@ func runMerge(args []string) error {
 		Workers:     *workers,
 		MaxInFlight: *maxInFlight,
 		ChunkBytes:  *chunkBytes,
+		NoRawCopy:   *noRawCopy,
 	}
 	if *interleaved {
 		opts.LoadOrder = tailor.Interleaved
@@ -134,9 +140,9 @@ func runMerge(args []string) error {
 		return err
 	}
 	fmt.Printf("merged %d checkpoints -> %s\n", stats.CheckpointsUsed, rec.Output)
-	fmt.Printf("  weight tensors read: %d\n", stats.TensorsRead)
-	fmt.Printf("  optimizer shard file loads: %d\n", stats.ShardFileLoads)
-	fmt.Printf("  bytes read: %d  written: %d\n", stats.BytesRead, stats.BytesWritten)
+	fmt.Printf("  weight tensors read: %d (raw-copied without decode: %d)\n", stats.TensorsRead, stats.TensorsRawCopied)
+	fmt.Printf("  optimizer shard file loads: %d  raw-copied shard files: %d\n", stats.ShardFileLoads, stats.ShardsRawCopied)
+	fmt.Printf("  bytes read: %d  written: %d  raw-copied: %d\n", stats.BytesRead, stats.BytesWritten, stats.BytesRawCopied)
 	fmt.Printf("  peak in-flight tensor bytes: %d\n", stats.PeakInFlightBytes)
 	fmt.Printf("  wall time: %v\n", stats.WallTime)
 	return nil

@@ -131,6 +131,15 @@ func FuzzLTSFReader(f *testing.F) {
 		`{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[0],"data_offsets":[0,0],"crc32":0}}}`, nil))
 	f.Add(container([]byte("LTSF"),
 		`{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[4611686018427387904],"data_offsets":[0,0],"crc32":0}}}`, nil))
+	// Raw-path seeds: extents brushing the payload boundary, a reversed
+	// extent, and a CRC that cannot match — RawTensor/OpenRaw/AppendRaw
+	// must error (or succeed consistently), never panic.
+	f.Add(container([]byte("LTSF"),
+		`{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[2],"data_offsets":[1,9],"crc32":7}}}`, []byte("123456789")))
+	f.Add(container([]byte("LTSF"),
+		`{"version":1,"model":"m","tensors":{"t":{"dtype":"f32","shape":[2],"data_offsets":[8,0],"crc32":0}}}`, []byte("12345678")))
+	f.Add(container([]byte("LTSF"),
+		`{"version":1,"model":"m","tensors":{"t":{"dtype":"bf16","shape":[4],"data_offsets":[0,8],"crc32":4294967295}}}`, []byte("12345678")))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b := storage.NewMem()
 		if err := b.WriteFile("m", data); err != nil {
@@ -140,14 +149,31 @@ func FuzzLTSFReader(f *testing.F) {
 		if err != nil {
 			return
 		}
+		w, err := NewLTSFWriter(storage.NewMem(), "spliced", "m", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Abort()
 		for _, name := range r.Names() {
 			ts, err := r.ReadTensor(name)
+			if err == nil {
+				if size, ok := r.PayloadSize(name); !ok || int64(ts.Bytes()) != size {
+					t.Fatalf("tensor %q: decoded %d bytes, header says %d", name, ts.Bytes(), size)
+				}
+			}
+			// The raw surface must hold the same never-panic contract over
+			// whatever header survived OpenLTSF: the extent opens and
+			// delivers exactly its advertised size, and splicing it into a
+			// fresh container round-trips the metadata.
+			rt, rc, err := r.OpenRaw(name)
 			if err != nil {
-				continue // CRC or payload error: fine
+				continue
 			}
-			if size, ok := r.PayloadSize(name); !ok || int64(ts.Bytes()) != size {
-				t.Fatalf("tensor %q: decoded %d bytes, header says %d", name, ts.Bytes(), size)
-			}
+			// A splice rejection (e.g. short or inconsistent extent) fails
+			// the writer and later sections error out — the documented
+			// sticky-error contract; only panics are bugs here.
+			w.AppendRaw(rt, rc)
+			rc.Close()
 		}
 	})
 }

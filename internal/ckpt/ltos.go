@@ -283,6 +283,61 @@ func ReadShardFile(b storage.Backend, name string) (*ShardFile, error) {
 	return f, nil
 }
 
+// ShardHeader is the decoded header of an LTOS file — everything needed to
+// decide whether the file can be copied verbatim, without touching a single
+// payload byte.
+type ShardHeader struct {
+	Rank      int
+	WorldSize int
+	Step      int
+	Layout    optim.LayoutKind
+	Groups    []ShardGroupMeta
+	// FileBytes is the container's total on-disk size.
+	FileBytes int64
+	// PayloadBytes is the payload section's size (FileBytes minus magic,
+	// length prefix and JSON header).
+	PayloadBytes int64
+}
+
+// ReadShardHeader reads and validates only an LTOS file's header: magic,
+// version, layout and per-group metadata bounds — the cheap metadata pass
+// the raw shard-copy fast path runs before deciding to stream the file
+// verbatim. Payload bytes are never read.
+func ReadShardHeader(b storage.Backend, name string) (*ShardHeader, error) {
+	var hdr ltosHeader
+	off, err := readContainerHeader(b, name, ltosMagic, &hdr)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Version != FormatVersion {
+		return nil, fmt.Errorf("ckpt: %s: version %d, want %d", name, hdr.Version, FormatVersion)
+	}
+	layout, err := optim.ParseLayoutKind(hdr.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", name, err)
+	}
+	size, err := b.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := size - off
+	var pos int64
+	for _, m := range hdr.Groups {
+		if m.Offsets[0] < 0 || m.Offsets[1] > payloadLen || m.Offsets[0] > m.Offsets[1] {
+			return nil, fmt.Errorf("ckpt: %s: group %d offsets %v out of range", name, m.Index, m.Offsets)
+		}
+		if m.Offsets[0] < pos {
+			return nil, fmt.Errorf("ckpt: %s: group %d offsets %v overlap previous group", name, m.Index, m.Offsets)
+		}
+		pos = m.Offsets[1]
+	}
+	return &ShardHeader{
+		Rank: hdr.Rank, WorldSize: hdr.WorldSize, Step: hdr.Step,
+		Layout: layout, Groups: hdr.Groups,
+		FileBytes: size, PayloadBytes: payloadLen,
+	}, nil
+}
+
 // metaForGroup builds a group's shard metadata from the layout.
 func metaForGroup(g optim.Group) ShardGroupMeta {
 	m := ShardGroupMeta{Index: g.Index, Numel: g.Numel, NoDecay: g.NoDecay}

@@ -1,0 +1,275 @@
+package ckpt
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+	"llmtailor/internal/zero"
+)
+
+// rawTestTensors builds a deterministic mixed-dtype tensor set.
+func rawTestTensors(tb testing.TB) []*tensor.Tensor {
+	tb.Helper()
+	a := tensor.New("w.a", tensor.BF16, 16, 8)
+	b := tensor.New("w.b", tensor.F32, 33)
+	c := tensor.New("w.c", tensor.BF16, 5)
+	rng := tensor.NewRNG(123)
+	for _, t := range []*tensor.Tensor{a, b, c} {
+		for i := 0; i < t.Len(); i++ {
+			t.Set(i, rng.NormFloat32())
+		}
+	}
+	return []*tensor.Tensor{a, b, c}
+}
+
+// The byte-identity contract of the fast path: splicing every tensor of a
+// container raw (AppendRaw with carried-forward CRCs) produces exactly the
+// bytes the decode path (ReadTensor + WriteTensor) produces.
+func TestAppendRawByteIdenticalToDecodePath(t *testing.T) {
+	b := storage.NewMem()
+	tensors := rawTestTensors(t)
+	if err := WriteLTSF(b, "src", "m", tensors); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenLTSF(b, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decode path.
+	wd, err := NewLTSFWriter(b, "via-decode", "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range tensors {
+		got, err := r.ReadTensor(ts.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wd.WriteTensor(got); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wd.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Raw path, same order.
+	wr, err := NewLTSFWriter(b, "via-raw", "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range tensors {
+		rt, rc, err := r.OpenRaw(ts.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wr.AppendRaw(rt, rc); err != nil {
+			t.Fatal(err)
+		}
+		rc.Close()
+	}
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dec, _ := b.ReadFile("via-decode")
+	raw, _ := b.ReadFile("via-raw")
+	src, _ := b.ReadFile("src")
+	if !bytes.Equal(dec, raw) {
+		t.Fatal("raw splice differs from decode path")
+	}
+	if !bytes.Equal(src, raw) {
+		t.Fatal("whole-container raw splice differs from the source container")
+	}
+
+	// The spliced container must decode and CRC-verify like the original.
+	rr, err := OpenLTSF(b, "via-raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range tensors {
+		got, err := rr.ReadTensor(ts.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ts.Len(); i++ {
+			if got.At(i) != ts.At(i) {
+				t.Fatalf("%s[%d]: %v != %v", ts.Name, i, got.At(i), ts.At(i))
+			}
+		}
+	}
+}
+
+func TestRawTensorMetadata(t *testing.T) {
+	b := storage.NewMem()
+	tensors := rawTestTensors(t)
+	if err := WriteLTSF(b, "src", "m", tensors); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenLTSF(b, "src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := r.RawTensor("w.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.DType != tensor.BF16.String() || rt.Size != 16*8*2 || len(rt.Shape) != 2 {
+		t.Fatalf("RawTensor meta = %+v", rt)
+	}
+	if size, _ := r.PayloadSize("w.a"); size != rt.Size {
+		t.Fatalf("RawTensor size %d != PayloadSize %d", rt.Size, size)
+	}
+	if _, err := r.RawTensor("nope"); err == nil {
+		t.Fatal("missing tensor accepted")
+	}
+	if !r.RawEligible("w.a", tensor.BF16) || r.RawEligible("w.a", tensor.F32) {
+		t.Fatal("RawEligible dtype check wrong")
+	}
+	if !r.RawEligible("w.b", tensor.F32) || r.RawEligible("nope", tensor.BF16) {
+		t.Fatal("RawEligible presence check wrong")
+	}
+}
+
+// AppendRaw must reject inconsistent metadata and short extents with errors
+// (never panics), leaving the writer failed rather than half-spliced.
+func TestAppendRawRejectsCorruptExtents(t *testing.T) {
+	mk := func() *LTSFWriter {
+		w, err := NewLTSFWriter(storage.NewMem(), "out", "m", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
+	}
+	payload := make([]byte, 64)
+
+	cases := []struct {
+		name string
+		rt   RawTensor
+		src  io.Reader
+		want string
+	}{
+		{"bad dtype", RawTensor{Name: "t", DType: "q4", Shape: []int{16}, Size: 64},
+			bytes.NewReader(payload), "dtype"},
+		{"zero dim", RawTensor{Name: "t", DType: "f32", Shape: []int{0}, Size: 0},
+			bytes.NewReader(nil), "dimension"},
+		{"negative dim", RawTensor{Name: "t", DType: "f32", Shape: []int{-4}, Size: 64},
+			bytes.NewReader(payload), "dimension"},
+		{"size mismatch", RawTensor{Name: "t", DType: "f32", Shape: []int{16}, Size: 32},
+			bytes.NewReader(payload), "bytes"},
+		{"negative size", RawTensor{Name: "t", DType: "f32", Shape: []int{16}, Size: -64},
+			bytes.NewReader(payload), "size"},
+		{"overflow shape", RawTensor{Name: "t", DType: "f32", Shape: []int{1 << 62, 1 << 62}, Size: 64},
+			bytes.NewReader(payload), "overflows"},
+		{"short extent", RawTensor{Name: "t", DType: "f32", Shape: []int{16}, Size: 64},
+			bytes.NewReader(payload[:10]), "delivered"},
+	}
+	for _, tc := range cases {
+		w := mk()
+		err := w.AppendRaw(tc.rt, tc.src)
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err %q does not mention %q", tc.name, err, tc.want)
+		}
+		w.Abort()
+	}
+
+	// Valid meta, duplicate name.
+	w := mk()
+	rt := RawTensor{Name: "t", DType: "f32", Shape: []int{16}, Size: 64}
+	if err := w.AppendRaw(rt, bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendRaw(rt, bytes.NewReader(payload)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate accepted: %v", err)
+	}
+	w.Abort()
+
+	// A failed splice is sticky: the writer refuses further sections.
+	w = mk()
+	if err := w.AppendRaw(RawTensor{Name: "t", DType: "f32", Shape: []int{16}, Size: 64},
+		bytes.NewReader(payload[:1])); err == nil {
+		t.Fatal("short extent accepted")
+	}
+	if err := w.AppendRaw(RawTensor{Name: "u", DType: "f32", Shape: []int{16}, Size: 64},
+		bytes.NewReader(payload)); err == nil {
+		t.Fatal("writer accepted a section after a failed splice")
+	}
+	w.Abort()
+}
+
+// An extent longer than advertised must not drag trailing bytes into the
+// container: AppendRaw consumes exactly rt.Size bytes.
+func TestAppendRawConsumesExactExtent(t *testing.T) {
+	b := storage.NewMem()
+	w, err := NewLTSFWriter(b, "out", "m", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64+17) // 17 trailing bytes must stay unread
+	src := bytes.NewReader(payload)
+	if err := w.AppendRaw(RawTensor{Name: "t", DType: "f32", Shape: []int{16}, Size: 64}, src); err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 17 {
+		t.Fatalf("%d bytes left in source, want 17", src.Len())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadShardHeaderMatchesFullRead(t *testing.T) {
+	b := storage.NewMem()
+	_, o := buildOptim(t, modelcfg.Tiny(), 7)
+	var metas []ShardGroupMeta
+	for _, g := range o.Layout.Groups {
+		metas = append(metas, metaForGroup(g))
+	}
+	byRank, err := zero.ShardAll(o.States, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteShardFile(b, "s", 0, 2, 42, o.Layout.Kind, metas, byRank[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := ReadShardHeader(b, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ReadShardFile(b, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Rank != full.Rank || h.WorldSize != full.WorldSize || h.Step != full.Step ||
+		h.Layout != full.Layout || len(h.Groups) != len(full.Meta) || h.FileBytes != full.FileBytes {
+		t.Fatalf("header read %+v disagrees with full read", h)
+	}
+	for i := range h.Groups {
+		if h.Groups[i] != full.Meta[i] {
+			t.Fatalf("group %d meta differs: %+v vs %+v", i, h.Groups[i], full.Meta[i])
+		}
+	}
+	if h.Groups[len(h.Groups)-1].Offsets[1] != h.PayloadBytes {
+		t.Fatalf("payload bytes %d do not end at the last group", h.PayloadBytes)
+	}
+
+	// Corrupt containers must error, not panic.
+	if _, err := ReadShardHeader(b, "missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	data, _ := b.ReadFile("s")
+	b.WriteFile("torn", data[:len(data)/3])
+	if _, err := ReadShardHeader(b, "torn"); err == nil {
+		t.Log("truncated header accepted (payload truncation is invisible to a header read)")
+	}
+}

@@ -34,6 +34,14 @@ type Backend interface {
 	Create(name string) (io.WriteCloser, error)
 	// Open opens a sequential streaming reader over the file.
 	Open(name string) (io.ReadCloser, error)
+	// OpenRange opens a sequential streaming reader over the n bytes of a
+	// file starting at offset off — the sectioned-read primitive behind
+	// zero-decode extent copies. The range is validated eagerly: a range
+	// escaping the file fails at open, not mid-read. Unlike ReadAt, a
+	// ranged stream is charged like any other stream by instrumentation
+	// (one file + open latency at open, bandwidth per chunk), however many
+	// Read calls drain it.
+	OpenRange(name string, off, n int64) (io.ReadCloser, error)
 	// ReadAt reads len(p) bytes at offset off of a file. Weight files are
 	// read this way (lazy, per tensor); optimizer shards deliberately
 	// never use it (paper §5.4: no lazy loading of optimizer state).
@@ -166,6 +174,51 @@ func (b *OS) Open(name string) (io.ReadCloser, error) {
 	}
 	return f, nil
 }
+
+// OpenRange implements Backend. The extent is validated against the file
+// size before any payload byte moves.
+func (b *OS) OpenRange(name string, off, n int64) (io.ReadCloser, error) {
+	p, err := b.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", name, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: stat %s: %w", name, err)
+	}
+	if err := checkRange(name, off, n, fi.Size()); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seek %s@%d: %w", name, off, err)
+	}
+	return &rangeReader{r: io.LimitReader(f, n), c: f}, nil
+}
+
+// checkRange rejects extents escaping a file of the given size. The sum is
+// compared by subtraction so an adversarial off+n cannot wrap int64.
+func checkRange(name string, off, n, size int64) error {
+	if off < 0 || n < 0 || off > size || n > size-off {
+		return fmt.Errorf("storage: open %s@%d+%d: out of range (size %d)", name, off, n, size)
+	}
+	return nil
+}
+
+// rangeReader pairs a limited reader with the underlying file's Close.
+type rangeReader struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (r *rangeReader) Read(p []byte) (int, error) { return r.r.Read(p) }
+func (r *rangeReader) Close() error               { return r.c.Close() }
 
 // NewSpool gives OS backends file-backed scratch space (see NewSpool).
 func (b *OS) NewSpool() (Spool, error) { return newFileSpool() }

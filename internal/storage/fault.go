@@ -184,6 +184,24 @@ func (f *Fault) Open(name string) (io.ReadCloser, error) {
 	return r, nil
 }
 
+// OpenRange implements Backend. Like Open, sectioned reads are never fault
+// points (a crash mid-read is indistinguishable from a crash before the
+// next durable write), but each chunk honours the short-read mode so raw
+// extent copies are exercised against partial Read returns.
+func (f *Fault) OpenRange(name string, off, n int64) (io.ReadCloser, error) {
+	r, err := f.Backend.OpenRange(name, off, n)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	short := f.shortReads
+	f.mu.Unlock()
+	if short {
+		return &shortReader{r: r}, nil
+	}
+	return r, nil
+}
+
 // shortReader delivers at most 7 bytes per Read.
 type shortReader struct{ r io.ReadCloser }
 

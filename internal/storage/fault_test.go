@@ -154,6 +154,35 @@ func TestFaultTornWrites(t *testing.T) {
 	}
 }
 
+// Mem must mirror os.Rename's refusal to move a directory over an existing
+// file — the crash-consistency explorations run on Mem and would otherwise
+// accept protocol bugs a real filesystem rejects with ENOTDIR.
+func TestMemRenameDirOverFileFails(t *testing.T) {
+	b := NewMem()
+	if err := b.WriteFile("dst", []byte("file")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFile("d.tmp/f", []byte("staged")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Rename("d.tmp", "dst"); err == nil {
+		t.Fatal("renamed a directory over an existing file")
+	}
+	if data, err := b.ReadFile("dst"); err != nil || string(data) != "file" {
+		t.Fatalf("destination file damaged: %q, %v", data, err)
+	}
+	if _, err := b.ReadFile("d.tmp/f"); err != nil {
+		t.Fatalf("source tree damaged: %v", err)
+	}
+	// File-over-file replacement still works.
+	if err := b.WriteFile("p.tmp", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Rename("p.tmp", "dst"); err != nil {
+		t.Fatalf("file-over-file rename: %v", err)
+	}
+}
+
 func TestFaultShortReads(t *testing.T) {
 	base := NewMem()
 	base.WriteFile("f", []byte("a long enough payload to need several reads"))

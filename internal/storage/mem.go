@@ -81,6 +81,20 @@ func (b *Mem) Open(name string) (io.ReadCloser, error) {
 	return io.NopCloser(bytes.NewReader(data)), nil
 }
 
+// OpenRange implements Backend.
+func (b *Mem) OpenRange(name string, off, n int64) (io.ReadCloser, error) {
+	b.mu.RLock()
+	data, ok := b.files[memClean(name)]
+	b.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("storage: open %s: file does not exist", name)
+	}
+	if err := checkRange(name, off, n, int64(len(data))); err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(append([]byte(nil), data[off:off+n]...))), nil
+}
+
 // ReadAt implements Backend.
 func (b *Mem) ReadAt(name string, off int64, p []byte) error {
 	b.mu.RLock()
@@ -175,12 +189,18 @@ func (b *Mem) Rename(oldName, newName string) error {
 	if !isFile && len(moved) == 0 {
 		return fmt.Errorf("storage: rename %s: file does not exist", oldName)
 	}
-	// Mirror os.Rename: replacing a file is fine, clobbering a directory
-	// that has contents is not.
+	// Mirror os.Rename: replacing a file with a file is fine, clobbering a
+	// directory that has contents is not, and neither is renaming a
+	// directory over an existing file (ENOTDIR on a real filesystem).
 	newPrefix := nc + "/"
 	for n := range b.files {
 		if strings.HasPrefix(n, newPrefix) {
 			return fmt.Errorf("storage: rename %s -> %s: destination directory exists", oldName, newName)
+		}
+	}
+	if !isFile {
+		if _, clobbersFile := b.files[nc]; clobbersFile {
+			return fmt.Errorf("storage: rename %s -> %s: destination is a file, not a directory", oldName, newName)
 		}
 	}
 	if isFile {

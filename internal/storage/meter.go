@@ -201,6 +201,24 @@ func (m *Meter) Open(name string) (io.ReadCloser, error) {
 	return &meteredReader{m: m, r: r}, nil
 }
 
+// OpenRange implements Backend with the same per-chunk accounting as Open:
+// one file and one OpenLatency at open, bandwidth time per chunk as bytes
+// drain. This is deliberately NOT ReadAt's accounting — ReadAt charges a
+// full ReadTime (open latency included) per call, which is right for
+// isolated lazy tensor reads but would overcharge a sectioned copy that
+// drains one extent in many chunks.
+func (m *Meter) OpenRange(name string, off, n int64) (io.ReadCloser, error) {
+	r, err := m.Backend.OpenRange(name, off, n)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.stats.FilesRead++
+	m.stats.SimTime += m.Profile.OpenLatency
+	m.mu.Unlock()
+	return &meteredReader{m: m, r: r}, nil
+}
+
 // NewSpool delegates to the wrapped backend so OS-rooted meters still get
 // file-backed scratch space. Spool traffic is deliberately uncharged: it is
 // node-local staging, not parallel-filesystem I/O.

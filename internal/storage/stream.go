@@ -20,6 +20,38 @@ func ChunkOrDefault(n int) int {
 	return n
 }
 
+// CopyFile streams an entire file from one backend to another in chunkBytes
+// chunks without interpreting a single byte — the shard-file raw-copy
+// primitive. Both sides are charged by their own instrumentation exactly
+// like any other stream. Returns the number of bytes copied.
+func CopyFile(dst Backend, dstName string, src Backend, srcName string, chunkBytes int) (int64, error) {
+	size, err := src.Stat(srcName)
+	if err != nil {
+		return 0, err
+	}
+	r, err := src.OpenRange(srcName, 0, size)
+	if err != nil {
+		return 0, err
+	}
+	defer r.Close()
+	w, err := dst.Create(dstName)
+	if err != nil {
+		return 0, err
+	}
+	n, err := io.CopyBuffer(w, r, make([]byte, ChunkOrDefault(chunkBytes)))
+	if err != nil {
+		w.Close()
+		return n, fmt.Errorf("storage: copy %s -> %s: %w", srcName, dstName, err)
+	}
+	if err := w.Close(); err != nil {
+		return n, fmt.Errorf("storage: copy %s -> %s: close: %w", srcName, dstName, err)
+	}
+	if n != size {
+		return n, fmt.Errorf("storage: copy %s -> %s: copied %d of %d bytes", srcName, dstName, n, size)
+	}
+	return n, nil
+}
+
 // Spool is unmetered scratch space for staging a container payload whose
 // header (offsets, CRCs) is only known once the payload has been produced.
 // Write the payload, then call Reader exactly once to stream it back out;

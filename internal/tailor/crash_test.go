@@ -50,12 +50,43 @@ func mergeTreeDigest(t *testing.T, b storage.Backend, dir string) string {
 
 func TestCrashPointExplorationFullMerge(t *testing.T) {
 	cfg := modelcfg.Tiny()
+	exploreMergeCrashPoints(t, cfg,
+		recipe.Parity("run/checkpoint-5", "run/checkpoint-10", cfg, "merged-b"))
+}
+
+// The raw-copy fast path (tensor extents plus whole shard files, armed by a
+// single-source recipe) runs the same crash exploration: every fault point
+// of the zero-decode merge must still land on previous-or-new-never-hybrid.
+func TestCrashPointExplorationRawPassthroughMerge(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	rec := singleSourceRecipe("run/checkpoint-10", "merged-b")
+
+	// Sanity: this recipe really arms both raw paths before we explore it.
+	b := storage.NewMem()
+	newRun(t, b, cfg, 2, []int{5, 10}, nil)
+	stats, err := Merge(b, rec, Options{Workers: 1, ChunkBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TensorsRawCopied == 0 || stats.ShardsRawCopied == 0 {
+		t.Fatalf("recipe does not arm the raw paths: %+v", stats)
+	}
+
+	exploreMergeCrashPoints(t, cfg, rec)
+}
+
+// exploreMergeCrashPoints fails a merge of recB at every mutating storage
+// operation (clean and torn) on top of a previously-committed merge output
+// merged-a, asserting sources and the previous output survive untouched,
+// the new output is all-or-nothing, resolution lands on a committed
+// checkpoint, and repair-then-replay converges to the fault-free bytes.
+func exploreMergeCrashPoints(t *testing.T, cfg *modelcfg.Config, recB *recipe.Recipe) {
+	t.Helper()
 	// Tiny chunks force multi-chunk container assembly, so torn-final-
 	// chunk crash points exist inside every output file. Workers=1 keeps
 	// the storage op sequence identical across replays.
 	opts := Options{Workers: 1, ChunkBytes: 512}
 	recA := recipe.Parity("run/checkpoint-5", "run/checkpoint-10", cfg, "merged-a")
-	recB := recipe.Parity("run/checkpoint-5", "run/checkpoint-10", cfg, "merged-b")
 
 	// setup builds sources plus the previously-committed merge output
 	// merged-a (whose root-level latest pointer is the single-segment edge

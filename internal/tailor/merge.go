@@ -1,7 +1,9 @@
 package tailor
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"sync/atomic"
 	"time"
 
@@ -55,6 +57,11 @@ type Options struct {
 	// 0 (default) means unbounded; Stats.PeakInFlightBytes reports the
 	// high-water mark either way.
 	MaxInFlight int64
+	// NoRawCopy disables the zero-decode fast path, forcing every tensor
+	// through decode/re-encode and every optimizer shard through a full
+	// group decode. The output bytes are identical either way (the golden
+	// tests pin this); the knob exists for A/B benchmarking and diffing.
+	NoRawCopy bool
 }
 
 // Stats reports what a merge did.
@@ -77,6 +84,17 @@ type Stats struct {
 	// admitted into the weights pipeline and not yet written — the
 	// quantity Options.MaxInFlight bounds.
 	PeakInFlightBytes int64
+	// TensorsRawCopied counts weight tensors that took the zero-decode
+	// fast path: payload extent spliced source→output with the source CRC
+	// carried forward, no decode/re-encode. A subset of TensorsRead.
+	TensorsRawCopied int
+	// ShardsRawCopied counts whole optimizer shard files streamed
+	// backend-to-backend without group decode. Raw-copied shards are
+	// deliberately NOT counted in ShardFileLoads — that counter tracks
+	// full decode loads, the Table 7 cost the fast path removes.
+	ShardsRawCopied int
+	// BytesRawCopied totals the payload bytes moved by both raw paths.
+	BytesRawCopied int64
 }
 
 // Merge executes a recipe end to end and returns merge statistics. Blend
@@ -150,6 +168,13 @@ func Execute(b storage.Backend, plan *Plan, opts Options) (*Stats, error) {
 // streaming into the output container. Peak memory is bounded by the gate
 // instead of the full model size, and reads overlap both each other and the
 // output write.
+//
+// Each spec is classified on admission: a pure passthrough whose stored
+// dtype already matches the output dtype takes the zero-decode fast path
+// (raw extent read + AppendRaw splice, source CRC carried forward); a spec
+// needing dtype conversion — or any spec when Options.NoRawCopy is set —
+// keeps the decode path. Both run inside the same ordered pipeline under
+// the same byte gate, and produce identical output bytes.
 func mergeWeights(out storage.Backend, outDir string, plan *Plan, opts Options, stats *Stats) error {
 	outDType := tensor.BF16
 	if plan.Recipe.DType != "" {
@@ -168,14 +193,24 @@ func mergeWeights(out storage.Backend, outDir string, plan *Plan, opts Options, 
 	type job struct {
 		spec modelcfg.TensorSpec
 		src  string
+		raw  bool
 	}
 	type done struct {
 		t        *tensor.Tensor
+		raw      *ckpt.RawTensor // non-nil: d.data splices via AppendRaw
+		data     []byte
 		srcBytes int64
 	}
 	gate := parallel.NewByteGate(opts.MaxInFlight)
 	pipe := parallel.NewPipeline(opts.Workers, pipelineDepth(opts.Workers),
 		func(j job) (done, error) {
+			if j.raw {
+				rt, data, err := readRawPayload(plan.Sources[j.src].Weights(), j.spec.Name)
+				if err != nil {
+					return done{}, fmt.Errorf("tailor: raw read %s from %s: %w", j.spec.Name, j.src, err)
+				}
+				return done{raw: rt, data: data, srcBytes: rt.Size}, nil
+			}
 			t, err := plan.Sources[j.src].Weights().ReadTensor(j.spec.Name)
 			if err != nil {
 				return done{}, fmt.Errorf("tailor: read %s from %s: %w", j.spec.Name, j.src, err)
@@ -184,10 +219,16 @@ func mergeWeights(out storage.Backend, outDir string, plan *Plan, opts Options, 
 			if t.DType != outDType {
 				t = t.Convert(outDType)
 			}
-			return done{t, srcBytes}, nil
+			return done{t: t, srcBytes: srcBytes}, nil
 		},
 		func(d done) error {
-			if err := w.WriteTensor(d.t); err != nil {
+			if d.raw != nil {
+				if err := w.AppendRaw(*d.raw, bytes.NewReader(d.data)); err != nil {
+					return err
+				}
+				stats.TensorsRawCopied++
+				stats.BytesRawCopied += d.raw.Size
+			} else if err := w.WriteTensor(d.t); err != nil {
 				return err
 			}
 			stats.TensorsRead++
@@ -197,11 +238,13 @@ func mergeWeights(out storage.Backend, outDir string, plan *Plan, opts Options, 
 
 	for _, spec := range plan.Config.Tensors() {
 		srcPath := plan.Assign[spec.Layer]
-		cost := weightCost(plan.Sources[srcPath].Weights(), spec, outDType)
+		src := plan.Sources[srcPath].Weights()
+		raw := !opts.NoRawCopy && src.RawEligible(spec.Name, outDType)
+		cost := weightCost(src, spec, outDType)
 		// Admission happens in push order and release in sink order, so the
 		// gate can never strand the head-of-line job behind later ones.
 		gate.Acquire(cost)
-		if err := pipe.PushWithCleanup(job{spec, srcPath}, func() { gate.Release(cost) }); err != nil {
+		if err := pipe.PushWithCleanup(job{spec, srcPath, raw}, func() { gate.Release(cost) }); err != nil {
 			gate.Release(cost)
 			break
 		}
@@ -234,6 +277,25 @@ func weightCost(src *ckpt.LTSFReader, spec modelcfg.TensorSpec, outDType tensor.
 	return srcBytes
 }
 
+// readRawPayload fetches one tensor's stored payload bytes verbatim through
+// the backend's sectioned-read stream. The bytes are held (under the byte
+// gate) until the ordered sink splices them; no decode happens anywhere.
+func readRawPayload(src *ckpt.LTSFReader, name string) (*ckpt.RawTensor, []byte, error) {
+	rt, rc, err := src.OpenRaw(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	data := make([]byte, rt.Size)
+	_, err = io.ReadFull(rc, data)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("read payload extent: %w", err)
+	}
+	return &rt, data, nil
+}
+
 // pipelineDepth bounds how many completed tensors may queue between the
 // reader pool and the ordered writer; the byte gate is the real memory
 // bound, this only keeps the ordering queue short.
@@ -248,7 +310,19 @@ func pipelineDepth(workers int) int {
 // shards from the sources. Ranks run under a bounded worker pool; each
 // rank's output streams group by group through a ShardFileWriter, so a
 // worker's peak memory is one rank shard, never the whole optimizer state.
+//
+// When every layer is assigned to a single complete source, the group-level
+// copy degenerates to the identity and the whole `.ltos` file is streamed
+// backend-to-backend instead — no group decode, no f32 re-encode, no CRC
+// recompute. A cheap header-only validation pass decides eligibility; any
+// mismatch falls back to the decode path, never to a wrong copy.
 func mergeOptimizer(out storage.Backend, outDir string, plan *Plan, opts Options, stats *Stats) error {
+	if src, ok := rawShardSource(plan, opts); ok {
+		copied, err := rawCopyOptimizer(out, outDir, plan, src, opts, stats)
+		if copied || err != nil {
+			return err
+		}
+	}
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
@@ -284,6 +358,104 @@ func mergeOptimizer(out storage.Backend, outDir string, plan *Plan, opts Options
 	stats.BytesRead += bytesIn.Load()
 	stats.BytesWritten += bytesOut.Load()
 	return err
+}
+
+// rawShardSource returns the single source checkpoint path when the merge
+// is a whole-rank passthrough: every layer assigned to one complete source.
+// Only then is each rank's output shard file byte-identical to the source's
+// and eligible for a verbatim copy.
+func rawShardSource(plan *Plan, opts Options) (string, bool) {
+	if opts.NoRawCopy {
+		return "", false
+	}
+	src := ""
+	for _, path := range plan.Assign {
+		if src == "" {
+			src = path
+		} else if path != src {
+			return "", false
+		}
+	}
+	if src == "" {
+		return "", false
+	}
+	return src, plan.Sources[src].Manifest.Complete
+}
+
+// rawCopyOptimizer streams every rank's `.ltos` file verbatim from the
+// single source into the staging directory. Before any payload byte moves,
+// a header-only pass over all ranks confirms each file is exactly what the
+// decode path would rebuild (rank, world size, layout, group order, numels,
+// contiguous payload); any surprise returns copied=false so the caller
+// falls back to the group-decode path. Copy errors after validation are
+// real merge errors — fault injection and disk failures surface, they do
+// not silently demote the merge to the slow path mid-write.
+func rawCopyOptimizer(out storage.Backend, outDir string, plan *Plan, src string, opts Options, stats *Stats) (bool, error) {
+	c := plan.Sources[src]
+	var payloadBytes int64
+	for rank := 0; rank < plan.WorldSize; rank++ {
+		h, err := ckpt.ReadShardHeader(c.Backend, c.Dir+"/"+ckpt.ShardFileName(rank))
+		if err != nil || !shardCopyable(h, plan, rank) {
+			return false, nil
+		}
+		payloadBytes += h.PayloadBytes
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	var copied atomic.Int64
+	err := parallel.ForEach(workers, plan.WorldSize, func(rank int) error {
+		rel := ckpt.ShardFileName(rank)
+		n, err := storage.CopyFile(out, outDir+"/"+rel, c.Backend, c.Dir+"/"+rel, opts.ChunkBytes)
+		if err != nil {
+			return fmt.Errorf("tailor: raw copy %s from %s: %w", rel, src, err)
+		}
+		copied.Add(n)
+		return nil
+	})
+	if err != nil {
+		return true, err
+	}
+	stats.ShardsRawCopied += plan.WorldSize
+	// BytesRawCopied counts payload extents only (matching the weights
+	// path); the file counters take the whole containers as moved.
+	stats.BytesRawCopied += payloadBytes
+	stats.BytesRead += copied.Load()
+	stats.BytesWritten += copied.Load()
+	return true, nil
+}
+
+// shardCopyable reports whether a source shard file is byte-equivalent to
+// what the decode path would write for this plan: same rank, world size and
+// layout, exactly the layout's groups in index order with matching numels,
+// and a gap-free payload.
+func shardCopyable(h *ckpt.ShardHeader, plan *Plan, rank int) bool {
+	if h.Rank != rank || h.WorldSize != plan.WorldSize || h.Layout != plan.Layout.Kind {
+		return false
+	}
+	if len(h.Groups) != plan.Layout.NumGroups() {
+		return false
+	}
+	var pos int64
+	for i, g := range h.Groups {
+		if g.Index != i || g.Numel != plan.Layout.Groups[i].Numel {
+			return false
+		}
+		if g.Offsets[0] != pos {
+			return false
+		}
+		pos = g.Offsets[1]
+		// The decode path rejects a group whose extent is not exactly
+		// 12×ShardLen (master + exp_avg + exp_avg_sq in f32), so the raw
+		// copy must too. Range-check ShardLen before multiplying: a
+		// near-MaxInt64 value could wrap ShardLen*12 around to the extent.
+		extent := g.Offsets[1] - g.Offsets[0]
+		if g.ShardLen < 0 || g.ShardLen > extent || extent != g.ShardLen*12 {
+			return false
+		}
+	}
+	return pos == h.PayloadBytes
 }
 
 // buildRankShards gathers rank's shard of every layout group from the

@@ -1,0 +1,251 @@
+package tailor
+
+import (
+	"testing"
+
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/recipe"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+)
+
+// singleSourceRecipe routes every layer to one checkpoint — the whole-rank
+// passthrough shape that arms both raw fast paths (tensor extents and
+// shard-file copies).
+func singleSourceRecipe(src, out string) *recipe.Recipe {
+	return &recipe.Recipe{
+		MergeMethod: "passthrough",
+		Base:        src,
+		Optimizer:   true,
+		Output:      out,
+	}
+}
+
+// The acceptance property of the zero-decode fast path: raw-copy and decode
+// merges produce byte-identical output containers, for every worker count,
+// on both a single-source (shard raw copy armed) and a two-source parity
+// (tensor raw copy only) recipe.
+func TestRawCopyByteIdenticalToDecodeAcrossWorkers(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	newRun(t, b, cfg, 2, []int{5, 10}, nil)
+
+	recipes := map[string]func(out string) *recipe.Recipe{
+		"single-source": func(out string) *recipe.Recipe {
+			return singleSourceRecipe("run/checkpoint-10", out)
+		},
+		"parity": func(out string) *recipe.Recipe {
+			return recipe.Parity("run/checkpoint-5", "run/checkpoint-10", cfg, out)
+		},
+	}
+	files := []string{"model.ltsf", ckpt.ShardFileName(0), ckpt.ShardFileName(1), "manifest.json"}
+
+	for name, mk := range recipes {
+		t.Run(name, func(t *testing.T) {
+			refOut := "ref-" + name
+			refStats, err := Merge(b, mk(refOut), Options{Workers: 1, NoRawCopy: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if refStats.TensorsRawCopied != 0 || refStats.ShardsRawCopied != 0 || refStats.BytesRawCopied != 0 {
+				t.Fatalf("NoRawCopy merge still raw-copied: %+v", refStats)
+			}
+
+			for _, workers := range []int{1, 2, 8} {
+				out := "raw-" + name + "-" + string(rune('0'+workers))
+				stats, err := Merge(b, mk(out), Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stats.TensorsRawCopied != len(cfg.Tensors()) {
+					t.Fatalf("workers=%d: %d of %d tensors raw-copied", workers, stats.TensorsRawCopied, len(cfg.Tensors()))
+				}
+				if name == "single-source" && stats.ShardsRawCopied != 2 {
+					t.Fatalf("workers=%d: %d shard files raw-copied, want 2", workers, stats.ShardsRawCopied)
+				}
+				if name == "parity" && stats.ShardsRawCopied != 0 {
+					t.Fatalf("workers=%d: parity merge raw-copied whole shards from two sources", workers)
+				}
+				if name == "single-source" && stats.ShardFileLoads != 0 {
+					t.Fatalf("workers=%d: raw shard copy still decoded %d shard files", workers, stats.ShardFileLoads)
+				}
+				if stats.BytesRawCopied <= 0 {
+					t.Fatalf("workers=%d: BytesRawCopied not tracked", workers)
+				}
+				for _, f := range files {
+					ref, err := b.ReadFile(refOut + "/" + f)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := b.ReadFile(out + "/" + f)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(ref) != string(got) {
+						t.Fatalf("workers=%d: %s differs between raw and decode merges", workers, f)
+					}
+				}
+				if _, _, _, err := ckpt.Restore(b, out, tensor.BF16); err != nil {
+					t.Fatalf("workers=%d: raw-merged checkpoint not restorable: %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+// A dtype conversion must force every tensor back onto the decode path.
+func TestRawCopyFallsBackOnDTypeConversion(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	newRun(t, b, cfg, 2, []int{5, 10}, nil)
+
+	rec := singleSourceRecipe("run/checkpoint-10", "conv")
+	rec.DType = "float32" // sources store bf16
+	rec.Optimizer = false
+	stats, err := Merge(b, rec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TensorsRawCopied != 0 || stats.BytesRawCopied != 0 {
+		t.Fatalf("converted merge took the raw path: %+v", stats)
+	}
+	if stats.TensorsRead != len(cfg.Tensors()) {
+		t.Fatalf("TensorsRead = %d, want %d", stats.TensorsRead, len(cfg.Tensors()))
+	}
+}
+
+// A multi-source merge must not whole-file-copy optimizer shards, and a
+// partial source must not arm the fast path even when it is the only one.
+func TestRawShardCopyDetection(t *testing.T) {
+	cfg := modelcfg.Tiny()
+
+	b := storage.NewMem()
+	newRun(t, b, cfg, 2, []int{5, 10}, nil)
+	plan, err := NewPlan(b, recipe.Parity("run/checkpoint-5", "run/checkpoint-10", cfg, "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src, ok := rawShardSource(plan, Options{}); ok {
+		t.Fatalf("two-source parity plan armed raw shard copy from %q", src)
+	}
+
+	plan, err = NewPlan(b, singleSourceRecipe("run/checkpoint-10", "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src, ok := rawShardSource(plan, Options{}); !ok || src != "run/checkpoint-10" {
+		t.Fatalf("single-source plan did not arm raw shard copy (src=%q ok=%v)", src, ok)
+	}
+	if _, ok := rawShardSource(plan, Options{NoRawCopy: true}); ok {
+		t.Fatal("NoRawCopy did not disarm raw shard copy")
+	}
+}
+
+// Every header inconsistency the decode path would reject must disarm the
+// whole-file copy — a shard the group decode refuses to load can never be
+// published verbatim by the fast path.
+func TestShardCopyableRejectsInconsistentHeaders(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	newRun(t, b, cfg, 2, []int{5, 10}, nil)
+	plan, err := NewPlan(b, singleSourceRecipe("run/checkpoint-10", "out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func() *ckpt.ShardHeader {
+		h, err := ckpt.ReadShardHeader(b, "run/checkpoint-10/"+ckpt.ShardFileName(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if !shardCopyable(read(), plan, 0) {
+		t.Fatal("pristine source shard not copyable")
+	}
+
+	corruptions := map[string]func(h *ckpt.ShardHeader){
+		"wrong rank":        func(h *ckpt.ShardHeader) { h.Rank = 1 },
+		"wrong world size":  func(h *ckpt.ShardHeader) { h.WorldSize = 4 },
+		"missing group":     func(h *ckpt.ShardHeader) { h.Groups = h.Groups[:len(h.Groups)-1] },
+		"reordered groups":  func(h *ckpt.ShardHeader) { h.Groups[0].Index, h.Groups[1].Index = 1, 0 },
+		"wrong numel":       func(h *ckpt.ShardHeader) { h.Groups[2].Numel++ },
+		"payload gap":       func(h *ckpt.ShardHeader) { h.Groups[1].Offsets[0]++ },
+		"short payload":     func(h *ckpt.ShardHeader) { h.PayloadBytes++ },
+		"corrupt shard len": func(h *ckpt.ShardHeader) { h.Groups[0].ShardLen++ },
+		"negative shard len": func(h *ckpt.ShardHeader) {
+			h.Groups[0].ShardLen = -h.Groups[0].ShardLen
+		},
+		"wrapping shard len": func(h *ckpt.ShardHeader) {
+			// Chosen so ShardLen*12 wraps int64 back to a small value.
+			h.Groups[0].ShardLen = (1<<63)/6 + h.Groups[0].ShardLen
+		},
+	}
+	for name, corrupt := range corruptions {
+		h := read()
+		corrupt(h)
+		if shardCopyable(h, plan, 0) {
+			t.Errorf("%s: still copyable", name)
+		}
+	}
+}
+
+// The byte gate still bounds the raw path: a MaxInFlight well below the
+// model's total bytes holds as a hard ceiling while every tensor raw-copies.
+func TestRawCopyRespectsMaxInFlight(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	newRun(t, b, cfg, 2, []int{5, 10}, nil)
+
+	var largest, total int64
+	for _, spec := range cfg.Tensors() {
+		n := spec.NumElems() * 2
+		total += n
+		if n > largest {
+			largest = n
+		}
+	}
+	bound := largest * 2
+	if bound >= total {
+		t.Fatalf("test model too small to exercise the bound (largest %d, total %d)", largest, total)
+	}
+	stats, err := Merge(b, singleSourceRecipe("run/checkpoint-10", "bounded"),
+		Options{Workers: 4, MaxInFlight: bound, ChunkBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TensorsRawCopied != len(cfg.Tensors()) {
+		t.Fatalf("%d of %d tensors raw-copied under the gate", stats.TensorsRawCopied, len(cfg.Tensors()))
+	}
+	if stats.PeakInFlightBytes <= 0 || stats.PeakInFlightBytes > bound {
+		t.Fatalf("peak in-flight %d outside (0, %d]", stats.PeakInFlightBytes, bound)
+	}
+}
+
+// Raw merges must survive adversarial short reads on the source backend —
+// extent reads may deliver any number of bytes per call.
+func TestRawMergeUnderShortReads(t *testing.T) {
+	cfg := modelcfg.Tiny()
+	clean := storage.NewMem()
+	newRun(t, clean, cfg, 2, []int{5, 10}, nil)
+	rec := singleSourceRecipe("run/checkpoint-10", "merged")
+	if _, err := Merge(clean, rec, Options{Workers: 1, ChunkBytes: 512}); err != nil {
+		t.Fatal(err)
+	}
+	want := mergeTreeDigest(t, clean, "merged")
+
+	b := storage.NewMem()
+	newRun(t, b, cfg, 2, []int{5, 10}, nil)
+	f := storage.NewFault(b)
+	f.SetShortReads(true)
+	stats, err := Merge(f, rec, Options{Workers: 1, ChunkBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TensorsRawCopied == 0 || stats.ShardsRawCopied == 0 {
+		t.Fatalf("short-read merge left the raw path: %+v", stats)
+	}
+	if got := mergeTreeDigest(t, b, "merged"); got != want {
+		t.Fatal("short reads changed raw merge output")
+	}
+}

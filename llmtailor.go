@@ -45,12 +45,16 @@ type (
 	// parallelism of optimizer merging; LoadOrder selects shard-file
 	// loading behaviour; MaxInFlight bounds the payload bytes admitted
 	// into the weights pipeline but not yet written (0 = unbounded), so a
-	// merge of an arbitrarily large model runs in bounded memory; and
-	// ChunkBytes sets the streaming I/O chunk size.
+	// merge of an arbitrarily large model runs in bounded memory;
+	// ChunkBytes sets the streaming I/O chunk size; and NoRawCopy forces
+	// the decode path where the zero-decode raw-copy fast path would
+	// otherwise splice passthrough payloads verbatim (identical output
+	// bytes either way).
 	MergeOptions = tailor.Options
 	// MergeStats reports a merge's I/O behaviour, including BytesRead /
-	// BytesWritten volumes and PeakInFlightBytes, the high-water mark the
-	// MergeOptions.MaxInFlight knob bounds.
+	// BytesWritten volumes, PeakInFlightBytes (the high-water mark the
+	// MergeOptions.MaxInFlight knob bounds) and the raw fast-path counters
+	// TensorsRawCopied / ShardsRawCopied / BytesRawCopied.
 	MergeStats = tailor.Stats
 	// Plan is a validated merge plan (dry-run inspectable).
 	Plan = tailor.Plan
