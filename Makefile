@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci fuzz-smoke doctor-smoke bench bench-smoke bench-record clean
+.PHONY: all build test race vet fmt-check ci cover fuzz-smoke doctor-smoke bench bench-smoke bench-record clean
 
 all: build test
 
@@ -26,7 +26,20 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build race fuzz-smoke doctor-smoke bench-smoke
+ci: fmt-check vet build race fuzz-smoke doctor-smoke bench-smoke cover
+
+# Coverage over the internal packages: per-function table, an HTML report
+# (cover.html) and a hard floor so coverage cannot silently regress. The
+# floor sits below the current total (~85%) to absorb noise, not drift.
+COVER_FLOOR ?= 80
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+	$(GO) tool cover -html=cover.out -o cover.html
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {gsub(/%/,"",$$3); print $$3}'); \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < f+0) { printf "coverage %.1f%% is below the %s%% floor\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %s%%)\n", t, f }'
 
 # Brief run of every fuzz target (the checked-in testdata/fuzz corpus plus
 # ~5s of new coverage each); any reader panic fails the build.
@@ -34,6 +47,7 @@ FUZZTIME ?= 5s
 fuzz-smoke:
 	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzReadShardFile$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzLTSFReader$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ckpt -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/recipe -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 
 # Exercise the doctor exit-code contract end to end: 2 when torn/orphaned
@@ -61,11 +75,12 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -timeout 30m ./...
 
-# Refresh BENCH_merge.json and BENCH_merge_raw.json (the perf records
-# future PRs diff against) with stable measurements.
+# Refresh BENCH_merge.json, BENCH_merge_raw.json and BENCH_delta.json
+# (the perf records future PRs diff against) with stable measurements.
 bench-record:
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkMergeFullStreamed|BenchmarkMergeRawVsDecode' -benchtime=5x .
-	@cat BENCH_merge.json BENCH_merge_raw.json
+	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkIncrementalSave' -benchtime=3x .
+	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json
 
 clean:
-	rm -f llmtailor trainsim paperbench ckptstat
+	rm -f llmtailor trainsim paperbench ckptstat cover.out cover.html

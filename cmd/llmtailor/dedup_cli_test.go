@@ -1,0 +1,197 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"llmtailor"
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/tensor"
+)
+
+// writeDedupRun creates two content-addressed tiny checkpoints under
+// root/run (shared state, so the second save dedups fully).
+func writeDedupRun(t *testing.T, root string) {
+	t.Helper()
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := modelcfg.Tiny()
+	m, _ := model.NewInitialized(cfg, tensor.BF16, 5)
+	o, _ := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
+	for _, step := range []int{10, 20} {
+		if err := ckpt.Save(b, ckpt.SaveSpec{
+			Dir: "run/" + ckpt.DirName(step), Model: m, Optim: o, WorldSize: 2,
+			Strategy: "full", Dedup: true, State: ckpt.TrainerState{Step: step, Seed: 5},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCLIGC(t *testing.T) {
+	root := t.TempDir()
+	writeDedupRun(t, root)
+	// Orphan blobs: drop checkpoint-20 entirely (its exclusive refs die),
+	// and plant staging residue. Shared content stays referenced by
+	// checkpoint-10, so the sweep must keep it.
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(root, "run", "objects", ".stage"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "run", "objects", ".stage", "put-5"), []byte("residue"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dry run reports without removing.
+	var out strings.Builder
+	if err := runGC([]string{"-root", root, "-run", "run", "-dry-run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dry run:") {
+		t.Fatalf("output: %s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(root, "run", "objects", ".stage", "put-5")); err != nil {
+		t.Fatal("dry run removed staging residue")
+	}
+
+	out.Reset()
+	if err := runGC([]string{"-root", root, "-run", "run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "staging entries cleaned") {
+		t.Fatalf("output: %s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(root, "run", "objects", ".stage", "put-5")); !os.IsNotExist(err) {
+		t.Fatal("gc left staging residue")
+	}
+	// Both checkpoints still restore after the sweep.
+	for _, dir := range []string{"run/checkpoint-10", "run/checkpoint-20"} {
+		if _, _, _, err := ckpt.Restore(b, dir, tensor.BF16); err != nil {
+			t.Fatalf("%s after gc: %v", dir, err)
+		}
+	}
+}
+
+// Blob-staging residue is a doctor problem (exit 2) that -fix cleans.
+func TestCLIDoctorCountsBlobStaging(t *testing.T) {
+	root := t.TempDir()
+	writeDedupRun(t, root)
+	if err := os.MkdirAll(filepath.Join(root, "run", "objects", ".stage"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "run", "objects", ".stage", "put-8"), []byte("residue"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	problems, err := runDoctor([]string{"-root", root, "-run", "run"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems != 1 || !strings.Contains(out.String(), "blob-staging") {
+		t.Fatalf("problems = %d\n%s", problems, out.String())
+	}
+	out.Reset()
+	problems, err = runDoctor([]string{"-root", root, "-run", "run", "-fix"}, &out)
+	if err != nil || problems != 0 {
+		t.Fatalf("fix: %d problems, %v\n%s", problems, err, out.String())
+	}
+	if _, err := os.Stat(filepath.Join(root, "run", "objects", ".stage", "put-8")); !os.IsNotExist(err) {
+		t.Fatal("-fix left blob staging residue")
+	}
+	out.Reset()
+	if problems, err := runDoctor([]string{"-root", root, "-run", "run"}, &out); err != nil || problems != 0 {
+		t.Fatalf("post-fix: %d problems, %v", problems, err)
+	}
+}
+
+func TestCLIDoctorAdopt(t *testing.T) {
+	root := t.TempDir()
+	writeRun(t, root)
+	// Strip both markers: pre-protocol checkpoints. Corrupt the second so
+	// it quarantines.
+	for _, step := range []string{"checkpoint-10", "checkpoint-20"} {
+		if err := os.Remove(filepath.Join(root, "run", step, ckpt.CommitMarkerName)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ltsf := filepath.Join(root, "run", "checkpoint-20", "model.ltsf")
+	data, err := os.ReadFile(ltsf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0xff
+	if err := os.WriteFile(ltsf, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	problems, err := runDoctor([]string{"-root", root, "-run", "run", "-adopt"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems != 0 {
+		t.Fatalf("problems = %d\n%s", problems, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "adopted run/checkpoint-10") {
+		t.Fatalf("output: %s", s)
+	}
+	if !strings.Contains(s, "quarantined run/checkpoint-20.quarantined") {
+		t.Fatalf("output: %s", s)
+	}
+	// Adopted checkpoint is committed; quarantined dir preserved on disk.
+	b, _ := llmtailor.OpenDir(root)
+	if err := llmtailor.VerifyCommitted(b, "run/checkpoint-10"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "run", "checkpoint-20.quarantined")); err != nil {
+		t.Fatal("quarantined dir missing")
+	}
+}
+
+func TestCLIMergeDedupOutput(t *testing.T) {
+	root := t.TempDir()
+	writeRun(t, root)
+	recipePath := filepath.Join(root, "recipe.yaml")
+	if err := os.WriteFile(recipePath, []byte(cliRecipe), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runMerge([]string{"-root", root, "-recipe", recipePath, "-dedup"}); err != nil {
+		t.Fatalf("merge -dedup: %v", err)
+	}
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Exists("run/merged/" + ckpt.WeightManifestName) {
+		t.Fatal("merged output is not content-addressed")
+	}
+	if b.Exists("run/merged/model.ltsf") {
+		t.Fatal("merged output kept the payload container")
+	}
+	// The dedup output restores and verifies like any checkpoint.
+	if _, _, _, err := ckpt.Restore(b, "run/merged", tensor.BF16); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := llmtailor.VerifyCheckpoint(b, "run/merged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("verify: %s", rep.Describe())
+	}
+	// Inspect works against the dedup layout too.
+	if err := runInspect([]string{"-root", root, "-ckpt", "run/merged"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -53,6 +53,8 @@ func main() {
 			os.Exit(exitProblems)
 		}
 		return
+	case "gc":
+		err = runGC(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -78,15 +80,25 @@ commands:
   plan        validate a recipe and print the merge plan (dry run)
   inspect     print a checkpoint's anatomy
   verify      re-read a checkpoint end to end and check consistency
-  doctor      classify checkpoints (committed / torn / orphaned staging)
-              and optionally repair the run root; exits 0 when healthy,
-              2 when problems were found and left in place
+  doctor      classify checkpoints (committed / torn / orphaned staging /
+              quarantined) and the content-addressed blob store, and
+              optionally repair the run root; -adopt seals intact
+              pre-commit-protocol checkpoints in place (quarantining
+              unreadable ones) instead of leaving them for -fix to delete;
+              exits 0 when healthy, 2 when problems were left in place
+  gc          sweep the run root's objects/ blob store: remove staging
+              residue and blobs no committed checkpoint references
+              (referenced blobs are never collected); -dry-run reports only
   gen-recipe  build a recipe from partial-checkpoint manifests
 
 examples:
   llmtailor doctor -root /data -run sft-run        # report only
   llmtailor doctor -root /data -run sft-run -fix   # remove torn/orphaned
-                                                   # dirs, re-aim 'latest'`)
+                                                   # dirs, re-aim 'latest'
+  llmtailor doctor -root /data -run old-run -adopt # migrate pre-protocol
+                                                   # checkpoints
+  llmtailor merge -root /data -recipe r.yaml -dedup # dedup the output
+  llmtailor gc -root /data -run sft-run            # reclaim blob garbage`)
 }
 
 func openRoot(root string) (llmtailor.Backend, error) {
@@ -116,6 +128,7 @@ func runMerge(args []string) error {
 	maxInFlight := fs.Int64("max-inflight", 0, "bound on in-flight tensor bytes in the weights pipeline (0 = unbounded)")
 	chunkBytes := fs.Int("chunk-bytes", 0, "streaming I/O chunk size in bytes (0 = default)")
 	noRawCopy := fs.Bool("no-raw-copy", false, "disable the zero-decode fast path (raw tensor-extent and shard-file copies); output bytes are identical either way")
+	dedup := fs.Bool("dedup", false, "store the merged checkpoint content-addressed: payloads land in the run root's objects/ store, deduplicated against existing blobs")
 	fs.Parse(args)
 
 	b, err := openRoot(*root)
@@ -131,6 +144,7 @@ func runMerge(args []string) error {
 		MaxInFlight: *maxInFlight,
 		ChunkBytes:  *chunkBytes,
 		NoRawCopy:   *noRawCopy,
+		DedupOutput: *dedup,
 	}
 	if *interleaved {
 		opts.LoadOrder = tailor.Interleaved
@@ -144,6 +158,10 @@ func runMerge(args []string) error {
 	fmt.Printf("  optimizer shard file loads: %d  raw-copied shard files: %d\n", stats.ShardFileLoads, stats.ShardsRawCopied)
 	fmt.Printf("  bytes read: %d  written: %d  raw-copied: %d\n", stats.BytesRead, stats.BytesWritten, stats.BytesRawCopied)
 	fmt.Printf("  peak in-flight tensor bytes: %d\n", stats.PeakInFlightBytes)
+	if *dedup {
+		fmt.Printf("  dedup: %d blobs written (%d bytes), %d reused (%d bytes deduplicated)\n",
+			stats.BlobsPut, stats.BlobBytesWritten, stats.BlobsReused, stats.BytesDeduped)
+	}
 	fmt.Printf("  wall time: %v\n", stats.WallTime)
 	return nil
 }
@@ -223,19 +241,36 @@ func runVerify(args []string) error {
 	return nil
 }
 
-// runDoctor scans (and with -fix repairs) a run root. It returns the
-// number of problem directories left in place — the caller maps a
-// non-zero count to exit code 2 so scripts and CI can gate on health.
+// runDoctor scans (and with -fix repairs, -adopt migrates) a run root. It
+// returns the number of problem directories left in place — the caller
+// maps a non-zero count to exit code 2 so scripts and CI can gate on
+// health.
 func runDoctor(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("doctor", flag.ExitOnError)
 	root := fs.String("root", "", "storage root directory")
 	run := fs.String("run", "", "run root under the storage root (default: the root itself)")
 	fix := fs.Bool("fix", false, "remove torn/orphaned directories and re-aim the latest pointer")
+	adopt := fs.Bool("adopt", false, "seal intact pre-commit-protocol checkpoints (full read + CRC pass) with a COMMITTED marker; quarantine unreadable ones instead of deleting")
 	fs.Parse(args)
 
 	b, err := openRoot(*root)
 	if err != nil {
 		return 0, err
+	}
+	if *adopt {
+		rep, err := llmtailor.AdoptCheckpoints(b, *run)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range rep.Adopted {
+			fmt.Fprintf(out, "adopted %s (readable; COMMITTED marker sealed in place)\n", d)
+		}
+		for i, q := range rep.Quarantined {
+			fmt.Fprintf(out, "quarantined %s — %s\n", q, rep.Reasons[i])
+		}
+		for _, d := range rep.StillTorn {
+			fmt.Fprintf(out, "left torn %s (carries a failing marker or is empty; -fix owns it)\n", d)
+		}
 	}
 	statuses, err := llmtailor.ScanCheckpoints(b, *run)
 	if err != nil {
@@ -243,15 +278,52 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 	}
 	problems := 0
 	for _, st := range statuses {
-		if st.State == llmtailor.StateCommitted {
+		switch st.State {
+		case llmtailor.StateCommitted:
 			fmt.Fprintf(out, "  %-12s %s (step %d)\n", st.State, st.Path, st.Step)
-			continue
+		case llmtailor.StateQuarantined:
+			// Deliberately preserved; reported but not counted as a
+			// problem -fix would act on.
+			fmt.Fprintf(out, "  %-12s %s — %s\n", st.State, st.Path, st.Detail)
+		default:
+			problems++
+			fmt.Fprintf(out, "  %-12s %s — %s\n", st.State, st.Path, st.Detail)
 		}
-		problems++
-		fmt.Fprintf(out, "  %-12s %s — %s\n", st.State, st.Path, st.Detail)
 	}
 	if len(statuses) == 0 {
 		fmt.Fprintf(out, "no checkpoint directories under %q\n", *run)
+	}
+	// Blob store health: staging residue counts as a problem (a crashed
+	// blob put left it; -fix removes it). Unreferenced blobs are garbage
+	// worth reporting but not a health failure — only an explicit gc
+	// sweeps published blobs — and stray entries (external mutilation
+	// under objects/) are flagged but never touched automatically.
+	blobs, err := llmtailor.ScanCheckpointBlobs(b, *run)
+	if err != nil {
+		return problems, err
+	}
+	var referenced, unreferenced, staging, stray int
+	for _, bl := range blobs {
+		switch bl.State {
+		case llmtailor.BlobReferenced:
+			referenced++
+		case llmtailor.BlobUnreferenced:
+			unreferenced++
+		case llmtailor.BlobStaging:
+			staging++
+			problems++
+			fmt.Fprintf(out, "  %-12s %s\n", bl.State, bl.Path)
+		default:
+			stray++
+			fmt.Fprintf(out, "  %-12s %s\n", bl.State, bl.Path)
+		}
+	}
+	if len(blobs) > 0 {
+		fmt.Fprintf(out, "blob store: %d referenced, %d unreferenced, %d staging, %d stray\n",
+			referenced, unreferenced, staging, stray)
+		if unreferenced > 0 {
+			fmt.Fprintln(out, "run `llmtailor gc` to reclaim unreferenced blobs")
+		}
 	}
 	if problems == 0 {
 		fmt.Fprintln(out, "healthy: every checkpoint is committed")
@@ -271,6 +343,9 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 	for _, r := range rep.Removed {
 		fmt.Fprintf(out, "removed %s\n", r)
 	}
+	for _, p := range rep.BlobStagingRemoved {
+		fmt.Fprintf(out, "removed blob staging %s\n", p)
+	}
 	if rep.LatestFixed {
 		if rep.Latest == "" {
 			fmt.Fprintln(out, "removed dangling latest pointer (no committed checkpoint remains)")
@@ -278,9 +353,61 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 			fmt.Fprintf(out, "latest pointer -> %s\n", rep.Latest)
 		}
 	}
-	fmt.Fprintf(out, "repaired: %d directories removed, %d published\n",
-		len(rep.Removed), len(rep.Published))
+	fmt.Fprintf(out, "repaired: %d directories removed, %d published, %d blob staging entries cleaned\n",
+		len(rep.Removed), len(rep.Published), len(rep.BlobStagingRemoved))
 	return 0, nil
+}
+
+// runGC sweeps (or with -dry-run reports) the run root's blob store.
+func runGC(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	run := fs.String("run", "", "run root under the storage root (default: the root itself)")
+	dryRun := fs.Bool("dry-run", false, "report what a sweep would remove without removing anything")
+	fs.Parse(args)
+
+	b, err := openRoot(*root)
+	if err != nil {
+		return err
+	}
+	if *dryRun {
+		blobs, err := llmtailor.ScanCheckpointBlobs(b, *run)
+		if err != nil {
+			return err
+		}
+		var kept, remove int
+		var freed int64
+		for _, bl := range blobs {
+			switch bl.State {
+			case llmtailor.BlobReferenced:
+				kept++
+			case llmtailor.BlobUnreferenced:
+				remove++
+				if bl.Size > 0 {
+					freed += bl.Size
+				}
+				fmt.Fprintf(out, "  would remove %s (%d bytes)\n", bl.Path, bl.Size)
+			case llmtailor.BlobStaging:
+				remove++
+				fmt.Fprintf(out, "  would remove %s (staging residue)\n", bl.Path)
+			}
+		}
+		fmt.Fprintf(out, "dry run: %d blobs kept, %d entries removable, %d bytes reclaimable\n", kept, remove, freed)
+		return nil
+	}
+	rep, err := llmtailor.GCCheckpointBlobs(b, *run)
+	if err != nil {
+		return err
+	}
+	for _, d := range rep.RemovedBlobs {
+		fmt.Fprintf(out, "  removed blob %s\n", d)
+	}
+	for _, p := range rep.RemovedStaging {
+		fmt.Fprintf(out, "  removed staging %s\n", p)
+	}
+	fmt.Fprintf(out, "gc: %d referenced digests, %d blobs kept, %d removed (%d bytes freed), %d staging entries cleaned\n",
+		rep.Referenced, rep.Kept, len(rep.RemovedBlobs), rep.BytesFreed, len(rep.RemovedStaging))
+	return nil
 }
 
 func runGenRecipe(args []string) error {

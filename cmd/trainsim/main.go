@@ -42,10 +42,11 @@ func main() {
 	seed := flag.Uint64("seed", 42, "run seed")
 	failAt := flag.Int("fail-at", 0, "simulate a crash right after this step (0 = none)")
 	resume := flag.String("resume", "", "resume from this complete checkpoint directory")
+	dedup := flag.Bool("dedup", false, "save checkpoints content-addressed: payloads dedup against the run root's objects/ store, so unchanged layers cost zero bytes")
 	flag.Parse()
 
 	if err := run(*root, *runRoot, *modelName, *sim, *taskName, *steps, *warmup, *lr,
-		*interval, *strategyName, *worldSize, *seed, *failAt, *resume); err != nil {
+		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
@@ -53,7 +54,7 @@ func main() {
 
 func run(root, runRoot, modelName string, sim bool, taskName string,
 	steps, warmup int, lr float64, interval int, strategyName string,
-	worldSize int, seed uint64, failAt int, resume string) error {
+	worldSize int, seed uint64, failAt int, resume string, dedup bool) error {
 
 	if root == "" {
 		return fmt.Errorf("missing -root")
@@ -84,6 +85,7 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 		TotalSteps: steps, WarmupSteps: warmup, BaseLR: lr,
 		CkptInterval: interval, Strategy: strat,
 		WorldSize: worldSize, RunRoot: runRoot, FailAt: failAt,
+		DedupCkpt: dedup,
 	}
 
 	var tr *train.Trainer

@@ -3,6 +3,7 @@ package ckpt
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -44,6 +45,10 @@ type Manifest struct {
 	Layers []string `json:"layers"`
 	// Complete is true when every model layer is present.
 	Complete bool `json:"complete"`
+	// Dedup is true when the checkpoint is content-addressed: payloads
+	// live as blobs in the run root's objects/ store, referenced by
+	// manifests instead of LTSF/LTOS containers.
+	Dedup bool `json:"dedup,omitempty"`
 }
 
 // HasLayer reports whether the manifest includes the given layer.
@@ -77,6 +82,11 @@ type SaveSpec struct {
 	Strategy string
 	// State is written to trainer_state.json.
 	State TrainerState
+	// Dedup selects the content-addressed save path: payloads are stored
+	// once per content digest in the run root's objects/ store, and the
+	// checkpoint directory holds manifests referencing them. Unchanged
+	// layers between saves cost zero payload bytes.
+	Dedup bool
 }
 
 // Save writes a checkpoint directory: consolidated weights, per-rank
@@ -126,26 +136,34 @@ func Save(b storage.Backend, spec SaveSpec) error {
 	defer txn.Abort()
 	sb, dir := txn.Backend(), txn.Dir()
 
-	// 1. Consolidated weights (only tensors of saved layers).
+	// 1+2. Weights and optimizer shards (only saved layers' tensors and
+	// groups). The dedup path stores payloads as content-addressed blobs —
+	// published on the base backend before the commit seals the manifests —
+	// while the plain path writes full LTSF/LTOS containers into staging.
 	var weights []*tensor.Tensor
 	for i, s := range spec.Model.Specs() {
 		if inSet[s.Layer] {
 			weights = append(weights, spec.Model.Tensors()[i])
 		}
 	}
-	if err := WriteLTSF(sb, dir+"/model.ltsf", cfg.Name, weights); err != nil {
-		return err
-	}
-
-	// 2. Optimizer shards: only groups belonging to saved layers.
 	byRank, err := zero.ShardAll(states, spec.WorldSize)
 	if err != nil {
 		return err
 	}
-	for r := 0; r < spec.WorldSize; r++ {
-		name := dir + "/" + ShardFileName(r)
-		if err := WriteShardFile(sb, name, r, spec.WorldSize, o.StepCount, o.Layout.Kind, metas, byRank[r]); err != nil {
+	if spec.Dedup {
+		if err := writeDedupPayloads(b, sb, dir, spec.Dir, cfg.Name, weights,
+			metas, byRank, spec.WorldSize, o.StepCount, o.Layout.Kind); err != nil {
 			return err
+		}
+	} else {
+		if err := WriteLTSF(sb, dir+"/model.ltsf", cfg.Name, weights); err != nil {
+			return err
+		}
+		for r := 0; r < spec.WorldSize; r++ {
+			name := dir + "/" + ShardFileName(r)
+			if err := WriteShardFile(sb, name, r, spec.WorldSize, o.StepCount, o.Layout.Kind, metas, byRank[r]); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -164,6 +182,7 @@ func Save(b storage.Backend, spec SaveSpec) error {
 		Step:     st.Step,
 		Strategy: spec.Strategy,
 		Complete: len(layers) == len(cfg.AllLayers()),
+		Dedup:    spec.Dedup,
 	}
 	for _, ref := range layers {
 		man.Layers = append(man.Layers, ref.String())
@@ -238,9 +257,36 @@ func ReadManifest(b storage.Backend, dir string) (Manifest, error) {
 	return man, nil
 }
 
+// WeightsReader is the lazy per-tensor access surface a checkpoint's
+// weights expose, satisfied by both container layouts: LTSFReader over a
+// plain model.ltsf and DedupWeights over a content-addressed manifest.
+// Merge, verify and resume code works against this interface so dedup
+// checkpoints are transparent sources.
+type WeightsReader interface {
+	// Model returns the model name recorded at write time.
+	Model() string
+	// Names returns the sorted tensor names present.
+	Names() []string
+	// Has reports whether the named tensor is present.
+	Has(name string) bool
+	// PayloadSize returns the stored payload byte size (no payload I/O).
+	PayloadSize(name string) (int64, bool)
+	// ReadTensor reads, CRC-verifies and decodes one tensor.
+	ReadTensor(name string) (*tensor.Tensor, error)
+	// ReadAll reads every tensor in name order.
+	ReadAll() ([]*tensor.Tensor, error)
+	// RawTensor returns the stored payload extent and checksum.
+	RawTensor(name string) (RawTensor, error)
+	// OpenRaw opens a streaming reader over the stored payload extent.
+	OpenRaw(name string) (RawTensor, io.ReadCloser, error)
+	// RawEligible reports whether the tensor can be raw-copied into an
+	// output of the given dtype.
+	RawEligible(name string, out tensor.DType) bool
+}
+
 // Checkpoint is an open handle to a checkpoint directory. Opening reads only
-// the small JSON files and the weight header; tensor and shard payloads are
-// fetched on demand.
+// the small JSON files and the weight header (or manifest); tensor and shard
+// payloads are fetched on demand.
 type Checkpoint struct {
 	Backend storage.Backend
 	Dir     string
@@ -249,10 +295,10 @@ type Checkpoint struct {
 	State    TrainerState
 	Manifest Manifest
 
-	weights *LTSFReader
+	weights WeightsReader
 }
 
-// Open validates and indexes a checkpoint directory.
+// Open validates and indexes a checkpoint directory, plain or dedup.
 func Open(b storage.Backend, dir string) (*Checkpoint, error) {
 	c := &Checkpoint{Backend: b, Dir: dir}
 	c.Config = &modelcfg.Config{}
@@ -268,6 +314,14 @@ func Open(b storage.Backend, dir string) (*Checkpoint, error) {
 	if err := readJSON(b, dir+"/manifest.json", &c.Manifest); err != nil {
 		return nil, fmt.Errorf("ckpt: open %s: %w", dir, err)
 	}
+	if IsDedup(b, dir) {
+		w, err := OpenDedupWeights(b, dir)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: open %s: %w", dir, err)
+		}
+		c.weights = w
+		return c, nil
+	}
 	w, err := OpenLTSF(b, dir+"/model.ltsf")
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: open %s: %w", dir, err)
@@ -276,12 +330,18 @@ func Open(b storage.Backend, dir string) (*Checkpoint, error) {
 	return c, nil
 }
 
-// Weights exposes the lazy weight reader.
-func (c *Checkpoint) Weights() *LTSFReader { return c.weights }
+// Weights exposes the lazy weight reader (plain LTSF or dedup-backed).
+func (c *Checkpoint) Weights() WeightsReader { return c.weights }
 
-// ReadOptimShard fully reads one rank's optimizer file.
+// ReadOptimShard fully reads one rank's optimizer state: the LTOS shard
+// file of a plain checkpoint, or the rank's shard manifest plus group
+// blobs of a dedup one.
 func (c *Checkpoint) ReadOptimShard(rank int) (*ShardFile, error) {
-	return ReadShardFile(c.Backend, c.Dir+"/"+ShardFileName(rank))
+	name := c.Dir + "/" + ShardFileName(rank)
+	if !c.Backend.Exists(name) && c.Backend.Exists(c.Dir+"/"+ShardManifestName(rank)) {
+		return readDedupShardFile(c.Backend, c.Dir, rank)
+	}
+	return ReadShardFile(c.Backend, name)
 }
 
 // WorldSize returns the rank count recorded at save time.

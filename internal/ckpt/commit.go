@@ -27,6 +27,16 @@ const CommitMarkerName = "COMMITTED"
 // stagingSuffix marks in-progress checkpoint directories.
 const stagingSuffix = ".tmp"
 
+// quarantineSuffix marks pre-protocol checkpoint directories that failed
+// the adopt readability pass: preserved for inspection, excluded from
+// resume resolution, never removed automatically (see Adopt).
+const quarantineSuffix = ".quarantined"
+
+// IsQuarantinePath reports whether a path names a quarantined directory.
+func IsQuarantinePath(name string) bool {
+	return strings.HasSuffix(strings.TrimSuffix(name, "/"), quarantineSuffix)
+}
+
 // StagingDir returns the staging directory a checkpoint is built in.
 func StagingDir(dir string) string { return dir + stagingSuffix }
 
@@ -296,6 +306,10 @@ const (
 	// this staged tree may be the only surviving copy). Repair completes
 	// the publication instead of deleting it.
 	StateUnpublished
+	// StateQuarantined: a pre-protocol checkpoint that failed the adopt
+	// readability pass and was set aside under the .quarantined suffix.
+	// Repair leaves it alone; removal is a deliberate operator action.
+	StateQuarantined
 )
 
 // String names the state for reports.
@@ -309,6 +323,8 @@ func (s DirState) String() string {
 		return "orphaned-tmp"
 	case StateUnpublished:
 		return "unpublished"
+	case StateQuarantined:
+		return "quarantined"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -333,7 +349,7 @@ func checkpointish(b storage.Backend, path, name string) bool {
 	if _, err := fmt.Sscanf(name, "checkpoint-%d", &step); err == nil {
 		return true
 	}
-	for _, f := range []string{"manifest.json", "config.json", "model.ltsf"} {
+	for _, f := range []string{"manifest.json", "config.json", "model.ltsf", WeightManifestName} {
 		if b.Exists(path + "/" + f) {
 			return true
 		}
@@ -380,6 +396,12 @@ func Scan(b storage.Backend, runRoot string) ([]DirStatus, error) {
 		}
 		st := DirStatus{Path: path, Step: dirStep(b, path, name)}
 		switch {
+		case name == ObjectsDirName:
+			// The blob store is scanned separately (ScanBlobs).
+			continue
+		case IsQuarantinePath(name):
+			st.State = StateQuarantined
+			st.Detail = "set aside by adopt (failed the readability pass)"
 		case IsStagingPath(name):
 			if VerifyCommit(b, path) == nil {
 				st.State = StateUnpublished
@@ -390,6 +412,12 @@ func Scan(b storage.Backend, runRoot string) ([]DirStatus, error) {
 			}
 		case b.Exists(path + "/" + CommitMarkerName):
 			if err := VerifyCommit(b, path); err != nil {
+				st.State = StateTorn
+				st.Detail = err.Error()
+			} else if err := verifyDedupRefs(b, path); err != nil {
+				// A committed dedup checkpoint whose referenced blobs are
+				// gone or resized is unusable — external mutilation of the
+				// objects store; GC never removes referenced blobs.
 				st.State = StateTorn
 				st.Detail = err.Error()
 			} else {
@@ -435,6 +463,10 @@ type RepairReport struct {
 	// publication Repair completed (roll-forward of a crash that hit
 	// between the COMMITTED marker and the rename).
 	Published []string
+	// BlobStagingRemoved lists blob-store staging residue (crashed blob
+	// puts) Repair cleaned. Published and unreferenced blobs are GC's
+	// territory, never Repair's.
+	BlobStagingRemoved []string
 	// LatestFixed is set when the run root's latest pointer was rewritten
 	// (or removed, when no committed checkpoint remains).
 	LatestFixed bool
@@ -459,6 +491,10 @@ func Repair(b storage.Backend, runRoot string) (*RepairReport, error) {
 	for i := range statuses {
 		st := &statuses[i]
 		switch st.State {
+		case StateQuarantined:
+			// Preserved evidence: quarantined directories are only ever
+			// removed by a deliberate operator action.
+			continue
 		case StateCommitted:
 			if newest == nil || st.Step >= newest.Step {
 				newest = st
@@ -488,6 +524,21 @@ func Repair(b storage.Backend, runRoot string) (*RepairReport, error) {
 				return nil, fmt.Errorf("ckpt: repair: remove %s: %w", st.Path, err)
 			}
 			rep.Removed = append(rep.Removed, st.Path)
+		}
+	}
+	// Blob-store staging residue is crash garbage of the same kind as an
+	// orphaned .tmp dir (a blob only exists once its publishing rename
+	// ran), so Repair cleans it; sweeping published blobs stays a
+	// deliberate GC action.
+	store := storage.NewBlobStore(b, objectsPath(runRoot))
+	if b.Exists(store.Root()) {
+		if _, staging, _, err := store.List(); err == nil {
+			for _, p := range staging {
+				if err := b.Remove(p); err != nil {
+					return nil, fmt.Errorf("ckpt: repair: remove blob staging %s: %w", p, err)
+				}
+				rep.BlobStagingRemoved = append(rep.BlobStagingRemoved, p)
+			}
 		}
 	}
 	// A crashed pointer update leaves latest.tmp behind.

@@ -1,0 +1,898 @@
+// Content-addressed ("dedup") checkpoints.
+//
+// A dedup save stores every weight-tensor and optimizer-group payload as a
+// blob in the run root's `objects/` store (internal/storage.BlobStore) and
+// writes small manifests referencing the blobs by SHA-256 digest in place
+// of the LTSF/LTOS payload containers. Payloads unchanged since any
+// earlier save cost zero payload bytes — the incremental-snapshot
+// observation that most tensor bytes are identical between successive
+// training checkpoints, applied at the paper's layer-wise granularity.
+//
+// Ordering makes the commit protocol carry over unchanged: blobs are
+// published (atomic rename, idempotent) before the checkpoint's COMMITTED
+// marker seals the manifest directory, so a committed manifest can only
+// reference durable blobs. A crash mid-save leaves an orphaned staging
+// directory plus possibly unreferenced blobs — garbage that Repair and GC
+// remove, never a committed checkpoint with dangling references. GC
+// derives refcounts from every committed (and sealed-but-unpublished)
+// manifest and sweeps only blobs with zero references.
+
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"strings"
+
+	"llmtailor/internal/optim"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+	"llmtailor/internal/zero"
+)
+
+// ObjectsDirName is the blob store's directory name under a run root.
+const ObjectsDirName = "objects"
+
+// objectsPath returns the blob store root for a run root.
+func objectsPath(runRoot string) string {
+	if runRoot == "" {
+		return ObjectsDirName
+	}
+	return runRoot + "/" + ObjectsDirName
+}
+
+// ObjectsRoot returns the blob store root serving a checkpoint directory:
+// the `objects/` sibling in its run root. A single-segment dir ("merged")
+// has the backend root as its run root, mirroring LatestPointerPath.
+func ObjectsRoot(dir string) string {
+	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
+		return dir[:i] + "/" + ObjectsDirName
+	}
+	return ObjectsDirName
+}
+
+// storeFor opens the blob store serving a checkpoint directory.
+func storeFor(b storage.Backend, dir string) *storage.BlobStore {
+	return storage.NewBlobStore(b, ObjectsRoot(dir))
+}
+
+// IsDedup reports whether a checkpoint directory is stored content-
+// addressed (weight manifest present, no weight container).
+func IsDedup(b storage.Backend, dir string) bool {
+	return b.Exists(dir+"/"+WeightManifestName) && !b.Exists(dir+"/model.ltsf")
+}
+
+// putStream stores one payload under its content digest: hash() streams
+// the payload through crc+sha256 only (no storage I/O), and encode() is
+// re-run into the store when — and only when — the blob is new. Returns
+// the reference plus whether bytes were written.
+func putStream(store *storage.BlobStore, size int64, encode func(io.Writer) (int64, error)) (digest string, crc uint32, wrote bool, err error) {
+	c := crc32.NewIEEE()
+	sum := sha256.New()
+	n, err := encode(io.MultiWriter(c, sum))
+	if err != nil {
+		return "", 0, false, err
+	}
+	if n != size {
+		return "", 0, false, fmt.Errorf("ckpt: payload encoded %d bytes, expected %d", n, size)
+	}
+	digest = hex.EncodeToString(sum.Sum(nil))
+	crc = c.Sum32()
+	if store.Has(digest) {
+		return digest, crc, false, nil
+	}
+	w, err := store.Writer()
+	if err != nil {
+		return "", 0, false, err
+	}
+	if _, err := encode(w); err != nil {
+		w.Abort()
+		return "", 0, false, err
+	}
+	if _, err := w.Commit(digest); err != nil {
+		return "", 0, false, err
+	}
+	return digest, crc, true, nil
+}
+
+// encodeGroupPayload streams one group shard's payload (master + exp_avg +
+// exp_avg_sq, FP32 LE) — exactly the bytes ShardFileWriter.WriteGroup
+// spools.
+func encodeGroupPayload(w io.Writer, buf []byte, s *zero.GroupShard) (int64, error) {
+	var n int64
+	for _, sec := range [][]float32{s.Master, s.ExpAvg, s.ExpAvgSq} {
+		k, err := writeF32s(w, buf, sec)
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// writeDedupPayloads is the dedup half of Save: weight and group payloads
+// go to the blob store on the base backend (published before the commit),
+// and the manifests are staged through the transaction's recording backend
+// like every other checkpoint file. finalDir names the checkpoint's
+// eventual (published) path — the blob store location derives from it, not
+// from the staging directory.
+func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
+	modelName string, weights []*tensor.Tensor,
+	metas []ShardGroupMeta, byRank [][]*zero.GroupShard, worldSize, step int,
+	layout optim.LayoutKind) error {
+
+	store := storeFor(base, finalDir)
+	buf := make([]byte, storage.ChunkOrDefault(0))
+
+	wm := &WeightManifest{Version: FormatVersion, Model: modelName}
+	for _, t := range weights {
+		size := int64(t.Bytes())
+		digest, crc, _, err := putStream(store, size, func(w io.Writer) (int64, error) {
+			return t.EncodeTo(w, buf)
+		})
+		if err != nil {
+			return fmt.Errorf("ckpt: dedup tensor %q: %w", t.Name, err)
+		}
+		wm.Tensors = append(wm.Tensors, WeightEntry{
+			Name: t.Name, DType: t.DType.String(),
+			Shape: append([]int(nil), t.Shape...),
+			Size:  size, CRC32: crc, Digest: digest,
+		})
+	}
+	if err := WriteWeightManifest(sb, stagingDir+"/"+WeightManifestName, wm); err != nil {
+		return err
+	}
+
+	for r := 0; r < worldSize; r++ {
+		sm := &ShardManifest{
+			Version: FormatVersion, Rank: r, WorldSize: worldSize,
+			Step: step, Layout: layout.String(),
+		}
+		for i, s := range byRank[r] {
+			m := metas[i]
+			size := s.Numel() * 12
+			shard := s
+			digest, crc, _, err := putStream(store, size, func(w io.Writer) (int64, error) {
+				return encodeGroupPayload(w, buf, shard)
+			})
+			if err != nil {
+				return fmt.Errorf("ckpt: dedup rank %d group %d: %w", r, m.Index, err)
+			}
+			sm.Groups = append(sm.Groups, ShardGroupEntry{
+				Index: m.Index, Numel: m.Numel, ShardLen: s.Numel(),
+				NoDecay: m.NoDecay, Layer: m.Layer,
+				Size: size, CRC32: crc, Digest: digest,
+			})
+		}
+		if err := WriteShardManifest(sb, stagingDir+"/"+ShardManifestName(r), sm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DedupWeights provides the same lazy per-tensor access over a dedup
+// checkpoint that LTSFReader provides over a plain one: tensors are read
+// (and CRC-verified) blob by blob, raw extents open directly on the blob
+// files, so resume and merge work transparently against either layout.
+type DedupWeights struct {
+	store *storage.BlobStore
+	man   *WeightManifest
+	// index maps tensor name to its manifest entry position, so per-tensor
+	// lookups cost what the LTSF header map costs, not a slice scan.
+	index map[string]int
+}
+
+// OpenDedupWeights opens the weight manifest of a dedup checkpoint.
+func OpenDedupWeights(b storage.Backend, dir string) (*DedupWeights, error) {
+	man, err := ReadWeightManifest(b, dir+"/"+WeightManifestName)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]int, len(man.Tensors))
+	for i, e := range man.Tensors {
+		index[e.Name] = i
+	}
+	return &DedupWeights{store: storeFor(b, dir), man: man, index: index}, nil
+}
+
+// entry returns the named tensor's manifest entry via the index.
+func (r *DedupWeights) entry(name string) (WeightEntry, bool) {
+	i, ok := r.index[name]
+	if !ok {
+		return WeightEntry{}, false
+	}
+	return r.man.Tensors[i], true
+}
+
+// Model returns the model name recorded at save time.
+func (r *DedupWeights) Model() string { return r.man.Model }
+
+// Names returns the sorted tensor names present in the manifest.
+func (r *DedupWeights) Names() []string {
+	out := make([]string, 0, len(r.man.Tensors))
+	for _, e := range r.man.Tensors {
+		out = append(out, e.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the manifest references the named tensor.
+func (r *DedupWeights) Has(name string) bool {
+	_, ok := r.entry(name)
+	return ok
+}
+
+// PayloadSize returns the stored byte size of the named tensor's payload.
+func (r *DedupWeights) PayloadSize(name string) (int64, bool) {
+	e, ok := r.entry(name)
+	if !ok {
+		return 0, false
+	}
+	return e.Size, true
+}
+
+// ReadTensor reads the named tensor's blob, verifies its CRC and returns
+// the decoded tensor.
+func (r *DedupWeights) ReadTensor(name string) (*tensor.Tensor, error) {
+	e, ok := r.entry(name)
+	if !ok {
+		return nil, fmt.Errorf("ckpt: dedup weights: no tensor %q", name)
+	}
+	dt, err := tensor.ParseDType(e.DType)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: dedup weights: tensor %q: %w", name, err)
+	}
+	rc, err := r.store.OpenRange(e.Digest, 0, e.Size)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: dedup weights: tensor %q: %w", name, err)
+	}
+	buf := make([]byte, e.Size)
+	_, err = io.ReadFull(rc, buf)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: dedup weights: tensor %q blob %s: %w", name, e.Digest, err)
+	}
+	if got := crc32.ChecksumIEEE(buf); got != e.CRC32 {
+		return nil, fmt.Errorf("ckpt: dedup weights: tensor %q: CRC mismatch (%08x != %08x)", name, got, e.CRC32)
+	}
+	t := tensor.New(name, dt, e.Shape...)
+	if err := t.Decode(buf); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadAll reads every tensor in name order.
+func (r *DedupWeights) ReadAll() ([]*tensor.Tensor, error) {
+	names := r.Names()
+	out := make([]*tensor.Tensor, 0, len(names))
+	for _, n := range names {
+		t, err := r.ReadTensor(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// RawTensor returns the named tensor's blob extent and recorded CRC.
+func (r *DedupWeights) RawTensor(name string) (RawTensor, error) {
+	e, ok := r.entry(name)
+	if !ok {
+		return RawTensor{}, fmt.Errorf("ckpt: dedup weights: no tensor %q", name)
+	}
+	return RawTensor{
+		Name:  name,
+		DType: e.DType,
+		Shape: append([]int(nil), e.Shape...),
+		Size:  e.Size,
+		CRC32: e.CRC32,
+		// A blob holds exactly the payload, so the extent starts at 0.
+		Offset: 0,
+	}, nil
+}
+
+// OpenRaw opens a streaming reader over the named tensor's blob.
+func (r *DedupWeights) OpenRaw(name string) (RawTensor, io.ReadCloser, error) {
+	rt, err := r.RawTensor(name)
+	if err != nil {
+		return RawTensor{}, nil, err
+	}
+	e, _ := r.entry(name)
+	rc, err := r.store.OpenRange(e.Digest, 0, e.Size)
+	if err != nil {
+		return RawTensor{}, nil, fmt.Errorf("ckpt: dedup weights: open blob for %q: %w", name, err)
+	}
+	return rt, rc, nil
+}
+
+// RawEligible reports whether the named tensor can be raw-copied into an
+// output of the given dtype.
+func (r *DedupWeights) RawEligible(name string, out tensor.DType) bool {
+	e, ok := r.entry(name)
+	if !ok {
+		return false
+	}
+	dt, err := tensor.ParseDType(e.DType)
+	return err == nil && dt == out
+}
+
+// readDedupShardFile rebuilds one rank's decoded ShardFile from its shard
+// manifest and group blobs — the dedup counterpart of ReadShardFile, with
+// the same whole-groups-only access (no lazy optimizer loading, §5.4).
+func readDedupShardFile(b storage.Backend, dir string, rank int) (*ShardFile, error) {
+	name := dir + "/" + ShardManifestName(rank)
+	man, err := ReadShardManifest(b, name)
+	if err != nil {
+		return nil, err
+	}
+	if man.Rank != rank {
+		return nil, fmt.Errorf("ckpt: %s: manifest is for rank %d", name, man.Rank)
+	}
+	layout, err := optim.ParseLayoutKind(man.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %s: %w", name, err)
+	}
+	store := storeFor(b, dir)
+	f := &ShardFile{
+		Rank: man.Rank, WorldSize: man.WorldSize, Step: man.Step,
+		Layout: layout,
+		Shards: make([]*zero.GroupShard, len(man.Groups)),
+	}
+	if size, err := b.Stat(name); err == nil {
+		f.FileBytes = size
+	}
+	for i, g := range man.Groups {
+		rc, err := store.OpenRange(g.Digest, 0, g.Size)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: %s: group %d blob: %w", name, g.Index, err)
+		}
+		seg := make([]byte, g.Size)
+		_, err = io.ReadFull(rc, seg)
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: %s: group %d blob %s: %w", name, g.Index, g.Digest, err)
+		}
+		if got := crc32.ChecksumIEEE(seg); got != g.CRC32 {
+			return nil, fmt.Errorf("ckpt: %s: group %d CRC mismatch", name, g.Index)
+		}
+		meta := g.Meta()
+		meta.Offsets = [2]int64{0, g.Size}
+		f.Meta = append(f.Meta, meta)
+		f.FileBytes += g.Size
+		f.Shards[i] = &zero.GroupShard{
+			GroupIndex: g.Index,
+			Rank:       man.Rank,
+			Master:     decodeF32(seg, g.ShardLen),
+			ExpAvg:     decodeF32(seg[g.ShardLen*4:], g.ShardLen),
+			ExpAvgSq:   decodeF32(seg[g.ShardLen*8:], g.ShardLen),
+		}
+	}
+	return f, nil
+}
+
+// MaterializeWeights writes a full LTSF weight container at dst from a
+// dedup checkpoint's manifest, splicing blob payloads in manifest (=
+// payload) order with carried-forward CRCs. The output is byte-identical
+// to what a plain Save of the same state would have written; every spliced
+// payload is re-hashed on the way through and checked against the
+// manifest's digest, so a corrupt blob fails the materialization instead
+// of poisoning the container.
+func MaterializeWeights(b storage.Backend, dir, dst string, chunkBytes int) error {
+	man, err := ReadWeightManifest(b, dir+"/"+WeightManifestName)
+	if err != nil {
+		return err
+	}
+	store := storeFor(b, dir)
+	w, err := NewLTSFWriter(b, dst, man.Model, chunkBytes)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+	w.RecordDigests()
+	for _, e := range man.Tensors {
+		rc, err := store.OpenRange(e.Digest, 0, e.Size)
+		if err != nil {
+			return fmt.Errorf("ckpt: materialize %s: tensor %q: %w", dir, e.Name, err)
+		}
+		err = w.AppendRaw(RawTensor{
+			Name: e.Name, DType: e.DType, Shape: e.Shape,
+			Size: e.Size, CRC32: e.CRC32,
+		}, rc)
+		rc.Close()
+		if err != nil {
+			return fmt.Errorf("ckpt: materialize %s: %w", dir, err)
+		}
+		if got, _ := w.Digest(e.Name); got != e.Digest {
+			return fmt.Errorf("ckpt: materialize %s: tensor %q blob content hashes to %s, manifest says %s",
+				dir, e.Name, got, e.Digest)
+		}
+	}
+	return w.Close()
+}
+
+// MaterializeShardFile writes one rank's full LTOS container at dst from a
+// dedup checkpoint's shard manifest, byte-identical to the plain save's,
+// verifying each group blob's digest as it streams through.
+func MaterializeShardFile(b storage.Backend, dir string, rank int, dst string, chunkBytes int) error {
+	man, err := ReadShardManifest(b, dir+"/"+ShardManifestName(rank))
+	if err != nil {
+		return err
+	}
+	layout, err := optim.ParseLayoutKind(man.Layout)
+	if err != nil {
+		return err
+	}
+	store := storeFor(b, dir)
+	w, err := NewShardFileWriter(b, dst, man.Rank, man.WorldSize, man.Step, layout, chunkBytes)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+	for _, g := range man.Groups {
+		rc, err := store.OpenRange(g.Digest, 0, g.Size)
+		if err != nil {
+			return fmt.Errorf("ckpt: materialize %s rank %d: group %d: %w", dir, rank, g.Index, err)
+		}
+		sum := sha256.New()
+		err = w.AppendRawGroup(g.Meta(), g.Size, io.TeeReader(rc, sum))
+		rc.Close()
+		if err != nil {
+			return fmt.Errorf("ckpt: materialize %s rank %d: %w", dir, rank, err)
+		}
+		if got := hex.EncodeToString(sum.Sum(nil)); got != g.Digest {
+			return fmt.Errorf("ckpt: materialize %s rank %d: group %d blob content hashes to %s, manifest says %s",
+				dir, rank, g.Index, got, g.Digest)
+		}
+	}
+	return w.Close()
+}
+
+// shardManifestRanks lists the ranks that have shard manifests in a
+// checkpoint directory.
+func shardManifestRanks(b storage.Backend, dir string) []int {
+	entries, err := b.List(dir + "/zero")
+	if err != nil {
+		return nil
+	}
+	var ranks []int
+	for _, e := range entries {
+		var r int
+		if _, err := fmt.Sscanf(e, "rank_%d_optim_states.ltom", &r); err == nil && strings.HasSuffix(e, ".ltom") {
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// verifyDedupRefs checks that every blob a dedup checkpoint references
+// exists with the manifest's exact size — the cheap half of reference
+// integrity Scan runs on committed dedup directories (content digests are
+// verified by readers and materialization).
+func verifyDedupRefs(b storage.Backend, dir string) error {
+	if !b.Exists(dir + "/" + WeightManifestName) {
+		return nil // plain checkpoint: nothing content-addressed to check
+	}
+	store := storeFor(b, dir)
+	check := func(what, digest string, size int64) error {
+		got, err := store.Stat(digest)
+		if err != nil {
+			return fmt.Errorf("ckpt: %s: %s references missing blob %s: %w", dir, what, digest, err)
+		}
+		if got != size {
+			return fmt.Errorf("ckpt: %s: %s blob %s is %d bytes, manifest says %d", dir, what, digest, got, size)
+		}
+		return nil
+	}
+	wm, err := ReadWeightManifest(b, dir+"/"+WeightManifestName)
+	if err != nil {
+		return err
+	}
+	for _, e := range wm.Tensors {
+		if err := check("tensor "+e.Name, e.Digest, e.Size); err != nil {
+			return err
+		}
+	}
+	for _, r := range shardManifestRanks(b, dir) {
+		sm, err := ReadShardManifest(b, dir+"/"+ShardManifestName(r))
+		if err != nil {
+			return err
+		}
+		for _, g := range sm.Groups {
+			if err := check(fmt.Sprintf("rank %d group %d", r, g.Index), g.Digest, g.Size); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BlobRefs derives the blob refcount map of a run root: how many times
+// each digest is referenced by the manifests of sealed checkpoints —
+// committed directories, sealed-but-unpublished staging trees (Repair
+// rolls them forward, so a GC between crash and repair must not strand
+// them), and quarantined directories (preserved evidence stays readable).
+// Orphaned (unsealed) staging trees do not count; their references die
+// with them.
+//
+// Protection is decided by the cheap CheckCommit size pass, not the full
+// CRC verification Scan runs: over-approximating references (protecting a
+// dir whose payload CRCs would fail) is safe for GC, and it keeps
+// reference collection O(manifest bytes) instead of O(checkpoint bytes).
+func BlobRefs(b storage.Backend, runRoot string) (map[string]int, error) {
+	entries, err := b.List(runRoot)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: blob refs: %w", err)
+	}
+	refs := map[string]int{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e, "/") {
+			continue
+		}
+		name := strings.TrimSuffix(e, "/")
+		if name == ObjectsDirName {
+			continue
+		}
+		path := name
+		if runRoot != "" {
+			path = runRoot + "/" + name
+		}
+		sealed := CheckCommit(b, path) == nil
+		if !sealed && IsQuarantinePath(name) {
+			// Quarantined dirs carry no (verifying) marker; protect any
+			// manifest they hold so the preserved data stays readable.
+			sealed = true
+		}
+		if !sealed || !b.Exists(path+"/"+WeightManifestName) {
+			continue
+		}
+		wm, err := ReadWeightManifest(b, path+"/"+WeightManifestName)
+		if err != nil {
+			if IsQuarantinePath(name) {
+				continue // a quarantined dir may be arbitrarily damaged
+			}
+			return nil, fmt.Errorf("ckpt: blob refs: %w", err)
+		}
+		for _, d := range wm.Digests() {
+			refs[d]++
+		}
+		for _, r := range shardManifestRanks(b, path) {
+			sm, err := ReadShardManifest(b, path+"/"+ShardManifestName(r))
+			if err != nil {
+				if IsQuarantinePath(name) {
+					continue
+				}
+				return nil, fmt.Errorf("ckpt: blob refs: %w", err)
+			}
+			for _, d := range sm.Digests() {
+				refs[d]++
+			}
+		}
+	}
+	return refs, nil
+}
+
+// GCReport records what a blob garbage collection did.
+type GCReport struct {
+	// Referenced is the number of distinct digests referenced by committed
+	// (or sealed-but-unpublished) manifests.
+	Referenced int
+	// Kept is the number of stored blobs retained.
+	Kept int
+	// RemovedBlobs lists swept unreferenced blob digests.
+	RemovedBlobs []string
+	// RemovedStaging lists deleted blob-staging residue paths.
+	RemovedStaging []string
+	// BytesFreed totals the removed blobs' sizes.
+	BytesFreed int64
+}
+
+// GC sweeps the run root's blob store: blob-staging residue and blobs not
+// referenced by any committed (or sealed-but-unpublished) checkpoint
+// manifest are removed. The safety invariant — a referenced blob is never
+// collected — holds through any interruption: references are gathered
+// before the first removal, removals are per-blob, and a crashed sweep
+// only leaves extra garbage for the next run.
+func GC(b storage.Backend, runRoot string) (*GCReport, error) {
+	refs, err := BlobRefs(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
+	rep := &GCReport{Referenced: len(refs)}
+	store := storage.NewBlobStore(b, objectsPath(runRoot))
+	if !b.Exists(store.Root()) {
+		return rep, nil
+	}
+	sw, err := store.Sweep(refs)
+	if sw != nil {
+		rep.Kept = sw.Kept
+		rep.RemovedBlobs = sw.RemovedBlobs
+		rep.RemovedStaging = sw.RemovedStaging
+		rep.BytesFreed = sw.BytesFreed
+	}
+	return rep, err
+}
+
+// BlobState classifies one entry of the run root's blob store.
+type BlobState int
+
+const (
+	// BlobReferenced: at least one committed manifest references it.
+	BlobReferenced BlobState = iota
+	// BlobUnreferenced: no committed manifest references it (garbage a GC
+	// run will sweep — harmless, but storage it would be nice to reclaim).
+	BlobUnreferenced
+	// BlobStaging: residue of a crashed blob put.
+	BlobStaging
+	// BlobStray: an entry under objects/ that is neither a valid blob nor
+	// staging residue (external mutilation; never touched automatically).
+	BlobStray
+)
+
+// String names the state for reports.
+func (s BlobState) String() string {
+	switch s {
+	case BlobReferenced:
+		return "referenced"
+	case BlobUnreferenced:
+		return "unreferenced"
+	case BlobStaging:
+		return "blob-staging"
+	case BlobStray:
+		return "stray"
+	}
+	return fmt.Sprintf("blob-state(%d)", int(s))
+}
+
+// BlobStatus is one scanned blob-store entry.
+type BlobStatus struct {
+	// Path is the entry's path relative to the backend root.
+	Path string
+	// Digest is the blob's digest ("" for staging/stray entries).
+	Digest string
+	// State is the classification.
+	State BlobState
+	// Size is the entry's byte size when known (-1 otherwise).
+	Size int64
+	// Refs is the number of manifest references (referenced blobs only).
+	Refs int
+}
+
+// ScanBlobs classifies every entry of the run root's blob store against
+// the committed manifests' references — the blob half of the doctor view.
+// A run root without an objects directory yields an empty scan.
+func ScanBlobs(b storage.Backend, runRoot string) ([]BlobStatus, error) {
+	store := storage.NewBlobStore(b, objectsPath(runRoot))
+	if !b.Exists(store.Root()) {
+		return nil, nil
+	}
+	refs, err := BlobRefs(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
+	blobs, staging, stray, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []BlobStatus
+	for _, blob := range blobs {
+		st := BlobStatus{Path: store.Path(blob.Digest), Digest: blob.Digest, Size: blob.Size}
+		if n := refs[blob.Digest]; n > 0 {
+			st.State, st.Refs = BlobReferenced, n
+		} else {
+			st.State = BlobUnreferenced
+		}
+		out = append(out, st)
+	}
+	for _, p := range staging {
+		out = append(out, BlobStatus{Path: p, State: BlobStaging, Size: -1})
+	}
+	for _, p := range stray {
+		out = append(out, BlobStatus{Path: p, State: BlobStray, Size: -1})
+	}
+	return out, nil
+}
+
+// DedupifyReport records what a checkpoint conversion stored and reused.
+type DedupifyReport struct {
+	// BlobsPut counts blobs written (new content).
+	BlobsPut int
+	// BlobsReused counts payloads whose blob already existed.
+	BlobsReused int
+	// BlobBytesWritten totals bytes of new blobs.
+	BlobBytesWritten int64
+	// BytesDeduped totals payload bytes that cost nothing (reused blobs).
+	BytesDeduped int64
+}
+
+// Dedupify converts a committed plain checkpoint to content-addressed form
+// in place: every weight-tensor and optimizer-group payload is stored as a
+// blob (via the raw extent surface — no decode), the LTSF/LTOS containers
+// are replaced by manifests, and the directory is re-staged and republished
+// under the same commit protocol, so a crash mid-conversion leaves the
+// original checkpoint intact. Already-dedup directories are a no-op.
+func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, error) {
+	rep := &DedupifyReport{}
+	if IsDedup(b, dir) {
+		return rep, nil
+	}
+	marker, err := ReadCommitMarker(b, dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: dedupify %s: only committed checkpoints convert: %w", dir, err)
+	}
+	store := storeFor(b, dir)
+	put := func(extentOpen func() (io.ReadCloser, error), size int64) (string, uint32, error) {
+		digest, crc, wrote, err := putStream(store, size, func(w io.Writer) (int64, error) {
+			rc, err := extentOpen()
+			if err != nil {
+				return 0, err
+			}
+			n, err := io.Copy(w, rc)
+			if cerr := rc.Close(); err == nil {
+				err = cerr
+			}
+			return n, err
+		})
+		if err != nil {
+			return "", 0, err
+		}
+		if wrote {
+			rep.BlobsPut++
+			rep.BlobBytesWritten += size
+		} else {
+			rep.BlobsReused++
+			rep.BytesDeduped += size
+		}
+		return digest, crc, nil
+	}
+
+	// Weights: blob every tensor extent in payload order, so the manifest
+	// order (and any later materialization) matches the original container
+	// byte for byte.
+	lr, err := OpenLTSF(b, dir+"/model.ltsf")
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: dedupify %s: %w", dir, err)
+	}
+	type ordered struct {
+		name string
+		meta ltsfTensorMeta
+	}
+	var tensors []ordered
+	for name, meta := range lr.hdr.Tensors {
+		tensors = append(tensors, ordered{name, meta})
+	}
+	sort.Slice(tensors, func(i, j int) bool {
+		if tensors[i].meta.Offsets[0] != tensors[j].meta.Offsets[0] {
+			return tensors[i].meta.Offsets[0] < tensors[j].meta.Offsets[0]
+		}
+		return tensors[i].name < tensors[j].name
+	})
+	wm := &WeightManifest{Version: FormatVersion, Model: lr.Model()}
+	for _, t := range tensors {
+		rt, err := lr.RawTensor(t.name)
+		if err != nil {
+			return nil, err
+		}
+		digest, crc, err := put(func() (io.ReadCloser, error) {
+			_, rc, err := lr.OpenRaw(t.name)
+			return rc, err
+		}, rt.Size)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: dedupify %s: tensor %q: %w", dir, t.name, err)
+		}
+		if crc != rt.CRC32 {
+			return nil, fmt.Errorf("ckpt: dedupify %s: tensor %q payload CRC %08x, header says %08x", dir, t.name, crc, rt.CRC32)
+		}
+		wm.Tensors = append(wm.Tensors, WeightEntry{
+			Name: t.name, DType: rt.DType, Shape: rt.Shape,
+			Size: rt.Size, CRC32: rt.CRC32, Digest: digest,
+		})
+	}
+
+	// Optimizer shards: blob every group extent of every rank file found.
+	type rankManifest struct {
+		rank int
+		man  *ShardManifest
+	}
+	var shardMans []rankManifest
+	for rank := 0; ; rank++ {
+		name := dir + "/" + ShardFileName(rank)
+		if !b.Exists(name) {
+			break
+		}
+		h, err := ReadShardHeader(b, name)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: dedupify %s: %w", dir, err)
+		}
+		payloadOff := h.FileBytes - h.PayloadBytes
+		sm := &ShardManifest{
+			Version: FormatVersion, Rank: h.Rank, WorldSize: h.WorldSize,
+			Step: h.Step, Layout: h.Layout.String(),
+		}
+		for _, g := range h.Groups {
+			size := g.Offsets[1] - g.Offsets[0]
+			off := payloadOff + g.Offsets[0]
+			digest, crc, err := put(func() (io.ReadCloser, error) {
+				return b.OpenRange(name, off, size)
+			}, size)
+			if err != nil {
+				return nil, fmt.Errorf("ckpt: dedupify %s: rank %d group %d: %w", dir, rank, g.Index, err)
+			}
+			if crc != g.CRC32 {
+				return nil, fmt.Errorf("ckpt: dedupify %s: rank %d group %d CRC %08x, header says %08x", dir, rank, g.Index, crc, g.CRC32)
+			}
+			sm.Groups = append(sm.Groups, ShardGroupEntry{
+				Index: g.Index, Numel: g.Numel, ShardLen: g.ShardLen,
+				NoDecay: g.NoDecay, Layer: g.Layer,
+				Size: size, CRC32: g.CRC32, Digest: digest,
+			})
+		}
+		shardMans = append(shardMans, rankManifest{rank, sm})
+	}
+
+	// Re-stage the directory: manifests in place of payload containers,
+	// every other committed file copied verbatim.
+	txn, err := Begin(b, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer txn.Abort()
+	sb, staging := txn.Backend(), txn.Dir()
+	if err := WriteWeightManifest(sb, staging+"/"+WeightManifestName, wm); err != nil {
+		return nil, err
+	}
+	for _, rm := range shardMans {
+		if err := WriteShardManifest(sb, staging+"/"+ShardManifestName(rm.rank), rm.man); err != nil {
+			return nil, err
+		}
+	}
+	skip := map[string]bool{"model.ltsf": true}
+	for _, rm := range shardMans {
+		skip[ShardFileName(rm.rank)] = true
+	}
+	names := make([]string, 0, len(marker.Files))
+	for name := range marker.Files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if skip[name] {
+			continue
+		}
+		data, err := b.ReadFile(dir + "/" + name)
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: dedupify %s: copy %s: %w", dir, name, err)
+		}
+		if name == "manifest.json" {
+			var man Manifest
+			if err := json.Unmarshal(data, &man); err != nil {
+				return nil, fmt.Errorf("ckpt: dedupify %s: decode manifest.json: %w", dir, err)
+			}
+			man.Dedup = true
+			if err := writeJSON(sb, staging+"/manifest.json", &man); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := sb.WriteFile(staging+"/"+name, data); err != nil {
+			return nil, err
+		}
+	}
+	if err := txn.Commit(marker.Step); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

@@ -1,0 +1,456 @@
+package ckpt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+)
+
+// saveDedup mirrors saveFull with the content-addressed path enabled.
+func saveDedup(t testing.TB, b storage.Backend, dir string, seed uint64, ws int) (*model.Model, *optim.AdamW) {
+	t.Helper()
+	m, o := buildOptim(t, modelcfg.Tiny(), seed)
+	err := Save(b, SaveSpec{
+		Dir: dir, Model: m, Optim: o, WorldSize: ws, Strategy: "full", Dedup: true,
+		State: TrainerState{Step: o.StepCount, LR: 1e-3, Loss: 2.0, Task: "sft", Seed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, o
+}
+
+func TestDedupSaveAnatomyAndRestore(t *testing.T) {
+	b := storage.NewMem()
+	m, o := saveDedup(t, b, "run/checkpoint-3", 120, 2)
+
+	// Anatomy: manifests instead of containers, blobs under run/objects.
+	for _, f := range []string{
+		"run/checkpoint-3/" + WeightManifestName,
+		"run/checkpoint-3/" + ShardManifestName(0),
+		"run/checkpoint-3/" + ShardManifestName(1),
+		"run/checkpoint-3/config.json",
+		"run/checkpoint-3/manifest.json",
+		"run/checkpoint-3/" + CommitMarkerName,
+		"run/latest",
+	} {
+		if !b.Exists(f) {
+			t.Errorf("missing %s", f)
+		}
+	}
+	for _, f := range []string{"run/checkpoint-3/model.ltsf", "run/checkpoint-3/" + ShardFileName(0)} {
+		if b.Exists(f) {
+			t.Errorf("dedup save wrote payload container %s", f)
+		}
+	}
+	if !b.Exists("run/objects") {
+		t.Fatal("no blob store")
+	}
+	if err := VerifyCommit(b, "run/checkpoint-3"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The manifest flags the layout.
+	man, err := ReadManifest(b, "run/checkpoint-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !man.Dedup || !man.Complete {
+		t.Fatalf("manifest = %+v", man)
+	}
+
+	// Restore is transparent and exact.
+	m2, o2, c, err := Restore(b, "run/checkpoint-3", tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State.Step != o.StepCount {
+		t.Fatalf("state step = %d", c.State.Step)
+	}
+	if !model.Equal(m, m2) {
+		t.Fatal("restored model differs")
+	}
+	if !sameOptim(o, o2) {
+		t.Fatal("restored optimizer differs")
+	}
+}
+
+// TestDedupMaterializeGoldenPin pins the acceptance property: containers
+// materialized from a dedup checkpoint are byte-identical to what a plain
+// Save of the same state writes.
+func TestDedupMaterializeGoldenPin(t *testing.T) {
+	plain := storage.NewMem()
+	saveFull(t, plain, "run/checkpoint-3", 121, 2)
+	dedup := storage.NewMem()
+	saveDedup(t, dedup, "run/checkpoint-3", 121, 2)
+
+	if err := MaterializeWeights(dedup, "run/checkpoint-3", "mat/model.ltsf", 0); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := plain.ReadFile("run/checkpoint-3/model.ltsf")
+	got, _ := dedup.ReadFile("mat/model.ltsf")
+	if len(want) == 0 || !bytes.Equal(want, got) {
+		t.Fatalf("materialized weights differ: %d vs %d bytes", len(got), len(want))
+	}
+
+	for r := 0; r < 2; r++ {
+		if err := MaterializeShardFile(dedup, "run/checkpoint-3", r, "mat/shard.ltos", 0); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := plain.ReadFile("run/checkpoint-3/" + ShardFileName(r))
+		got, _ := dedup.ReadFile("mat/shard.ltos")
+		if len(want) == 0 || !bytes.Equal(want, got) {
+			t.Fatalf("materialized rank %d shard differs: %d vs %d bytes", r, len(got), len(want))
+		}
+	}
+}
+
+// TestDedupSecondSaveWritesNoPayloadBytes is the core dedup property: an
+// unchanged state re-saved under a new step stores zero new blobs.
+func TestDedupSecondSaveWritesNoPayloadBytes(t *testing.T) {
+	b := storage.NewMem()
+	m, o := saveDedup(t, b, "run/checkpoint-100", 122, 2)
+	store := storage.NewBlobStore(b, "run/objects")
+	blobsBefore, _, _, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	meter := storage.NewMeter(b, storage.Profile{})
+	before := meter.Stats().BytesWritten
+	st := TrainerState{Step: 200, LR: 1e-3, Loss: 1.5, Task: "sft", Seed: 122}
+	if err := Save(meter, SaveSpec{Dir: "run/checkpoint-200", Model: m, Optim: o,
+		WorldSize: 2, Strategy: "full", Dedup: true, State: st}); err != nil {
+		t.Fatal(err)
+	}
+	blobsAfter, _, _, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blobsAfter) != len(blobsBefore) {
+		t.Fatalf("unchanged re-save grew the store: %d -> %d blobs", len(blobsBefore), len(blobsAfter))
+	}
+	// Manifest+JSON bytes only: a small fraction of the payload volume.
+	var payload int64
+	for _, bl := range blobsAfter {
+		payload += bl.Size
+	}
+	written := meter.Stats().BytesWritten - before
+	if written > payload/4 {
+		t.Fatalf("unchanged re-save wrote %d bytes (payload is %d)", written, payload)
+	}
+
+	// Both checkpoints restore exactly.
+	for _, dir := range []string{"run/checkpoint-100", "run/checkpoint-200"} {
+		rm, ro, _, err := Restore(b, dir, tensor.BF16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !model.Equal(rm, m) || !sameOptim(ro, o) {
+			t.Fatalf("%s: restore differs", dir)
+		}
+	}
+}
+
+func TestDedupScanStates(t *testing.T) {
+	b := storage.NewMem()
+	saveDedup(t, b, "run/checkpoint-10", 123, 1)
+	statuses, err := Scan(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 1 || statuses[0].State != StateCommitted {
+		t.Fatalf("scan = %+v", statuses)
+	}
+
+	// Blob scan: everything referenced; plant garbage + staging residue.
+	bs, err := ScanBlobs(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) == 0 {
+		t.Fatal("no blobs scanned")
+	}
+	for _, s := range bs {
+		if s.State != BlobReferenced || s.Refs < 1 {
+			t.Fatalf("blob %s state %v refs %d", s.Digest, s.State, s.Refs)
+		}
+	}
+	store := storage.NewBlobStore(b, "run/objects")
+	garbage, _, err := store.PutBytes([]byte("orphan payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteFile("run/objects/.stage/put-777", []byte("torn"))
+	bs, _ = ScanBlobs(b, "run")
+	var unref, staging int
+	for _, s := range bs {
+		switch s.State {
+		case BlobUnreferenced:
+			unref++
+			if s.Digest != garbage {
+				t.Fatalf("wrong blob unreferenced: %s", s.Digest)
+			}
+		case BlobStaging:
+			staging++
+		}
+	}
+	if unref != 1 || staging != 1 {
+		t.Fatalf("unref=%d staging=%d", unref, staging)
+	}
+
+	// Removing a referenced blob makes the checkpoint torn in Scan.
+	refs, err := BlobRefs(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for d := range refs {
+		victim = d
+		break
+	}
+	if err := store.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	statuses, _ = Scan(b, "run")
+	if len(statuses) != 1 || statuses[0].State != StateTorn ||
+		!strings.Contains(statuses[0].Detail, "missing blob") {
+		t.Fatalf("scan after blob loss = %+v", statuses)
+	}
+}
+
+func TestGCKeepsReferencedSweepsGarbage(t *testing.T) {
+	b := storage.NewMem()
+	m1, o1 := saveDedup(t, b, "run/checkpoint-100", 124, 2)
+	// A second, different state shares nothing; re-saving checkpoint-100
+	// with it orphans the first state's exclusive blobs... instead keep
+	// both steps alive and orphan blobs by replacing checkpoint-200.
+	m2, o2 := buildOptim(t, modelcfg.Tiny(), 125)
+	save := func(dir string, step int, mm *model.Model, oo *optim.AdamW) {
+		t.Helper()
+		if err := Save(b, SaveSpec{Dir: dir, Model: mm, Optim: oo, WorldSize: 2,
+			Strategy: "full", Dedup: true, State: TrainerState{Step: step, Seed: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save("run/checkpoint-200", 200, m2, o2)
+	// Replace step 200 with state 1's tensors: state 2's blobs lose their
+	// only reference.
+	save("run/checkpoint-200", 200, m1, o1)
+	b.WriteFile("run/objects/.stage/put-9", []byte("residue"))
+
+	rep, err := GC(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RemovedBlobs) == 0 || len(rep.RemovedStaging) != 1 || rep.Kept == 0 {
+		t.Fatalf("gc = %+v", rep)
+	}
+	// Everything still restores bit-exact after the sweep.
+	for _, dir := range []string{"run/checkpoint-100", "run/checkpoint-200"} {
+		rm, ro, _, err := Restore(b, dir, tensor.BF16)
+		if err != nil {
+			t.Fatalf("%s after gc: %v", dir, err)
+		}
+		if !model.Equal(rm, m1) || !sameOptim(ro, o1) {
+			t.Fatalf("%s: restore differs after gc", dir)
+		}
+	}
+	// Idempotent; a second GC finds nothing to do.
+	rep2, err := GC(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.RemovedBlobs) != 0 || len(rep2.RemovedStaging) != 0 {
+		t.Fatalf("second gc not a no-op: %+v", rep2)
+	}
+	// GC on a run root of plain (non-dedup) checkpoints is a clean no-op.
+	plain := storage.NewMem()
+	saveFull(t, plain, "plain-run/checkpoint-1", 9, 1)
+	if rep, err := GC(plain, "plain-run"); err != nil || rep.Kept != 0 || rep.Referenced != 0 {
+		t.Fatalf("gc without store = %+v, %v", rep, err)
+	}
+}
+
+// Repair cleans blob-staging residue (crash garbage, same class as an
+// orphaned .tmp dir) but never touches published blobs — unreferenced or
+// not, those are GC's call.
+func TestRepairRemovesBlobStagingOnly(t *testing.T) {
+	b := storage.NewMem()
+	saveDedup(t, b, "run/checkpoint-10", 150, 1)
+	store := storage.NewBlobStore(b, "run/objects")
+	garbage, _, err := store.PutBytes([]byte("unreferenced but published"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteFile("run/objects/.stage/put-3", []byte("residue"))
+
+	rep, err := Repair(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BlobStagingRemoved) != 1 {
+		t.Fatalf("repair = %+v", rep)
+	}
+	if b.Exists("run/objects/.stage/put-3") {
+		t.Fatal("staging residue survived repair")
+	}
+	if !store.Has(garbage) {
+		t.Fatal("repair swept a published blob (GC's territory)")
+	}
+	if _, _, _, err := Restore(b, "run/checkpoint-10", tensor.BF16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BlobRefs protects quarantined dedup directories: their manifests keep
+// referencing blobs so preserved evidence stays readable after a GC.
+func TestBlobRefsProtectQuarantinedDirs(t *testing.T) {
+	b := storage.NewMem()
+	saveDedup(t, b, "run/checkpoint-10", 151, 1)
+	saveDedup(t, b, "run/checkpoint-20", 152, 1)
+	// Quarantine checkpoint-20 as adopt would (no marker, renamed aside).
+	b.Remove("run/checkpoint-20/" + CommitMarkerName)
+	if err := b.Rename("run/checkpoint-20", "run/checkpoint-20"+quarantineSuffix); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := GC(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RemovedBlobs) != 0 {
+		t.Fatalf("gc swept blobs of a quarantined dir: %+v", rep)
+	}
+	// The quarantined copy still materializes.
+	if err := MaterializeWeights(b, "run/checkpoint-20"+quarantineSuffix, "mat.ltsf", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDedupifyConvertsInPlace: a plain committed checkpoint converts to
+// content-addressed form and still restores exactly; materialization
+// reproduces the original containers bit for bit.
+func TestDedupifyConvertsInPlace(t *testing.T) {
+	b := storage.NewMem()
+	m, o := saveFull(t, b, "run/checkpoint-5", 126, 2)
+	origLTSF, _ := b.ReadFile("run/checkpoint-5/model.ltsf")
+	origShard0, _ := b.ReadFile("run/checkpoint-5/" + ShardFileName(0))
+
+	rep, err := Dedupify(b, "run/checkpoint-5", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlobsPut == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if b.Exists("run/checkpoint-5/model.ltsf") {
+		t.Fatal("payload container survived conversion")
+	}
+	if err := VerifyCommit(b, "run/checkpoint-5"); err != nil {
+		t.Fatal(err)
+	}
+	man, err := ReadManifest(b, "run/checkpoint-5")
+	if err != nil || !man.Dedup {
+		t.Fatalf("manifest = %+v, %v", man, err)
+	}
+	rm, ro, _, err := Restore(b, "run/checkpoint-5", tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Equal(rm, m) || !sameOptim(ro, o) {
+		t.Fatal("restore differs after dedupify")
+	}
+	if err := MaterializeWeights(b, "run/checkpoint-5", "mat.ltsf", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.ReadFile("mat.ltsf"); !bytes.Equal(got, origLTSF) {
+		t.Fatal("materialized weights differ from the original container")
+	}
+	if err := MaterializeShardFile(b, "run/checkpoint-5", 0, "mat.ltos", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.ReadFile("mat.ltos"); !bytes.Equal(got, origShard0) {
+		t.Fatal("materialized shard differs from the original container")
+	}
+
+	// Converting again is a no-op.
+	rep2, err := Dedupify(b, "run/checkpoint-5", 0)
+	if err != nil || rep2.BlobsPut != 0 || rep2.BlobsReused != 0 {
+		t.Fatalf("second dedupify = %+v, %v", rep2, err)
+	}
+	// A dedup save of the same state against the converted store reuses
+	// every blob.
+	store := storage.NewBlobStore(b, "run/objects")
+	blobsBefore, _, _, _ := store.List()
+	if err := Save(b, SaveSpec{Dir: "run/checkpoint-6", Model: m, Optim: o, WorldSize: 2,
+		Strategy: "full", Dedup: true, State: TrainerState{Step: 6, Seed: 126}}); err != nil {
+		t.Fatal(err)
+	}
+	blobsAfter, _, _, _ := store.List()
+	if len(blobsAfter) != len(blobsBefore) {
+		t.Fatalf("dedup save after dedupify stored new blobs: %d -> %d", len(blobsBefore), len(blobsAfter))
+	}
+}
+
+// TestDedupCorruptBlobFailsReads: bit-flip a blob and every consumer must
+// error (CRC catches reads; digest verification catches materialization).
+func TestDedupCorruptBlobFailsReads(t *testing.T) {
+	b := storage.NewMem()
+	saveDedup(t, b, "run/checkpoint-9", 127, 1)
+	wm, err := ReadWeightManifest(b, "run/checkpoint-9/"+WeightManifestName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewBlobStore(b, "run/objects")
+	victim := wm.Tensors[0]
+	corrupt(t, b, store.Path(victim.Digest), func(d []byte) []byte {
+		d[len(d)/2] ^= 0x20
+		return d
+	})
+
+	w, err := OpenDedupWeights(b, "run/checkpoint-9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.ReadTensor(victim.Name); err == nil {
+		t.Fatal("corrupt blob read succeeded")
+	}
+	if err := MaterializeWeights(b, "run/checkpoint-9", "mat.ltsf", 0); err == nil {
+		t.Fatal("materialization accepted a corrupt blob")
+	}
+}
+
+// TestDedupMergeSource: dedup checkpoints are transparent merge sources —
+// the raw splice path reads straight from blobs and the output is byte-
+// identical to merging the equivalent plain checkpoint.
+func TestDedupPartialSave(t *testing.T) {
+	b := storage.NewMem()
+	m, o := buildOptim(t, modelcfg.Tiny(), 128)
+	cfg := modelcfg.Tiny()
+	layers := cfg.AllLayers()[:2]
+	if err := Save(b, SaveSpec{Dir: "run/checkpoint-7", Model: m, Optim: o, WorldSize: 2,
+		Strategy: "parity", Layers: layers, Dedup: true,
+		State: TrainerState{Step: 7, Seed: 128}}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(b, "run/checkpoint-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Manifest.Complete || len(c.Manifest.Layers) != 2 || !c.Manifest.Dedup {
+		t.Fatalf("manifest = %+v", c.Manifest)
+	}
+	sf, err := c.ReadOptimShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Shards) == 0 || sf.WorldSize != 2 || sf.Rank != 1 {
+		t.Fatalf("shard = %+v", sf)
+	}
+}

@@ -152,6 +152,38 @@ func (w *ShardFileWriter) WriteGroup(m ShardGroupMeta, s *zero.GroupShard) error
 	return nil
 }
 
+// AppendRawGroup splices a pre-encoded group payload (master + exp_avg +
+// exp_avg_sq, FP32 little-endian) into the shard file and records its
+// metadata with the source CRC carried forward — the LTOS counterpart of
+// LTSFWriter.AppendRaw, used when materializing dedup checkpoints from
+// blob extents. m must carry the group's geometry and CRC; offsets are
+// assigned here (a full save's payload is gap-free). The size is
+// validated against the geometry before any byte is spooled, and a short
+// or long source errors out (never panics).
+func (w *ShardFileWriter) AppendRawGroup(m ShardGroupMeta, size int64, src io.Reader) error {
+	if err := w.writable(); err != nil {
+		return err
+	}
+	// Division-checked geometry: size is a caller claim, so 12×ShardLen
+	// must never be formed directly (int64 wrap).
+	if m.ShardLen < 0 || size < 0 || size%12 != 0 || m.ShardLen != size/12 {
+		return fmt.Errorf("ckpt: %s: raw group %d payload %d bytes, want 12×%d", w.name, m.Index, size, m.ShardLen)
+	}
+	n, err := io.CopyBuffer(w.spool, io.LimitReader(src, size), w.buf)
+	if err != nil {
+		w.err = fmt.Errorf("ckpt: %s: splice raw group %d: %w", w.name, m.Index, err)
+		return w.err
+	}
+	if n != size {
+		w.err = fmt.Errorf("ckpt: %s: raw group %d: extent delivered %d of %d bytes", w.name, m.Index, n, size)
+		return w.err
+	}
+	m.Offsets = [2]int64{w.off, w.off + size}
+	w.hdr.Groups = append(w.hdr.Groups, m)
+	w.off += size
+	return nil
+}
+
 // Close writes the final container and releases the scratch space.
 func (w *ShardFileWriter) Close() error { return w.finish(w.hdr) }
 

@@ -18,9 +18,12 @@
 package ckpt
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"sort"
@@ -148,6 +151,26 @@ func (w *containerWriter) BytesWritten() int64 { return w.wrote }
 type LTSFWriter struct {
 	containerWriter
 	hdr ltsfHeader
+	// digests, when non-nil (see RecordDigests), collects the SHA-256 of
+	// every tensor payload as it streams through — the content identity
+	// the dedup layer stores blobs under.
+	digests map[string]string
+}
+
+// RecordDigests turns on per-tensor payload digest computation: every
+// subsequent WriteTensor and AppendRaw also hashes the payload bytes it
+// moves, retrievable via Digest. Off by default — plain saves don't pay
+// the hash pass.
+func (w *LTSFWriter) RecordDigests() {
+	if w.digests == nil {
+		w.digests = map[string]string{}
+	}
+}
+
+// Digest returns the recorded payload digest of a written tensor.
+func (w *LTSFWriter) Digest(name string) (string, bool) {
+	d, ok := w.digests[name]
+	return d, ok
 }
 
 // NewLTSFWriter opens a streaming writer targeting name. chunkBytes <= 0
@@ -173,10 +196,19 @@ func (w *LTSFWriter) WriteTensor(t *tensor.Tensor) error {
 		return fmt.Errorf("ckpt: duplicate tensor %q in LTSF write", t.Name)
 	}
 	crc := crc32.NewIEEE()
-	n, err := t.EncodeTo(io.MultiWriter(w.spool, crc), w.buf)
+	sink := io.MultiWriter(w.spool, crc)
+	var sum hash.Hash
+	if w.digests != nil {
+		sum = sha256.New()
+		sink = io.MultiWriter(sink, sum)
+	}
+	n, err := t.EncodeTo(sink, w.buf)
 	if err != nil {
 		w.err = fmt.Errorf("ckpt: %s: spool tensor %q: %w", w.name, t.Name, err)
 		return w.err
+	}
+	if sum != nil {
+		w.digests[t.Name] = hex.EncodeToString(sum.Sum(nil))
 	}
 	w.hdr.Tensors[t.Name] = ltsfTensorMeta{
 		DType:   t.DType.String(),

@@ -12,7 +12,10 @@
 package ckpt
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 
 	"llmtailor/internal/tensor"
@@ -100,7 +103,13 @@ func (w *LTSFWriter) AppendRaw(rt RawTensor, src io.Reader) error {
 	if err := validateTensorMeta(rt.Name, meta, meta.Offsets[1]); err != nil {
 		return fmt.Errorf("ckpt: %s: %w", w.name, err)
 	}
-	n, err := io.CopyBuffer(w.spool, io.LimitReader(src, rt.Size), w.buf)
+	var sink io.Writer = w.spool
+	var sum hash.Hash
+	if w.digests != nil {
+		sum = sha256.New()
+		sink = io.MultiWriter(sink, sum)
+	}
+	n, err := io.CopyBuffer(sink, io.LimitReader(src, rt.Size), w.buf)
 	if err != nil {
 		w.err = fmt.Errorf("ckpt: %s: splice raw tensor %q: %w", w.name, rt.Name, err)
 		return w.err
@@ -108,6 +117,9 @@ func (w *LTSFWriter) AppendRaw(rt RawTensor, src io.Reader) error {
 	if n != rt.Size {
 		w.err = fmt.Errorf("ckpt: %s: raw tensor %q: extent delivered %d of %d bytes", w.name, rt.Name, n, rt.Size)
 		return w.err
+	}
+	if sum != nil {
+		w.digests[rt.Name] = hex.EncodeToString(sum.Sum(nil))
 	}
 	w.hdr.Tensors[rt.Name] = meta
 	w.off += rt.Size

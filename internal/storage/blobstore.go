@@ -1,0 +1,333 @@
+// Content-addressed blob storage.
+//
+// A BlobStore keeps immutable payload blobs under a root directory, each
+// named by the lowercase-hex SHA-256 of its contents with a two-character
+// fan-out: `<root>/ab/abcdef...`. Writers stream into a uniquely named
+// staging file under `<root>/.stage/` and publish with one atomic rename,
+// so a crash mid-put leaves only staging residue — never a half-written
+// blob under a valid digest. Puts are idempotent: a blob that already
+// exists is never rewritten, which is the dedup win incremental
+// checkpointing is built on.
+//
+// The store itself holds no reference counts on disk (stored counters
+// cannot survive crashes coherently); instead Sweep takes a refcount map
+// derived by the caller from its committed manifests and removes exactly
+// the unreferenced blobs plus any staging residue. A blob with a non-zero
+// refcount is never touched.
+package storage
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// blobStageDir is the staging subdirectory blobs are streamed into before
+// their publishing rename.
+const blobStageDir = ".stage"
+
+// blobSeq makes concurrent staging names unique within the process (two
+// async savers putting the same digest must not interleave writes into one
+// staging file).
+var blobSeq atomic.Int64
+
+// BlobStore is a content-addressed store rooted at a directory of a
+// Backend.
+type BlobStore struct {
+	b    Backend
+	root string
+}
+
+// NewBlobStore returns a store over root (e.g. "run/objects"). The root is
+// created lazily by the first put.
+func NewBlobStore(b Backend, root string) *BlobStore {
+	return &BlobStore{b: b, root: strings.TrimSuffix(root, "/")}
+}
+
+// Root returns the store's root directory.
+func (s *BlobStore) Root() string { return s.root }
+
+// ValidDigest reports whether d is a well-formed blob digest: 64 lowercase
+// hex characters (SHA-256).
+func ValidDigest(d string) bool {
+	if len(d) != 64 {
+		return false
+	}
+	for i := 0; i < len(d); i++ {
+		c := d[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// DigestBytes returns the store digest of a byte slice.
+func DigestBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Path returns the blob's path relative to the backend root.
+func (s *BlobStore) Path(digest string) string {
+	return s.root + "/" + digest[:2] + "/" + digest
+}
+
+// Has reports whether the blob exists.
+func (s *BlobStore) Has(digest string) bool {
+	return ValidDigest(digest) && s.b.Exists(s.Path(digest))
+}
+
+// Stat returns the blob's size.
+func (s *BlobStore) Stat(digest string) (int64, error) {
+	if !ValidDigest(digest) {
+		return 0, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	return s.b.Stat(s.Path(digest))
+}
+
+// Open opens a sequential reader over the blob.
+func (s *BlobStore) Open(digest string) (io.ReadCloser, error) {
+	if !ValidDigest(digest) {
+		return nil, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	return s.b.Open(s.Path(digest))
+}
+
+// OpenRange opens a sectioned reader over the blob.
+func (s *BlobStore) OpenRange(digest string, off, n int64) (io.ReadCloser, error) {
+	if !ValidDigest(digest) {
+		return nil, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	return s.b.OpenRange(s.Path(digest), off, n)
+}
+
+// Put streams r into the store under the given digest, unless the blob
+// already exists. It returns (written, bytes, err); written is false on a
+// dedup hit, in which case not a single payload byte moves.
+func (s *BlobStore) Put(digest string, r io.Reader) (bool, int64, error) {
+	if !ValidDigest(digest) {
+		return false, 0, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	if s.Has(digest) {
+		return false, 0, nil
+	}
+	w, err := s.Writer()
+	if err != nil {
+		return false, 0, err
+	}
+	n, err := io.Copy(w, r)
+	if err != nil {
+		w.Abort()
+		return false, n, fmt.Errorf("storage: put blob %s: %w", digest, err)
+	}
+	written, err := w.Commit(digest)
+	return written, n, err
+}
+
+// PutBytes stores a byte slice (convenience over Put).
+func (s *BlobStore) PutBytes(data []byte) (digest string, written bool, err error) {
+	digest = DigestBytes(data)
+	written, _, err = s.Put(digest, bytes.NewReader(data))
+	return digest, written, err
+}
+
+// Writer opens a streaming blob writer. The caller streams the payload,
+// then calls Commit with the expected digest (verified against the bytes
+// actually written) to publish, or Abort to drop the staging file.
+func (s *BlobStore) Writer() (*BlobWriter, error) {
+	// The PID keeps staging names unique across processes sharing a run
+	// root (a dedup-saving trainer and a -dedup merge, say): OS Create
+	// truncates rather than excluding, so a name collision would
+	// interleave two writers' bytes in one staging file.
+	stage := fmt.Sprintf("%s/%s/put-%d-%d", s.root, blobStageDir, os.Getpid(), blobSeq.Add(1))
+	w, err := s.b.Create(stage)
+	if err != nil {
+		return nil, fmt.Errorf("storage: stage blob: %w", err)
+	}
+	return &BlobWriter{s: s, stage: stage, w: w, sum: sha256.New()}, nil
+}
+
+// BlobWriter streams one blob into staging space; see BlobStore.Writer.
+type BlobWriter struct {
+	s     *BlobStore
+	stage string
+	w     io.WriteCloser
+	sum   hash.Hash
+	n     int64
+	done  bool
+}
+
+// Write implements io.Writer.
+func (w *BlobWriter) Write(p []byte) (int, error) {
+	n, err := w.w.Write(p)
+	if n > 0 {
+		w.sum.Write(p[:n])
+		w.n += int64(n)
+	}
+	return n, err
+}
+
+// Commit closes the staging stream, verifies the streamed bytes hash to
+// digest, and publishes the blob with one atomic rename. It returns false
+// (without error) when another writer published the same digest first —
+// content-addressing makes the copies identical, so losing the race is a
+// dedup hit, not a failure.
+func (w *BlobWriter) Commit(digest string) (bool, error) {
+	if w.done {
+		return false, fmt.Errorf("storage: blob commit after close")
+	}
+	w.done = true
+	if err := w.w.Close(); err != nil {
+		w.s.b.Remove(w.stage)
+		return false, fmt.Errorf("storage: stage blob %s: %w", digest, err)
+	}
+	if !ValidDigest(digest) {
+		w.s.b.Remove(w.stage)
+		return false, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	if got := hex.EncodeToString(w.sum.Sum(nil)); got != digest {
+		w.s.b.Remove(w.stage)
+		return false, fmt.Errorf("storage: blob content hashes to %s, want %s", got, digest)
+	}
+	if w.s.Has(digest) {
+		w.s.b.Remove(w.stage)
+		return false, nil
+	}
+	if err := w.s.b.Rename(w.stage, w.s.Path(digest)); err != nil {
+		w.s.b.Remove(w.stage)
+		return false, fmt.Errorf("storage: publish blob %s: %w", digest, err)
+	}
+	return true, nil
+}
+
+// Abort drops the staging file (best effort; safe after Commit).
+func (w *BlobWriter) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.w.Close()
+	w.s.b.Remove(w.stage)
+}
+
+// BlobInfo describes one stored blob.
+type BlobInfo struct {
+	Digest string
+	Size   int64
+}
+
+// List enumerates the store: published blobs (sorted by digest) and any
+// staging residue paths left by crashed puts. Entries under the root that
+// are neither are reported as stray so scans can surface them.
+func (s *BlobStore) List() (blobs []BlobInfo, staging, stray []string, err error) {
+	if !s.b.Exists(s.root) {
+		return nil, nil, nil, nil
+	}
+	entries, err := s.b.List(s.root)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("storage: list blob store %s: %w", s.root, err)
+	}
+	for _, e := range entries {
+		name := strings.TrimSuffix(e, "/")
+		dir := s.root + "/" + name
+		switch {
+		case name == blobStageDir && strings.HasSuffix(e, "/"):
+			files, err := s.b.List(dir)
+			if err != nil {
+				continue // raced with a concurrent cleanup
+			}
+			for _, f := range files {
+				staging = append(staging, dir+"/"+strings.TrimSuffix(f, "/"))
+			}
+		case len(name) == 2 && strings.HasSuffix(e, "/"):
+			files, err := s.b.List(dir)
+			if err != nil {
+				continue
+			}
+			for _, f := range files {
+				fname := strings.TrimSuffix(f, "/")
+				p := dir + "/" + fname
+				if !ValidDigest(fname) || !strings.HasPrefix(fname, name) {
+					stray = append(stray, p)
+					continue
+				}
+				size, err := s.b.Stat(p)
+				if err != nil {
+					size = -1
+				}
+				blobs = append(blobs, BlobInfo{Digest: fname, Size: size})
+			}
+		default:
+			stray = append(stray, dir)
+		}
+	}
+	sort.Slice(blobs, func(i, j int) bool { return blobs[i].Digest < blobs[j].Digest })
+	sort.Strings(staging)
+	sort.Strings(stray)
+	return blobs, staging, stray, nil
+}
+
+// Remove deletes one blob. Callers must hold the refcount invariant: only
+// Sweep (or a caller that proved zero references) may remove.
+func (s *BlobStore) Remove(digest string) error {
+	if !ValidDigest(digest) {
+		return fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	return s.b.Remove(s.Path(digest))
+}
+
+// SweepReport records what a sweep removed and kept.
+type SweepReport struct {
+	// Kept is the number of blobs with a non-zero refcount.
+	Kept int
+	// RemovedBlobs lists swept (unreferenced) blob digests.
+	RemovedBlobs []string
+	// RemovedStaging lists deleted staging-residue paths.
+	RemovedStaging []string
+	// BytesFreed totals the removed blobs' sizes.
+	BytesFreed int64
+}
+
+// Sweep removes every blob whose refcount in refs is zero or absent, plus
+// all staging residue. The invariant callers rely on: a blob with
+// refs[digest] > 0 is never removed, whatever else fails — removals happen
+// one file at a time, so an interrupted sweep only leaves extra garbage
+// for the next run.
+func (s *BlobStore) Sweep(refs map[string]int) (*SweepReport, error) {
+	blobs, staging, stray, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	rep := &SweepReport{}
+	for _, p := range staging {
+		if err := s.b.Remove(p); err != nil {
+			return rep, fmt.Errorf("storage: sweep staging %s: %w", p, err)
+		}
+		rep.RemovedStaging = append(rep.RemovedStaging, p)
+	}
+	// Stray entries (not blobs, not staging) are left alone: the sweeper
+	// only ever deletes what it fully understands.
+	_ = stray
+	for _, blob := range blobs {
+		if refs[blob.Digest] > 0 {
+			rep.Kept++
+			continue
+		}
+		if err := s.Remove(blob.Digest); err != nil {
+			return rep, fmt.Errorf("storage: sweep blob %s: %w", blob.Digest, err)
+		}
+		rep.RemovedBlobs = append(rep.RemovedBlobs, blob.Digest)
+		if blob.Size > 0 {
+			rep.BytesFreed += blob.Size
+		}
+	}
+	return rep, nil
+}

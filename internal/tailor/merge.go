@@ -62,6 +62,11 @@ type Options struct {
 	// group decode. The output bytes are identical either way (the golden
 	// tests pin this); the knob exists for A/B benchmarking and diffing.
 	NoRawCopy bool
+	// DedupOutput converts the merged checkpoint to content-addressed
+	// form after publication: payloads move into the run root's objects/
+	// store (deduplicated against existing blobs) and the directory keeps
+	// manifests. Stats gains the blob counters.
+	DedupOutput bool
 }
 
 // Stats reports what a merge did.
@@ -95,6 +100,16 @@ type Stats struct {
 	ShardsRawCopied int
 	// BytesRawCopied totals the payload bytes moved by both raw paths.
 	BytesRawCopied int64
+	// BlobsPut counts content-addressed blobs written by a dedup-output
+	// conversion (Options.DedupOutput).
+	BlobsPut int
+	// BlobsReused counts payloads that deduplicated against existing
+	// blobs — zero new payload bytes.
+	BlobsReused int
+	// BlobBytesWritten / BytesDeduped split the converted payload volume
+	// into newly stored and deduplicated bytes.
+	BlobBytesWritten int64
+	BytesDeduped     int64
 }
 
 // Merge executes a recipe end to end and returns merge statistics. Blend
@@ -109,6 +124,16 @@ func Merge(b storage.Backend, r *recipe.Recipe, opts Options) (*Stats, error) {
 		stats := &Stats{}
 		if err := mergeBlend(b, r, opts, stats); err != nil {
 			return nil, err
+		}
+		if opts.DedupOutput {
+			rep, err := ckpt.Dedupify(b, r.Output, opts.ChunkBytes)
+			if err != nil {
+				return nil, fmt.Errorf("tailor: dedup output: %w", err)
+			}
+			stats.BlobsPut += rep.BlobsPut
+			stats.BlobsReused += rep.BlobsReused
+			stats.BlobBytesWritten += rep.BlobBytesWritten
+			stats.BytesDeduped += rep.BytesDeduped
 		}
 		stats.WallTime = time.Since(start)
 		return stats, nil
@@ -156,6 +181,19 @@ func Execute(b storage.Backend, plan *Plan, opts Options) (*Stats, error) {
 	// root-level "latest" — see ckpt.LatestPointerPath.
 	if err := ckpt.WriteLatestPointer(b, plan.Recipe.Output); err != nil {
 		return nil, err
+	}
+	if opts.DedupOutput {
+		// Conversion runs after publication under its own replace-in-place
+		// transaction: a crash here leaves the plain merged checkpoint
+		// committed and intact.
+		rep, err := ckpt.Dedupify(b, plan.Recipe.Output, opts.ChunkBytes)
+		if err != nil {
+			return nil, fmt.Errorf("tailor: dedup output: %w", err)
+		}
+		stats.BlobsPut += rep.BlobsPut
+		stats.BlobsReused += rep.BlobsReused
+		stats.BlobBytesWritten += rep.BlobBytesWritten
+		stats.BytesDeduped += rep.BytesDeduped
 	}
 	stats.WallTime = time.Since(start)
 	return stats, nil
@@ -264,7 +302,7 @@ func mergeWeights(out storage.Backend, outDir string, plan *Plan, opts Options, 
 
 // weightCost estimates the in-flight bytes of one tensor job: the stored
 // source payload, plus the converted copy when the output dtype differs.
-func weightCost(src *ckpt.LTSFReader, spec modelcfg.TensorSpec, outDType tensor.DType) int64 {
+func weightCost(src ckpt.WeightsReader, spec modelcfg.TensorSpec, outDType tensor.DType) int64 {
 	outBytes := spec.NumElems() * int64(outDType.Size())
 	srcBytes, ok := src.PayloadSize(spec.Name)
 	if !ok {
@@ -280,7 +318,7 @@ func weightCost(src *ckpt.LTSFReader, spec modelcfg.TensorSpec, outDType tensor.
 // readRawPayload fetches one tensor's stored payload bytes verbatim through
 // the backend's sectioned-read stream. The bytes are held (under the byte
 // gate) until the ordered sink splices them; no decode happens anywhere.
-func readRawPayload(src *ckpt.LTSFReader, name string) (*ckpt.RawTensor, []byte, error) {
+func readRawPayload(src ckpt.WeightsReader, name string) (*ckpt.RawTensor, []byte, error) {
 	rt, rc, err := src.OpenRaw(name)
 	if err != nil {
 		return nil, nil, err

@@ -45,6 +45,11 @@ type Config struct {
 	// composing partial checkpointing with CheckFreq/DataStates-style I/O
 	// overlap, as the paper's related-work section anticipates.
 	AsyncCkpt bool
+	// DedupCkpt stores checkpoints content-addressed: payloads land once
+	// per content digest in the run root's objects/ store and unchanged
+	// layers between saves cost zero payload bytes. Resume is transparent
+	// (ResumeLatest reads either layout) and bit-identical to plain saves.
+	DedupCkpt bool
 }
 
 func (c *Config) validate() error {
@@ -351,6 +356,7 @@ func (t *Trainer) checkpoint(strat strategy.Strategy, loss float64) (CkptEvent, 
 		Dir: dir, Model: t.Model, Optim: t.Optim,
 		WorldSize: t.Cfg.WorldSize, Layers: layers,
 		Strategy: strat.Name(), State: state,
+		Dedup: t.Cfg.DedupCkpt,
 	}
 	var err error
 	if t.Cfg.AsyncCkpt {

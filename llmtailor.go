@@ -80,6 +80,13 @@ type (
 	// FaultBackend injects storage failures at the Nth write/chunk/rename/
 	// close for crash-consistency testing.
 	FaultBackend = storage.Fault
+	// BlobStatus is one scanned entry of a run root's content-addressed
+	// objects/ store (referenced / unreferenced / staging residue).
+	BlobStatus = ckpt.BlobStatus
+	// BlobGCReport records what a blob garbage collection removed and kept.
+	BlobGCReport = ckpt.GCReport
+	// AdoptReport records what the adopt-or-quarantine migration did.
+	AdoptReport = ckpt.AdoptReport
 )
 
 // Checkpoint directory recovery states (see ScanCheckpoints).
@@ -88,6 +95,15 @@ const (
 	StateTorn        = ckpt.StateTorn
 	StateOrphanTmp   = ckpt.StateOrphanTmp
 	StateUnpublished = ckpt.StateUnpublished
+	StateQuarantined = ckpt.StateQuarantined
+)
+
+// Blob store entry states (see ScanCheckpointBlobs).
+const (
+	BlobReferenced   = ckpt.BlobReferenced
+	BlobUnreferenced = ckpt.BlobUnreferenced
+	BlobStaging      = ckpt.BlobStaging
+	BlobStray        = ckpt.BlobStray
 )
 
 // NewFaultBackend wraps a backend with the fault injector used by the
@@ -189,6 +205,46 @@ func RepairCheckpoints(b Backend, runRoot string) (*RepairReport, error) {
 // VerifyCommitted checks a checkpoint directory's commit marker end to end
 // (presence, per-file sizes and CRCs).
 func VerifyCommitted(b Backend, dir string) error { return ckpt.VerifyCommit(b, dir) }
+
+// ScanCheckpointBlobs classifies every entry of a run root's content-
+// addressed objects/ store against the committed manifests' references.
+func ScanCheckpointBlobs(b Backend, runRoot string) ([]BlobStatus, error) {
+	return ckpt.ScanBlobs(b, runRoot)
+}
+
+// GCCheckpointBlobs sweeps the run root's blob store: staging residue and
+// blobs no committed (or sealed-but-unpublished) manifest references are
+// removed. Referenced blobs are never collected, whatever else fails.
+func GCCheckpointBlobs(b Backend, runRoot string) (*BlobGCReport, error) {
+	return ckpt.GC(b, runRoot)
+}
+
+// AdoptCheckpoints runs the adopt-or-quarantine migration over a run root:
+// intact pre-commit-protocol checkpoints (readable end to end) get a
+// COMMITTED marker sealed in place; unreadable candidates are renamed
+// aside under .quarantined instead of deleted.
+func AdoptCheckpoints(b Backend, runRoot string) (*AdoptReport, error) {
+	return ckpt.AdoptAll(b, runRoot)
+}
+
+// MaterializeWeights writes a full model.ltsf container at dst from a
+// dedup checkpoint's manifest, byte-identical to a plain save of the same
+// state; every payload's content digest is re-verified on the way through.
+func MaterializeWeights(b Backend, dir, dst string) error {
+	return ckpt.MaterializeWeights(b, dir, dst, 0)
+}
+
+// MaterializeOptimShard writes one rank's full .ltos container at dst from
+// a dedup checkpoint's shard manifest, byte-identical to the plain save's.
+func MaterializeOptimShard(b Backend, dir string, rank int, dst string) error {
+	return ckpt.MaterializeShardFile(b, dir, rank, dst, 0)
+}
+
+// DedupifyCheckpoint converts a committed plain checkpoint to content-
+// addressed form in place (see MergeOptions.DedupOutput for merges).
+func DedupifyCheckpoint(b Backend, dir string) (*ckpt.DedupifyReport, error) {
+	return ckpt.Dedupify(b, dir, 0)
+}
 
 // RestoreModelDType is the dtype used when restoring checkpoints.
 var RestoreModelDType = tensor.BF16
