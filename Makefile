@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci cover fuzz-smoke doctor-smoke bench bench-smoke bench-record clean
+.PHONY: all build test race vet fmt-check ci ci-fast ci-slow cover fuzz-smoke doctor-smoke bench bench-smoke bench-check bench-record clean
 
 all: build test
 
@@ -26,7 +26,15 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-ci: fmt-check vet build race fuzz-smoke doctor-smoke bench-smoke cover
+# CI is split into two lanes so the workflow can run them as parallel
+# jobs: ci-fast is the quick correctness gate (a couple of minutes),
+# ci-slow carries the race detector, smokes, perf floors and coverage.
+# `ci` stays the union for local one-shot verification.
+ci-fast: fmt-check vet build test
+
+ci-slow: race fuzz-smoke doctor-smoke bench-check cover
+
+ci: ci-fast ci-slow
 
 # Coverage over the internal packages: per-function table, an HTML report
 # (cover.html) and a hard floor so coverage cannot silently regress. The
@@ -51,7 +59,11 @@ fuzz-smoke:
 	$(GO) test ./internal/recipe -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME)
 
 # Exercise the doctor exit-code contract end to end: 2 when torn/orphaned
-# checkpoint directories are found, 0 after -fix repairs them.
+# checkpoint directories are found, 0 after -fix repairs them. The second
+# scenario covers the dedup path: a real content-addressed run is seeded
+# with a stray blob and a stale ref index (a record deleted out from under
+# a committed checkpoint); doctor must exit 2, and -fix must rebuild the
+# index from the manifests and exit 0.
 doctor-smoke:
 	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
 	$(GO) build -o $$tmp/llmtailor ./cmd/llmtailor || exit 1; \
@@ -63,6 +75,21 @@ doctor-smoke:
 		{ echo "doctor-smoke: -fix failed"; exit 1; }; \
 	$$tmp/llmtailor doctor -root $$tmp/root -run run > /dev/null || \
 		{ echo "doctor-smoke: root still sick after -fix"; exit 1; }; \
+	$(GO) build -o $$tmp/trainsim ./cmd/trainsim || exit 1; \
+	$$tmp/trainsim -root $$tmp/root -run drun -model tiny -sim=false -steps 12 -interval 6 -dedup > /dev/null || \
+		{ echo "doctor-smoke: dedup trainsim failed"; exit 1; }; \
+	mkdir -p $$tmp/root/drun/objects/zz; \
+	echo junk > $$tmp/root/drun/objects/zz/not-a-blob; \
+	rec=$$(ls $$tmp/root/drun/objects/refs/gen-*.ref | head -1); \
+	rm "$$rec"; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run drun > /dev/null; rc=$$?; \
+	if [ $$rc -ne 2 ]; then echo "doctor-smoke: want exit 2 on stale ref index, got $$rc"; exit 1; fi; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run drun -fix > /dev/null || \
+		{ echo "doctor-smoke: dedup -fix failed"; exit 1; }; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run drun > /dev/null || \
+		{ echo "doctor-smoke: dedup root still sick after -fix"; exit 1; }; \
+	ls $$tmp/root/drun/objects/refs/gen-*.ref > /dev/null || \
+		{ echo "doctor-smoke: -fix did not rebuild the ref index"; exit 1; }; \
 	echo "doctor-smoke: OK"
 
 # Quick benchmark sweep of the streaming merge hot path.
@@ -75,12 +102,22 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -timeout 30m ./...
 
+# Perf floors, both live and recorded: bench-smoke runs every benchmark
+# once (the key benchmarks assert their floors inline — raw merge >= 2x,
+# dedup delta >= 5x, generational gc >= 5x), then benchcheck verifies the
+# committed BENCH_*.json records still clear the same floors, so a stale
+# or hand-edited perf record fails CI instead of silently shifting the
+# baseline future PRs diff against.
+bench-check: bench-smoke
+	$(GO) run ./cmd/benchcheck
+
 # Refresh BENCH_merge.json, BENCH_merge_raw.json and BENCH_delta.json
 # (the perf records future PRs diff against) with stable measurements.
 bench-record:
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkMergeFullStreamed|BenchmarkMergeRawVsDecode' -benchtime=5x .
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkIncrementalSave' -benchtime=3x .
-	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json
+	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkGCIncremental' -benchtime=3x .
+	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json BENCH_gc.json
 
 clean:
 	rm -f llmtailor trainsim paperbench ckptstat cover.out cover.html

@@ -1,0 +1,137 @@
+// Command benchcheck guards the repository's recorded perf floors. The
+// BENCH_*.json files are the perf records future PRs diff against; the
+// benchmarks that produce them assert their floors at run time, but the
+// committed records themselves could silently rot (a bad re-record, a
+// hand edit, drift after a refactor). CI runs benchcheck against the
+// checked-in files so a record that no longer clears its floor fails the
+// build instead of quietly shifting the baseline:
+//
+//	BENCH_merge_raw.json  raw-copy merge speedup   >= 2x
+//	BENCH_delta.json      dedup bytes reduction    >= 5x
+//	BENCH_gc.json         generational gc speedup  >= 5x
+//	BENCH_merge.json      bounded-memory merge: peak in-flight <= cap
+//
+// Usage: benchcheck [-dir DIR]; exits non-zero on any violated floor or
+// unreadable record.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// check is one floor over one record file.
+type check struct {
+	file string
+	desc string
+	ok   func(map[string]any) error
+}
+
+// number digs a float out of decoded JSON by path.
+func number(m map[string]any, path ...string) (float64, error) {
+	var cur any = m
+	for i, p := range path {
+		mm, ok := cur.(map[string]any)
+		if !ok {
+			return 0, fmt.Errorf("missing %v", path[:i+1])
+		}
+		cur, ok = mm[p]
+		if !ok {
+			return 0, fmt.Errorf("missing %v", path[:i+1])
+		}
+	}
+	f, ok := cur.(float64)
+	if !ok {
+		return 0, fmt.Errorf("%v is not a number", path)
+	}
+	return f, nil
+}
+
+// atLeast asserts a floor on a numeric field.
+func atLeast(floor float64, path ...string) func(map[string]any) error {
+	return func(m map[string]any) error {
+		v, err := number(m, path...)
+		if err != nil {
+			return err
+		}
+		if v < floor {
+			return fmt.Errorf("%v = %.2f, floor is %.1f", path, v, floor)
+		}
+		return nil
+	}
+}
+
+var checks = []check{
+	{"BENCH_merge_raw.json", "zero-decode raw-copy merge speedup >= 2x", atLeast(2, "speedup")},
+	{"BENCH_delta.json", "incremental dedup bytes-written reduction >= 5x", atLeast(5, "reduction")},
+	{"BENCH_gc.json", "generational gc speedup over full mark-and-sweep >= 5x", atLeast(5, "speedup")},
+	{"BENCH_gc.json", "generational gc examines O(retired) blobs", func(m map[string]any) error {
+		inc, err := number(m, "blobs_examined_incremental")
+		if err != nil {
+			return err
+		}
+		full, err := number(m, "blobs_examined_full")
+		if err != nil {
+			return err
+		}
+		if inc*2 > full {
+			return fmt.Errorf("incremental gc examined %.0f blobs vs full's %.0f", inc, full)
+		}
+		return nil
+	}},
+	{"BENCH_merge.json", "streamed merge stays within its in-flight byte cap", func(m map[string]any) error {
+		peak, err := number(m, "stats", "peak_inflight_bytes")
+		if err != nil {
+			return err
+		}
+		cap, err := number(m, "max_inflight")
+		if err != nil {
+			return err
+		}
+		if cap > 0 && peak > cap {
+			return fmt.Errorf("peak in-flight %.0f bytes exceeds the %.0f cap", peak, cap)
+		}
+		return nil
+	}},
+}
+
+// runChecks verifies every floor against records under dir; it returns the
+// failures instead of exiting so tests can drive it.
+func runChecks(dir string) []error {
+	var errs []error
+	for _, c := range checks {
+		path := filepath.Join(dir, c.file)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", c.file, err))
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", c.file, err))
+			continue
+		}
+		if err := c.ok(m); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %s: %w", c.file, c.desc, err))
+			continue
+		}
+		fmt.Printf("ok   %-22s %s\n", c.file, c.desc)
+	}
+	return errs
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the BENCH_*.json perf records")
+	flag.Parse()
+	errs := runChecks(*dir)
+	for _, err := range errs {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all recorded perf floors hold")
+}

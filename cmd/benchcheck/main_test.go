@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeRecords(t *testing.T, dir string, gcSpeedup, rawSpeedup, reduction string) {
+	t.Helper()
+	files := map[string]string{
+		"BENCH_merge_raw.json": `{"speedup": ` + rawSpeedup + `}`,
+		"BENCH_delta.json":     `{"reduction": ` + reduction + `}`,
+		"BENCH_gc.json":        `{"speedup": ` + gcSpeedup + `, "blobs_examined_incremental": 87, "blobs_examined_full": 281}`,
+		"BENCH_merge.json":     `{"stats": {"peak_inflight_bytes": 1000}, "max_inflight": 8388608}`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFloorsHold(t *testing.T) {
+	dir := t.TempDir()
+	writeRecords(t, dir, "13.5", "3.4", "6.2")
+	if errs := runChecks(dir); len(errs) != 0 {
+		t.Fatalf("unexpected failures: %v", errs)
+	}
+}
+
+func TestRottedRecordFails(t *testing.T) {
+	dir := t.TempDir()
+	writeRecords(t, dir, "4.9", "3.4", "6.2") // gc floor is 5
+	errs := runChecks(dir)
+	if len(errs) != 1 {
+		t.Fatalf("failures = %v", errs)
+	}
+}
+
+func TestMissingRecordFails(t *testing.T) {
+	dir := t.TempDir()
+	writeRecords(t, dir, "13.5", "3.4", "6.2")
+	if err := os.Remove(filepath.Join(dir, "BENCH_delta.json")); err != nil {
+		t.Fatal(err)
+	}
+	if errs := runChecks(dir); len(errs) != 1 {
+		t.Fatalf("failures = %v", errs)
+	}
+}
+
+// The committed records in the repository root must clear their floors —
+// this is the same gate `make bench-check` applies in CI.
+func TestCommittedRecords(t *testing.T) {
+	if errs := runChecks("../.."); len(errs) != 0 {
+		t.Fatalf("committed perf records rotted: %v", errs)
+	}
+}

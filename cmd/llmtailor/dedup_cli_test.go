@@ -114,6 +114,154 @@ func TestCLIDoctorCountsBlobStaging(t *testing.T) {
 	}
 }
 
+// TestCLIGCGenerational: the default gc mode retires the generation a
+// replaced checkpoint superseded and sweeps only its blobs; -full then
+// finds nothing left.
+func TestCLIGCGenerational(t *testing.T) {
+	root := t.TempDir()
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := modelcfg.Tiny()
+	save := func(seed uint64) {
+		t.Helper()
+		m, _ := model.NewInitialized(cfg, tensor.BF16, seed)
+		o, _ := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
+		if err := ckpt.Save(b, ckpt.SaveSpec{
+			Dir: "run/checkpoint-10", Model: m, Optim: o, WorldSize: 2,
+			Strategy: "full", Dedup: true, State: ckpt.TrainerState{Step: 10, Seed: seed},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save(6)
+	save(7) // replace: seed-6 generation superseded
+
+	var out strings.Builder
+	if err := runGC([]string{"-root", root, "-run", "run", "-dry-run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "dry run:") || !strings.Contains(out.String(), "would remove blob") {
+		t.Fatalf("dry run output: %s", out.String())
+	}
+	out.Reset()
+	if err := runGC([]string{"-root", root, "-run", "run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gc (generational):") || !strings.Contains(out.String(), "retired record") {
+		t.Fatalf("output: %s", out.String())
+	}
+	if _, _, _, err := ckpt.Restore(b, "run/checkpoint-10", tensor.BF16); err != nil {
+		t.Fatalf("checkpoint unusable after generational gc: %v", err)
+	}
+	// -full verifies and agrees.
+	out.Reset()
+	if err := runGC([]string{"-root", root, "-run", "run", "-full"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 removed (0 bytes freed)") {
+		t.Fatalf("full gc output: %s", out.String())
+	}
+	if err := runGC([]string{"-root", root, "-full", "-generations"}, &out); err == nil {
+		t.Fatal("mutually exclusive flags accepted")
+	}
+}
+
+func TestCLIRetain(t *testing.T) {
+	root := t.TempDir()
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := modelcfg.Tiny()
+	m, _ := model.NewInitialized(cfg, tensor.BF16, 5)
+	o, _ := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
+	for _, step := range []int{10, 20, 30, 40} {
+		ts := m.Tensors()[0]
+		ts.Set(0, ts.At(0)+1)
+		if err := ckpt.Save(b, ckpt.SaveSpec{
+			Dir: "run/" + ckpt.DirName(step), Model: m, Optim: o, WorldSize: 2,
+			Strategy: "full", Dedup: true, State: ckpt.TrainerState{Step: step, Seed: 5},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := runRetain([]string{"-root", root, "-run", "run"}, &strings.Builder{}); err == nil {
+		t.Fatal("missing -keep-last accepted")
+	}
+	var out strings.Builder
+	if err := runRetain([]string{"-root", root, "-run", "run", "-keep-last", "2", "-dry-run"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "would retire run/checkpoint-10") {
+		t.Fatalf("dry run output: %s", out.String())
+	}
+	if _, err := os.Stat(filepath.Join(root, "run", "checkpoint-10")); err != nil {
+		t.Fatal("dry run removed a checkpoint")
+	}
+	out.Reset()
+	if err := runRetain([]string{"-root", root, "-run", "run", "-keep-last", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 checkpoints retired") {
+		t.Fatalf("output: %s", out.String())
+	}
+	for _, step := range []string{"checkpoint-10", "checkpoint-20"} {
+		if _, err := os.Stat(filepath.Join(root, "run", step)); !os.IsNotExist(err) {
+			t.Fatalf("%s survived retention", step)
+		}
+	}
+	for _, dir := range []string{"run/checkpoint-30", "run/checkpoint-40"} {
+		if _, _, _, err := ckpt.Restore(b, dir, tensor.BF16); err != nil {
+			t.Fatalf("%s after retain: %v", dir, err)
+		}
+	}
+	// Doctor agrees the run is healthy afterwards.
+	if problems, err := runDoctor([]string{"-root", root, "-run", "run"}, &out); err != nil || problems != 0 {
+		t.Fatalf("doctor after retain: %d problems, %v", problems, err)
+	}
+}
+
+// A stale ref index (missing record for a committed dedup checkpoint plus
+// an orphaned record) is a doctor problem that -fix reconciles.
+func TestCLIDoctorRefIndex(t *testing.T) {
+	root := t.TempDir()
+	writeDedupRun(t, root)
+	refsDir := filepath.Join(root, "run", "objects", "refs")
+	entries, err := os.ReadDir(refsDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no ref records: %v", err)
+	}
+	// Stale index: drop one record, plant an orphaned one.
+	if err := os.Remove(filepath.Join(refsDir, entries[0].Name())); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(refsDir, "gen-000000000042-checkpoint-42.ref")
+	if err := os.WriteFile(orphan, []byte(`{"version":1,"key":"checkpoint-42","generation":42,"digests":0}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	problems, err := runDoctor([]string{"-root", root, "-run", "run"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems != 2 || !strings.Contains(out.String(), "ref-missing") || !strings.Contains(out.String(), "ref-orphaned") {
+		t.Fatalf("problems = %d\n%s", problems, out.String())
+	}
+	out.Reset()
+	if problems, err := runDoctor([]string{"-root", root, "-run", "run", "-fix"}, &out); err != nil || problems != 0 {
+		t.Fatalf("fix: %d problems, %v\n%s", problems, err, out.String())
+	}
+	if !strings.Contains(out.String(), "rebuilt ref record") || !strings.Contains(out.String(), "removed stale ref record") {
+		t.Fatalf("fix output: %s", out.String())
+	}
+	out.Reset()
+	if problems, err := runDoctor([]string{"-root", root, "-run", "run"}, &out); err != nil || problems != 0 {
+		t.Fatalf("post-fix: %d problems, %v\n%s", problems, err, out.String())
+	}
+}
+
 func TestCLIDoctorAdopt(t *testing.T) {
 	root := t.TempDir()
 	writeRun(t, root)

@@ -55,6 +55,8 @@ func main() {
 		return
 	case "gc":
 		err = runGC(os.Args[2:], os.Stdout)
+	case "retain":
+		err = runRetain(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -86,9 +88,19 @@ commands:
               pre-commit-protocol checkpoints in place (quarantining
               unreadable ones) instead of leaving them for -fix to delete;
               exits 0 when healthy, 2 when problems were left in place
-  gc          sweep the run root's objects/ blob store: remove staging
-              residue and blobs no committed checkpoint references
-              (referenced blobs are never collected); -dry-run reports only
+  gc          sweep the run root's objects/ blob store. The default
+              (-generations) mode is incremental: it retires journal
+              records provably superseded by a newer save of the same
+              checkpoint and examines only those generations' blobs —
+              O(retired), not O(run length). -full keeps the whole-history
+              mark-and-sweep as a verification/repair pass that re-derives
+              references from every manifest and validates the ref index
+              against them. Referenced blobs are never collected either
+              way; -dry-run reports only
+  retain      keep the newest -keep-last N committed checkpoints, retire
+              the rest (directories + ref-index generations) and sweep the
+              blobs whose youngest reference died with them; -dry-run
+              reports only
   gen-recipe  build a recipe from partial-checkpoint manifests
 
 examples:
@@ -98,7 +110,9 @@ examples:
   llmtailor doctor -root /data -run old-run -adopt # migrate pre-protocol
                                                    # checkpoints
   llmtailor merge -root /data -recipe r.yaml -dedup # dedup the output
-  llmtailor gc -root /data -run sft-run            # reclaim blob garbage`)
+  llmtailor gc -root /data -run sft-run            # incremental reclaim
+  llmtailor gc -root /data -run sft-run -full      # verify + full sweep
+  llmtailor retain -root /data -run sft-run -keep-last 5`)
 }
 
 func openRoot(root string) (llmtailor.Backend, error) {
@@ -313,6 +327,11 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 			staging++
 			problems++
 			fmt.Fprintf(out, "  %-12s %s\n", bl.State, bl.Path)
+		case llmtailor.BlobTrashed:
+			// A sweep crashed between trash and purge; -fix restores the
+			// referenced ones and drops the rest.
+			problems++
+			fmt.Fprintf(out, "  %-12s %s (refs %d)\n", bl.State, bl.Path, bl.Refs)
 		default:
 			stray++
 			fmt.Fprintf(out, "  %-12s %s\n", bl.State, bl.Path)
@@ -323,6 +342,33 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 			referenced, unreferenced, staging, stray)
 		if unreferenced > 0 {
 			fmt.Fprintln(out, "run `llmtailor gc` to reclaim unreferenced blobs")
+		}
+	}
+	// Ref-index health: records that disagree with the manifests (missing,
+	// divergent, corrupt), stale records with no checkpoint behind them,
+	// and append residue are problems -fix reconciles; superseded records
+	// are ordinary reclaimable garbage a generational gc retires.
+	refStatuses, err := llmtailor.ScanCheckpointRefs(b, *run)
+	if err != nil {
+		return problems, err
+	}
+	var refOK, refSuperseded int
+	for _, rs := range refStatuses {
+		switch rs.State {
+		case llmtailor.RefOK:
+			refOK++
+		case llmtailor.RefSuperseded:
+			refSuperseded++
+		default:
+			problems++
+			fmt.Fprintf(out, "  %-12s %s — %s\n", rs.State, rs.Path, rs.Detail)
+		}
+	}
+	if len(refStatuses) > 0 {
+		fmt.Fprintf(out, "ref index: %d ok, %d superseded, %d problem(s)\n",
+			refOK, refSuperseded, len(refStatuses)-refOK-refSuperseded)
+		if refSuperseded > 0 {
+			fmt.Fprintln(out, "run `llmtailor gc` to retire superseded generations")
 		}
 	}
 	if problems == 0 {
@@ -346,6 +392,21 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 	for _, p := range rep.BlobStagingRemoved {
 		fmt.Fprintf(out, "removed blob staging %s\n", p)
 	}
+	for _, r := range rep.RefRecordsRemoved {
+		fmt.Fprintf(out, "removed stale ref record %s\n", r)
+	}
+	for _, r := range rep.RefRecordsWritten {
+		fmt.Fprintf(out, "rebuilt ref record %s\n", r)
+	}
+	for _, r := range rep.RefStagingRemoved {
+		fmt.Fprintf(out, "removed ref staging %s\n", r)
+	}
+	for _, d := range rep.TrashRestored {
+		fmt.Fprintf(out, "restored trashed blob %s\n", d)
+	}
+	for _, d := range rep.TrashPurged {
+		fmt.Fprintf(out, "purged trashed blob %s\n", d)
+	}
 	if rep.LatestFixed {
 		if rep.Latest == "" {
 			fmt.Fprintln(out, "removed dangling latest pointer (no committed checkpoint remains)")
@@ -358,17 +419,53 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 	return 0, nil
 }
 
-// runGC sweeps (or with -dry-run reports) the run root's blob store.
+// runGC sweeps (or with -dry-run reports) the run root's blob store, in
+// incremental -generations mode (the default) or -full verification mode.
 func runGC(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("gc", flag.ExitOnError)
 	root := fs.String("root", "", "storage root directory")
 	run := fs.String("run", "", "run root under the storage root (default: the root itself)")
 	dryRun := fs.Bool("dry-run", false, "report what a sweep would remove without removing anything")
+	full := fs.Bool("full", false, "whole-history mark-and-sweep: re-derive references from every manifest, sweep the whole store, validate and repair the ref index")
+	generations := fs.Bool("generations", false, "incremental sweep of retired generations only (the default)")
 	fs.Parse(args)
 
 	b, err := openRoot(*root)
 	if err != nil {
 		return err
+	}
+	if *full && *generations {
+		return fmt.Errorf("gc: -full and -generations are mutually exclusive")
+	}
+	if !*full {
+		rep, err := llmtailor.GCRetiredGenerations(b, *run, *dryRun)
+		if err != nil {
+			return err
+		}
+		verb := "removed"
+		if *dryRun {
+			verb = "would remove"
+		}
+		for _, d := range rep.RemovedBlobs {
+			fmt.Fprintf(out, "  %s blob %s\n", verb, d)
+		}
+		for _, p := range rep.RemovedStaging {
+			fmt.Fprintf(out, "  %s staging %s\n", verb, p)
+		}
+		for _, r := range rep.IndexRetired {
+			fmt.Fprintf(out, "  retired record %s\n", r)
+		}
+		if *dryRun {
+			fmt.Fprintf(out, "dry run: %d generations retirable, %d candidate blobs examined, %d removable (%d bytes reclaimable)\n",
+				len(rep.IndexRetired), rep.Examined, len(rep.RemovedBlobs), rep.BytesFreed)
+			return nil
+		}
+		fmt.Fprintf(out, "gc (generational): %d records, %d retired, %d blobs examined, %d removed (%d bytes freed), %d staging entries cleaned\n",
+			rep.IndexRecords, len(rep.IndexRetired), rep.Examined, len(rep.RemovedBlobs), rep.BytesFreed, len(rep.RemovedStaging))
+		if rep.IndexStale > 0 {
+			fmt.Fprintf(out, "%d stale/unmatched record(s) left pinned; run doctor -fix (quiescent) to reconcile\n", rep.IndexStale)
+		}
+		return nil
 	}
 	if *dryRun {
 		blobs, err := llmtailor.ScanCheckpointBlobs(b, *run)
@@ -405,8 +502,58 @@ func runGC(args []string, out io.Writer) error {
 	for _, p := range rep.RemovedStaging {
 		fmt.Fprintf(out, "  removed staging %s\n", p)
 	}
+	for _, r := range rep.IndexRetired {
+		fmt.Fprintf(out, "  retired record %s\n", r)
+	}
+	for _, r := range rep.IndexRepaired {
+		fmt.Fprintf(out, "  repaired record %s\n", r)
+	}
 	fmt.Fprintf(out, "gc: %d referenced digests, %d blobs kept, %d removed (%d bytes freed), %d staging entries cleaned\n",
 		rep.Referenced, rep.Kept, len(rep.RemovedBlobs), rep.BytesFreed, len(rep.RemovedStaging))
+	if rep.IndexStale > 0 {
+		fmt.Fprintf(out, "%d stale/unmatched record(s) left pinned; run doctor -fix (quiescent) to reconcile\n", rep.IndexStale)
+	}
+	return nil
+}
+
+// runRetain applies a keep-last retention policy: victims' directories and
+// ref-index generations are retired, and the blobs whose youngest
+// reference died with them are swept generationally.
+func runRetain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("retain", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	run := fs.String("run", "", "run root under the storage root (default: the root itself)")
+	keepLast := fs.Int("keep-last", 0, "number of newest committed checkpoints to keep (required, >= 1)")
+	dryRun := fs.Bool("dry-run", false, "report what retention would remove without removing anything")
+	fs.Parse(args)
+
+	b, err := openRoot(*root)
+	if err != nil {
+		return err
+	}
+	if *keepLast < 1 {
+		return fmt.Errorf("retain: missing or invalid -keep-last (want >= 1)")
+	}
+	rep, err := llmtailor.RetainCheckpoints(b, *run, *keepLast, *dryRun)
+	if err != nil {
+		return err
+	}
+	verb := "retired"
+	if *dryRun {
+		verb = "would retire"
+	}
+	for _, d := range rep.Removed {
+		fmt.Fprintf(out, "  %s %s\n", verb, d)
+	}
+	for _, d := range rep.RemovedBlobs {
+		fmt.Fprintf(out, "  swept blob %s\n", d)
+	}
+	mode := "retain"
+	if *dryRun {
+		mode = "retain (dry run)"
+	}
+	fmt.Fprintf(out, "%s: %d kept, %d checkpoints retired (%d records), %d blobs examined, %d swept (%d bytes freed)\n",
+		mode, len(rep.Kept), len(rep.Removed), len(rep.RecordsRetired), rep.Examined, len(rep.RemovedBlobs), rep.BytesFreed)
 	return nil
 }
 

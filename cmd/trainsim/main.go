@@ -43,10 +43,11 @@ func main() {
 	failAt := flag.Int("fail-at", 0, "simulate a crash right after this step (0 = none)")
 	resume := flag.String("resume", "", "resume from this complete checkpoint directory")
 	dedup := flag.Bool("dedup", false, "save checkpoints content-addressed: payloads dedup against the run root's objects/ store, so unchanged layers cost zero bytes")
+	keepLast := flag.Int("keep-last", 0, "retain only the newest N committed checkpoints, retiring older generations (and their blobs) after each save (0 = keep all)")
 	flag.Parse()
 
 	if err := run(*root, *runRoot, *modelName, *sim, *taskName, *steps, *warmup, *lr,
-		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup); err != nil {
+		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup, *keepLast); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
@@ -54,7 +55,7 @@ func main() {
 
 func run(root, runRoot, modelName string, sim bool, taskName string,
 	steps, warmup int, lr float64, interval int, strategyName string,
-	worldSize int, seed uint64, failAt int, resume string, dedup bool) error {
+	worldSize int, seed uint64, failAt int, resume string, dedup bool, keepLast int) error {
 
 	if root == "" {
 		return fmt.Errorf("missing -root")
@@ -85,7 +86,7 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 		TotalSteps: steps, WarmupSteps: warmup, BaseLR: lr,
 		CkptInterval: interval, Strategy: strat,
 		WorldSize: worldSize, RunRoot: runRoot, FailAt: failAt,
-		DedupCkpt: dedup,
+		DedupCkpt: dedup, KeepLast: keepLast,
 	}
 
 	var tr *train.Trainer
@@ -119,12 +120,20 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 	}
 	fmt.Printf("checkpoints: %d (%.2f GB at true %s geometry)\n",
 		len(res.Ckpts), modelcfg.GB(bytes), trueCfg.Name)
+	var retired int
+	var freed int64
 	for _, ev := range res.Ckpts {
 		kind := "full"
 		if ev.Partial {
 			kind = fmt.Sprintf("partial:%d layers", len(ev.Layers))
 		}
 		fmt.Printf("  %-28s %-18s %8.2f GB\n", ev.Dir, kind, modelcfg.GB(ev.TrueBytes))
+		retired += len(ev.Retired)
+		freed += ev.BlobBytesFreed
+	}
+	if keepLast > 0 {
+		fmt.Printf("retention: kept newest %d, retired %d checkpoints (%d blob bytes freed)\n",
+			keepLast, retired, freed)
 	}
 	return nil
 }

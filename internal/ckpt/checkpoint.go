@@ -49,6 +49,12 @@ type Manifest struct {
 	// live as blobs in the run root's objects/ store, referenced by
 	// manifests instead of LTSF/LTOS containers.
 	Dedup bool `json:"dedup,omitempty"`
+	// RefGen is the ref-index generation this checkpoint's save journaled
+	// (dedup checkpoints only; 0 on pre-ref-index checkpoints). It binds
+	// the published directory to exactly one record under objects/refs/,
+	// which is what lets a generational GC prove an older record for the
+	// same directory name superseded.
+	RefGen int64 `json:"ref_gen,omitempty"`
 }
 
 // HasLayer reports whether the manifest includes the given layer.
@@ -150,11 +156,14 @@ func Save(b storage.Backend, spec SaveSpec) error {
 	if err != nil {
 		return err
 	}
+	var refGen int64
 	if spec.Dedup {
-		if err := writeDedupPayloads(b, sb, dir, spec.Dir, cfg.Name, weights,
-			metas, byRank, spec.WorldSize, o.StepCount, o.Layout.Kind); err != nil {
+		gen, err := writeDedupPayloads(b, sb, dir, spec.Dir, cfg.Name, weights,
+			metas, byRank, spec.WorldSize, o.StepCount, o.Layout.Kind)
+		if err != nil {
 			return err
 		}
+		refGen = gen
 	} else {
 		if err := WriteLTSF(sb, dir+"/model.ltsf", cfg.Name, weights); err != nil {
 			return err
@@ -183,6 +192,7 @@ func Save(b storage.Backend, spec SaveSpec) error {
 		Strategy: spec.Strategy,
 		Complete: len(layers) == len(cfg.AllLayers()),
 		Dedup:    spec.Dedup,
+		RefGen:   refGen,
 	}
 	for _, ref := range layers {
 		man.Layers = append(man.Layers, ref.String())

@@ -467,6 +467,21 @@ type RepairReport struct {
 	// puts) Repair cleaned. Published and unreferenced blobs are GC's
 	// territory, never Repair's.
 	BlobStagingRemoved []string
+	// RefRecordsRemoved and RefRecordsWritten record the ref-index
+	// reconcile: stale (orphaned / superseded / corrupt) journal records
+	// removed, and records rebuilt from the manifests of sealed dedup
+	// directories. Repair is the quiescent path, so unlike GC it may
+	// judge an orphaned record stale.
+	RefRecordsRemoved []string
+	RefRecordsWritten []string
+	// RefStagingRemoved lists crashed record-append residue cleaned.
+	RefStagingRemoved []string
+	// TrashRestored and TrashPurged dispose of blobs a crashed sweep left
+	// in the store's trash area: still-referenced ones are restored (this
+	// must happen before Scan, or their checkpoints would read as torn),
+	// the rest dropped.
+	TrashRestored []string
+	TrashPurged   []string
 	// LatestFixed is set when the run root's latest pointer was rewritten
 	// (or removed, when no committed checkpoint remains).
 	LatestFixed bool
@@ -482,11 +497,26 @@ type RepairReport struct {
 // at the newest committed checkpoint (or removed when none remain). It is
 // idempotent: rerunning after a crash mid-repair converges.
 func Repair(b storage.Backend, runRoot string) (*RepairReport, error) {
+	rep := &RepairReport{}
+	// First, dispose of trash a crashed sweep left behind: a referenced
+	// blob stranded there would make its (perfectly good) checkpoint scan
+	// as torn — and be deleted below — so restoration must precede Scan.
+	trashStore := storage.NewBlobStore(b, objectsPath(runRoot))
+	if trash, _ := trashStore.ListTrash(); len(trash) > 0 {
+		refs, err := BlobRefs(b, runRoot)
+		if err != nil {
+			return nil, err
+		}
+		restored, purged, err := handleTrash(trashStore, refs)
+		rep.TrashRestored, rep.TrashPurged = restored, purged
+		if err != nil {
+			return rep, err
+		}
+	}
 	statuses, err := Scan(b, runRoot)
 	if err != nil {
 		return nil, err
 	}
-	rep := &RepairReport{}
 	var newest *DirStatus
 	for i := range statuses {
 		st := &statuses[i]
@@ -541,6 +571,17 @@ func Repair(b storage.Backend, runRoot string) (*RepairReport, error) {
 			}
 		}
 	}
+	// Reconcile the ref index against the manifests now that every
+	// directory is in its final state: stale records die, missing ones are
+	// rebuilt, so the next generational sweep trusts an index that agrees
+	// with ground truth.
+	recRep, err := ReconcileRefIndex(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
+	rep.RefRecordsRemoved = recRep.RemovedRecords
+	rep.RefRecordsWritten = recRep.WrittenRecords
+	rep.RefStagingRemoved = recRep.StagingRemoved
 	// A crashed pointer update leaves latest.tmp behind.
 	pointer := "latest"
 	if runRoot != "" {

@@ -67,37 +67,21 @@ func IsDedup(b storage.Backend, dir string) bool {
 	return b.Exists(dir+"/"+WeightManifestName) && !b.Exists(dir+"/model.ltsf")
 }
 
-// putStream stores one payload under its content digest: hash() streams
-// the payload through crc+sha256 only (no storage I/O), and encode() is
-// re-run into the store when — and only when — the blob is new. Returns
-// the reference plus whether bytes were written.
-func putStream(store *storage.BlobStore, size int64, encode func(io.Writer) (int64, error)) (digest string, crc uint32, wrote bool, err error) {
+// hashStream computes one payload's content digest and CRC by streaming
+// encode() through the hashes only — no storage I/O. Saves run this over
+// every payload first, so the full digest set can be journaled in the ref
+// index before a single blob is published.
+func hashStream(size int64, encode func(io.Writer) (int64, error)) (digest string, crc uint32, err error) {
 	c := crc32.NewIEEE()
 	sum := sha256.New()
 	n, err := encode(io.MultiWriter(c, sum))
 	if err != nil {
-		return "", 0, false, err
+		return "", 0, err
 	}
 	if n != size {
-		return "", 0, false, fmt.Errorf("ckpt: payload encoded %d bytes, expected %d", n, size)
+		return "", 0, fmt.Errorf("ckpt: payload encoded %d bytes, expected %d", n, size)
 	}
-	digest = hex.EncodeToString(sum.Sum(nil))
-	crc = c.Sum32()
-	if store.Has(digest) {
-		return digest, crc, false, nil
-	}
-	w, err := store.Writer()
-	if err != nil {
-		return "", 0, false, err
-	}
-	if _, err := encode(w); err != nil {
-		w.Abort()
-		return "", 0, false, err
-	}
-	if _, err := w.Commit(digest); err != nil {
-		return "", 0, false, err
-	}
-	return digest, crc, true, nil
+	return hex.EncodeToString(sum.Sum(nil)), c.Sum32(), nil
 }
 
 // encodeGroupPayload streams one group shard's payload (master + exp_avg +
@@ -115,28 +99,57 @@ func encodeGroupPayload(w io.Writer, buf []byte, s *zero.GroupShard) (int64, err
 	return n, nil
 }
 
+// dedupPayload is one payload of a dedup save: its hashed identity plus
+// the encoder that can replay its exact bytes into the store.
+type dedupPayload struct {
+	digest string
+	crc    uint32
+	size   int64
+	encode func(io.Writer) (int64, error)
+}
+
 // writeDedupPayloads is the dedup half of Save: weight and group payloads
 // go to the blob store on the base backend (published before the commit),
 // and the manifests are staged through the transaction's recording backend
 // like every other checkpoint file. finalDir names the checkpoint's
 // eventual (published) path — the blob store location derives from it, not
 // from the staging directory.
+//
+// Ordering is load-bearing: every payload is hashed first (no storage
+// I/O), the full digest set is journaled in the ref index, and only then
+// are missing blobs published — so a concurrent or later sweep always
+// finds a record pinning a blob before the blob exists. The returned
+// generation is recorded in the checkpoint's manifest.json (ref_gen),
+// binding the published directory to its journal record.
 func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 	modelName string, weights []*tensor.Tensor,
 	metas []ShardGroupMeta, byRank [][]*zero.GroupShard, worldSize, step int,
-	layout optim.LayoutKind) error {
+	layout optim.LayoutKind) (int64, error) {
 
 	store := storeFor(base, finalDir)
 	buf := make([]byte, storage.ChunkOrDefault(0))
 
+	// Phase 1: hash everything; build manifests and the digest set.
+	var payloads []dedupPayload
+	var digests []string
+	hash := func(size int64, encode func(io.Writer) (int64, error)) (string, uint32, error) {
+		digest, crc, err := hashStream(size, encode)
+		if err != nil {
+			return "", 0, err
+		}
+		payloads = append(payloads, dedupPayload{digest: digest, crc: crc, size: size, encode: encode})
+		digests = append(digests, digest)
+		return digest, crc, nil
+	}
 	wm := &WeightManifest{Version: FormatVersion, Model: modelName}
 	for _, t := range weights {
+		t := t
 		size := int64(t.Bytes())
-		digest, crc, _, err := putStream(store, size, func(w io.Writer) (int64, error) {
+		digest, crc, err := hash(size, func(w io.Writer) (int64, error) {
 			return t.EncodeTo(w, buf)
 		})
 		if err != nil {
-			return fmt.Errorf("ckpt: dedup tensor %q: %w", t.Name, err)
+			return 0, fmt.Errorf("ckpt: dedup tensor %q: %w", t.Name, err)
 		}
 		wm.Tensors = append(wm.Tensors, WeightEntry{
 			Name: t.Name, DType: t.DType.String(),
@@ -144,10 +157,7 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 			Size:  size, CRC32: crc, Digest: digest,
 		})
 	}
-	if err := WriteWeightManifest(sb, stagingDir+"/"+WeightManifestName, wm); err != nil {
-		return err
-	}
-
+	sms := make([]*ShardManifest, worldSize)
 	for r := 0; r < worldSize; r++ {
 		sm := &ShardManifest{
 			Version: FormatVersion, Rank: r, WorldSize: worldSize,
@@ -157,11 +167,11 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 			m := metas[i]
 			size := s.Numel() * 12
 			shard := s
-			digest, crc, _, err := putStream(store, size, func(w io.Writer) (int64, error) {
+			digest, crc, err := hash(size, func(w io.Writer) (int64, error) {
 				return encodeGroupPayload(w, buf, shard)
 			})
 			if err != nil {
-				return fmt.Errorf("ckpt: dedup rank %d group %d: %w", r, m.Index, err)
+				return 0, fmt.Errorf("ckpt: dedup rank %d group %d: %w", r, m.Index, err)
 			}
 			sm.Groups = append(sm.Groups, ShardGroupEntry{
 				Index: m.Index, Numel: m.Numel, ShardLen: s.Numel(),
@@ -169,11 +179,30 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 				Size: size, CRC32: crc, Digest: digest,
 			})
 		}
-		if err := WriteShardManifest(sb, stagingDir+"/"+ShardManifestName(r), sm); err != nil {
-			return err
+		sms[r] = sm
+	}
+
+	// Phase 2: journal the reference record, then publish missing blobs.
+	gen, err := appendRefRecord(base, finalDir, step, digests)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range payloads {
+		if _, err := store.PutStream(p.digest, p.encode); err != nil {
+			return 0, fmt.Errorf("ckpt: dedup blob %s: %w", p.digest, err)
 		}
 	}
-	return nil
+
+	// Phase 3: stage the manifests through the recording backend.
+	if err := WriteWeightManifest(sb, stagingDir+"/"+WeightManifestName, wm); err != nil {
+		return 0, err
+	}
+	for r, sm := range sms {
+		if err := WriteShardManifest(sb, stagingDir+"/"+ShardManifestName(r), sm); err != nil {
+			return 0, err
+		}
+	}
+	return gen, nil
 }
 
 // DedupWeights provides the same lazy per-tensor access over a dedup
@@ -520,110 +549,163 @@ func verifyDedupRefs(b storage.Backend, dir string) error {
 	return nil
 }
 
-// BlobRefs derives the blob refcount map of a run root: how many times
-// each digest is referenced by the manifests of sealed checkpoints —
-// committed directories, sealed-but-unpublished staging trees (Repair
-// rolls them forward, so a GC between crash and repair must not strand
-// them), and quarantined directories (preserved evidence stays readable).
-// Orphaned (unsealed) staging trees do not count; their references die
-// with them.
-//
-// Protection is decided by the cheap CheckCommit size pass, not the full
-// CRC verification Scan runs: over-approximating references (protecting a
-// dir whose payload CRCs would fail) is safe for GC, and it keeps
-// reference collection O(manifest bytes) instead of O(checkpoint bytes).
-func BlobRefs(b storage.Backend, runRoot string) (map[string]int, error) {
-	entries, err := b.List(runRoot)
-	if err != nil {
-		return nil, fmt.Errorf("ckpt: blob refs: %w", err)
-	}
-	refs := map[string]int{}
-	for _, e := range entries {
-		if !strings.HasSuffix(e, "/") {
-			continue
-		}
-		name := strings.TrimSuffix(e, "/")
-		if name == ObjectsDirName {
-			continue
-		}
-		path := name
-		if runRoot != "" {
-			path = runRoot + "/" + name
-		}
-		sealed := CheckCommit(b, path) == nil
-		if !sealed && IsQuarantinePath(name) {
-			// Quarantined dirs carry no (verifying) marker; protect any
-			// manifest they hold so the preserved data stays readable.
-			sealed = true
-		}
-		if !sealed || !b.Exists(path+"/"+WeightManifestName) {
-			continue
-		}
-		wm, err := ReadWeightManifest(b, path+"/"+WeightManifestName)
-		if err != nil {
-			if IsQuarantinePath(name) {
-				continue // a quarantined dir may be arbitrarily damaged
-			}
-			return nil, fmt.Errorf("ckpt: blob refs: %w", err)
-		}
-		for _, d := range wm.Digests() {
-			refs[d]++
-		}
-		for _, r := range shardManifestRanks(b, path) {
-			sm, err := ReadShardManifest(b, path+"/"+ShardManifestName(r))
-			if err != nil {
-				if IsQuarantinePath(name) {
-					continue
-				}
-				return nil, fmt.Errorf("ckpt: blob refs: %w", err)
-			}
-			for _, d := range sm.Digests() {
-				refs[d]++
-			}
-		}
-	}
-	return refs, nil
-}
-
 // GCReport records what a blob garbage collection did.
 type GCReport struct {
-	// Referenced is the number of distinct digests referenced by committed
-	// (or sealed-but-unpublished) manifests.
+	// Mode is "full" (manifest mark-and-sweep plus index validation) or
+	// "generational" (journal-driven incremental sweep).
+	Mode string
+	// DryRun is set when nothing was actually removed.
+	DryRun bool
+	// Referenced is the number of distinct digests pinned by manifests
+	// (full mode) or by the live index and manifest fallbacks
+	// (generational mode).
 	Referenced int
-	// Kept is the number of stored blobs retained.
+	// Kept is the number of examined blobs retained.
 	Kept int
+	// Examined is the number of stored blobs the sweep looked at — every
+	// blob for a full sweep, only the retired generations' candidates for
+	// a generational one.
+	Examined int
 	// RemovedBlobs lists swept unreferenced blob digests.
 	RemovedBlobs []string
 	// RemovedStaging lists deleted blob-staging residue paths.
 	RemovedStaging []string
 	// BytesFreed totals the removed blobs' sizes.
 	BytesFreed int64
+	// IndexRecords is the number of journal records considered.
+	IndexRecords int
+	// IndexRetired lists superseded record files removed.
+	IndexRetired []string
+	// IndexRepaired lists records rewritten or added from manifests
+	// (full mode's index validation).
+	IndexRepaired []string
+	// IndexStale counts records left pinned that match no published
+	// checkpoint (in-flight saves or crash residue; Repair judges them).
+	IndexStale int
 }
 
-// GC sweeps the run root's blob store: blob-staging residue and blobs not
-// referenced by any committed (or sealed-but-unpublished) checkpoint
-// manifest are removed. The safety invariant — a referenced blob is never
-// collected — holds through any interruption: references are gathered
-// before the first removal, removals are per-blob, and a crashed sweep
-// only leaves extra garbage for the next run.
+// GC is the full mark-and-sweep — now the verification and repair path.
+// Refcounts are re-derived from every manifest under the run root (the
+// ground truth), unioned with the journal's pins (an in-flight save's
+// record precedes its blobs and manifests, and must protect them), and the
+// whole store is swept against the union. Superseded journal records are
+// retired with their exclusive blobs, divergent or missing records of
+// sealed directories are rewritten from the manifests, and orphaned
+// records are counted stale but left pinned — an in-flight save looks
+// exactly like one, so only quiescent Repair removes them. The safety
+// invariant — a referenced blob is never collected — holds through any
+// interruption: references are gathered before the first removal, removals
+// are per-blob, and a crashed sweep only leaves extra garbage for the next
+// run.
 func GC(b storage.Backend, runRoot string) (*GCReport, error) {
-	refs, err := BlobRefs(b, runRoot)
+	dirs, err := collectDirRefs(b, runRoot)
 	if err != nil {
 		return nil, err
 	}
-	rep := &GCReport{Referenced: len(refs)}
+	refs := map[string]int{}
+	for _, d := range dirs {
+		for _, dg := range d.Digests {
+			refs[dg]++
+		}
+	}
+	rep := &GCReport{Mode: "full", Referenced: len(refs)}
 	store := storage.NewBlobStore(b, objectsPath(runRoot))
 	if !b.Exists(store.Root()) {
 		return rep, nil
 	}
-	sw, err := store.Sweep(refs)
+	audit, err := auditRefs(b, runRoot, dirs)
+	if err != nil {
+		return nil, err
+	}
+	rep.IndexRecords = len(audit.records)
+	sweepRefs := map[string]int{}
+	for d, n := range refs {
+		sweepRefs[d] = n
+	}
+	retiredName := map[string]bool{}
+	for _, ar := range audit.records {
+		switch ar.state {
+		case RefSuperseded:
+			// Provably replaced: pins nothing, its exclusive digests are
+			// exactly the garbage this sweep reclaims.
+			retiredName[ar.entry.Name] = true
+		case RefCorrupt:
+			// Unreadable: pins nothing it can name; its directory (if any)
+			// pins through refs already.
+			retiredName[ar.entry.Name] = true
+		default:
+			if ar.rec != nil {
+				for _, dg := range ar.rec.Digests {
+					sweepRefs[dg]++
+				}
+			}
+			if ar.state == RefOrphaned {
+				rep.IndexStale++
+			}
+		}
+	}
+	// Trash left by a sweep that crashed between trash and purge: restore
+	// whatever is referenced, drop the rest, before the main sweep.
+	if trash, _ := store.ListTrash(); len(trash) > 0 {
+		if _, purged, err := handleTrash(store, sweepRefs); err != nil {
+			return rep, err
+		} else {
+			rep.RemovedBlobs = append(rep.RemovedBlobs, purged...)
+		}
+	}
+	sw, err := store.SweepRecheck(sweepRefs, indexRecheck(b, runRoot, retiredName))
 	if sw != nil {
 		rep.Kept = sw.Kept
-		rep.RemovedBlobs = sw.RemovedBlobs
+		rep.Examined = sw.Examined
+		rep.RemovedBlobs = append(rep.RemovedBlobs, sw.RemovedBlobs...)
 		rep.RemovedStaging = sw.RemovedStaging
 		rep.BytesFreed = sw.BytesFreed
 	}
-	return rep, err
+	if err != nil {
+		return rep, err
+	}
+	// Index validation: retire superseded records, rewrite divergent ones,
+	// add missing ones — all derived from the manifests just read, so the
+	// index a generational sweep will trust next time agrees with ground
+	// truth. Orphaned records are reported, never removed here.
+	ix := refIndexFor(b, runRoot)
+	for _, ar := range audit.records {
+		switch ar.state {
+		case RefSuperseded, RefCorrupt:
+			if err := ix.Remove(ar.entry); err != nil {
+				return rep, err
+			}
+			rep.IndexRetired = append(rep.IndexRetired, ar.entry.Name)
+		case RefDivergent:
+			d, ok := findBound(dirs, ar.entry)
+			if !ok {
+				continue
+			}
+			if err := ix.Append(&storage.RefRecord{
+				Version: FormatVersion, Key: ar.entry.Key, Step: stepOf(b, d.Path),
+				Generation: ar.entry.Generation, Digests: storage.NormalizeDigests(append([]string(nil), d.Digests...)),
+			}); err != nil {
+				return rep, err
+			}
+			rep.IndexRepaired = append(rep.IndexRepaired, ar.entry.Name)
+		}
+	}
+	for _, d := range audit.missing {
+		gen := d.RefGen
+		if gen <= 0 {
+			if gen, err = ix.NextGeneration(); err != nil {
+				return rep, err
+			}
+		}
+		if err := ix.Append(&storage.RefRecord{
+			Version: FormatVersion, Key: d.Key, Step: stepOf(b, d.Path),
+			Generation: gen, Digests: storage.NormalizeDigests(append([]string(nil), d.Digests...)),
+		}); err != nil {
+			return rep, err
+		}
+		rep.IndexRepaired = append(rep.IndexRepaired, d.Key)
+	}
+	return rep, nil
 }
 
 // BlobState classifies one entry of the run root's blob store.
@@ -640,6 +722,10 @@ const (
 	// BlobStray: an entry under objects/ that is neither a valid blob nor
 	// staging residue (external mutilation; never touched automatically).
 	BlobStray
+	// BlobTrashed: provisionally removed by a two-phase sweep that did not
+	// finish. Repair (and doctor -fix) restores it when still referenced
+	// and purges it otherwise.
+	BlobTrashed
 )
 
 // String names the state for reports.
@@ -653,6 +739,8 @@ func (s BlobState) String() string {
 		return "blob-staging"
 	case BlobStray:
 		return "stray"
+	case BlobTrashed:
+		return "trashed"
 	}
 	return fmt.Sprintf("blob-state(%d)", int(s))
 }
@@ -703,6 +791,16 @@ func ScanBlobs(b storage.Backend, runRoot string) ([]BlobStatus, error) {
 	for _, p := range stray {
 		out = append(out, BlobStatus{Path: p, State: BlobStray, Size: -1})
 	}
+	trash, err := store.ListTrash()
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range trash {
+		out = append(out, BlobStatus{
+			Path: store.Root() + "/.trash/" + t.Digest, Digest: t.Digest,
+			State: BlobTrashed, Size: t.Size, Refs: refs[t.Digest],
+		})
+	}
 	return out, nil
 }
 
@@ -734,9 +832,19 @@ func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, e
 		return nil, fmt.Errorf("ckpt: dedupify %s: only committed checkpoints convert: %w", dir, err)
 	}
 	store := storeFor(b, dir)
-	put := func(extentOpen func() (io.ReadCloser, error), size int64) (string, uint32, error) {
-		digest, crc, wrote, err := putStream(store, size, func(w io.Writer) (int64, error) {
-			rc, err := extentOpen()
+	// Phase 1 hashes every extent without touching the store, so the full
+	// digest set can be journaled before the first blob is published —
+	// the same record-precedes-blobs ordering the dedup save path uses.
+	type pendingBlob struct {
+		digest string
+		size   int64
+		open   func() (io.ReadCloser, error)
+	}
+	var pendings []pendingBlob
+	var digests []string
+	encodeOf := func(open func() (io.ReadCloser, error)) func(io.Writer) (int64, error) {
+		return func(w io.Writer) (int64, error) {
+			rc, err := open()
 			if err != nil {
 				return 0, err
 			}
@@ -745,17 +853,15 @@ func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, e
 				err = cerr
 			}
 			return n, err
-		})
+		}
+	}
+	put := func(extentOpen func() (io.ReadCloser, error), size int64) (string, uint32, error) {
+		digest, crc, err := hashStream(size, encodeOf(extentOpen))
 		if err != nil {
 			return "", 0, err
 		}
-		if wrote {
-			rep.BlobsPut++
-			rep.BlobBytesWritten += size
-		} else {
-			rep.BlobsReused++
-			rep.BytesDeduped += size
-		}
+		pendings = append(pendings, pendingBlob{digest: digest, size: size, open: extentOpen})
+		digests = append(digests, digest)
 		return digest, crc, nil
 	}
 
@@ -843,6 +949,25 @@ func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, e
 		shardMans = append(shardMans, rankManifest{rank, sm})
 	}
 
+	// Journal the reference record, then publish the blobs it pins.
+	gen, err := appendRefRecord(b, dir, marker.Step, digests)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pendings {
+		wrote, err := store.PutStream(p.digest, encodeOf(p.open))
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: dedupify %s: blob %s: %w", dir, p.digest, err)
+		}
+		if wrote {
+			rep.BlobsPut++
+			rep.BlobBytesWritten += p.size
+		} else {
+			rep.BlobsReused++
+			rep.BytesDeduped += p.size
+		}
+	}
+
 	// Re-stage the directory: manifests in place of payload containers,
 	// every other committed file copied verbatim.
 	txn, err := Begin(b, dir)
@@ -882,6 +1007,7 @@ func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, e
 				return nil, fmt.Errorf("ckpt: dedupify %s: decode manifest.json: %w", dir, err)
 			}
 			man.Dedup = true
+			man.RefGen = gen
 			if err := writeJSON(sb, staging+"/manifest.json", &man); err != nil {
 				return nil, err
 			}

@@ -129,6 +129,12 @@ func TestCrashPointExplorationDedupSave(t *testing.T) {
 					}
 				}
 			}
+			// The journaled index agrees with the manifests on every
+			// explored state once repair + full gc ran: no stale, missing,
+			// divergent or corrupt records remain.
+			if problems := refProblems(t, base, "run"); len(problems) != 0 {
+				t.Fatalf("k=%d torn=%v: ref-index problems after repair+gc: %+v", k, torn, problems)
+			}
 			if _, _, _, err := Restore(base, "run/checkpoint-100", tensor.BF16); err != nil {
 				t.Fatalf("k=%d torn=%v: previous checkpoint unrestorable after gc: %v", k, torn, err)
 			}

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash"
 	"io"
@@ -29,9 +30,23 @@ import (
 	"sync/atomic"
 )
 
+// ErrStagingLost reports that a writer's staging file vanished before its
+// publishing rename: a sweep running concurrently mistook the in-flight
+// put for crash residue and removed it. The put is retryable — re-stream
+// the payload into a fresh staging name (PutStream does this) — and the
+// bounded retry is what makes sweeping staging residue safe to run beside
+// live writers.
+var ErrStagingLost = errors.New("storage: staging file lost to a concurrent sweep")
+
 // blobStageDir is the staging subdirectory blobs are streamed into before
 // their publishing rename.
 const blobStageDir = ".stage"
+
+// blobTrashDir holds blobs a sweep has provisionally removed: the
+// two-phase sweep renames a victim here, re-checks for references that
+// appeared after its pin snapshot (a concurrent save reusing the blob),
+// and only then purges — or restores. See SweepDigests.
+const blobTrashDir = ".trash"
 
 // blobSeq makes concurrent staging names unique within the process (two
 // async savers putting the same digest must not interleave writes into one
@@ -139,6 +154,38 @@ func (s *BlobStore) PutBytes(data []byte) (digest string, written bool, err erro
 	return digest, written, err
 }
 
+// PutStream stores a payload under its digest by replaying encode() into
+// staging space, unless the blob already exists. Unlike Put it owns the
+// byte source, so a staging file stolen by a concurrent sweep
+// (ErrStagingLost) is survived by re-streaming into a fresh staging name —
+// bounded, then surfaced honestly.
+func (s *BlobStore) PutStream(digest string, encode func(io.Writer) (int64, error)) (bool, error) {
+	if !ValidDigest(digest) {
+		return false, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	const maxAttempts = 8
+	for attempt := 1; ; attempt++ {
+		if s.Has(digest) {
+			return false, nil
+		}
+		w, err := s.Writer()
+		if err != nil {
+			return false, err
+		}
+		if _, err := encode(w); err != nil {
+			w.Abort()
+			return false, err
+		}
+		written, err := w.Commit(digest)
+		if err == nil {
+			return written, nil
+		}
+		if attempt >= maxAttempts || !errors.Is(err, ErrStagingLost) {
+			return false, err
+		}
+	}
+}
+
 // Writer opens a streaming blob writer. The caller streams the payload,
 // then calls Commit with the expected digest (verified against the bytes
 // actually written) to publish, or Abort to drop the staging file.
@@ -202,6 +249,16 @@ func (w *BlobWriter) Commit(digest string) (bool, error) {
 		return false, nil
 	}
 	if err := w.s.b.Rename(w.stage, w.s.Path(digest)); err != nil {
+		if w.s.Has(digest) {
+			// Lost the publish race to another writer of the same digest
+			// (possibly after a sweep stole our staging file): the content
+			// is durably stored, so this is a dedup hit, not a failure.
+			w.s.b.Remove(w.stage)
+			return false, nil
+		}
+		if !w.s.b.Exists(w.stage) {
+			return false, fmt.Errorf("storage: publish blob %s: %w", digest, ErrStagingLost)
+		}
 		w.s.b.Remove(w.stage)
 		return false, fmt.Errorf("storage: publish blob %s: %w", digest, err)
 	}
@@ -239,6 +296,14 @@ func (s *BlobStore) List() (blobs []BlobInfo, staging, stray []string, err error
 		name := strings.TrimSuffix(e, "/")
 		dir := s.root + "/" + name
 		switch {
+		case name == RefsDirName && strings.HasSuffix(e, "/"):
+			// The journaled ref index lives under the store root but is
+			// managed by RefIndex, not the blob sweeper.
+			continue
+		case name == blobTrashDir && strings.HasSuffix(e, "/"):
+			// Trash is enumerated separately (ListTrash); a sweep in
+			// progress or a crash mid-sweep leaves entries here.
+			continue
 		case name == blobStageDir && strings.HasSuffix(e, "/"):
 			files, err := s.b.List(dir)
 			if err != nil {
@@ -286,22 +351,151 @@ func (s *BlobStore) Remove(digest string) error {
 
 // SweepReport records what a sweep removed and kept.
 type SweepReport struct {
-	// Kept is the number of blobs with a non-zero refcount.
+	// Kept is the number of blobs with a non-zero refcount (including any
+	// restored from trash by the recheck).
 	Kept int
+	// Examined is the number of candidates the sweep considered: every
+	// blob in the store for a full Sweep, only the candidate digests for a
+	// generational SweepDigests — the cost difference the ref index buys.
+	// Pinned candidates count too, so the two modes report comparably.
+	Examined int
 	// RemovedBlobs lists swept (unreferenced) blob digests.
 	RemovedBlobs []string
+	// Restored lists digests the post-trash recheck rescued: a reference
+	// appeared (a concurrent save reusing the blob) after the pin
+	// snapshot, so the provisional removal was undone.
+	Restored []string
 	// RemovedStaging lists deleted staging-residue paths.
 	RemovedStaging []string
 	// BytesFreed totals the removed blobs' sizes.
 	BytesFreed int64
 }
 
+// trashPath returns a digest's location inside the trash area.
+func (s *BlobStore) trashPath(digest string) string {
+	return s.root + "/" + blobTrashDir + "/" + digest
+}
+
+// Trash provisionally removes a blob: one atomic rename into the trash
+// area. The blob stops being visible to Has/Open; a recheck either
+// restores it or purges it.
+func (s *BlobStore) Trash(digest string) error {
+	if !ValidDigest(digest) {
+		return fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	return s.b.Rename(s.Path(digest), s.trashPath(digest))
+}
+
+// Restore undoes a provisional removal. If the blob was re-published
+// meanwhile (a racing writer saw it missing and re-streamed it), the
+// trash copy is simply dropped — content addressing makes the copies
+// identical.
+func (s *BlobStore) Restore(digest string) error {
+	if !ValidDigest(digest) {
+		return fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	if s.Has(digest) {
+		return s.b.Remove(s.trashPath(digest))
+	}
+	return s.b.Rename(s.trashPath(digest), s.Path(digest))
+}
+
+// PurgeTrash deletes a trashed blob permanently.
+func (s *BlobStore) PurgeTrash(digest string) error {
+	if !ValidDigest(digest) {
+		return fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	return s.b.Remove(s.trashPath(digest))
+}
+
+// ListTrash enumerates trashed blobs (a sweep in progress, or residue of
+// one that crashed between trash and purge).
+func (s *BlobStore) ListTrash() ([]BlobInfo, error) {
+	dir := s.root + "/" + blobTrashDir
+	if !s.b.Exists(dir) {
+		return nil, nil
+	}
+	files, err := s.b.List(dir)
+	if err != nil {
+		return nil, nil // raced with a concurrent purge draining the dir
+	}
+	var out []BlobInfo
+	for _, f := range files {
+		name := strings.TrimSuffix(f, "/")
+		if !ValidDigest(name) {
+			continue
+		}
+		size, err := s.b.Stat(dir + "/" + name)
+		if err != nil {
+			size = -1
+		}
+		out = append(out, BlobInfo{Digest: name, Size: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out, nil
+}
+
+// RecheckFunc re-derives the pin set after candidates were trashed. The
+// two-phase sweep calls it between trash and purge; any trashed digest
+// the fresh pins cover is restored instead of purged.
+type RecheckFunc func(trashed []string) (map[string]int, error)
+
+// finalizeTrashed applies a recheck to provisionally removed digests:
+// re-pinned ones are restored, the rest purged. With a nil recheck the
+// purge is unconditional (quiescent callers).
+func (s *BlobStore) finalizeTrashed(trashed []string, sizes map[string]int64, recheck RecheckFunc, rep *SweepReport) error {
+	pins := map[string]int{}
+	if recheck != nil && len(trashed) > 0 {
+		p, err := recheck(trashed)
+		if err != nil {
+			return err
+		}
+		pins = p
+	}
+	for _, d := range trashed {
+		if pins[d] > 0 {
+			if err := s.Restore(d); err != nil {
+				return fmt.Errorf("storage: restore blob %s: %w", d, err)
+			}
+			rep.Restored = append(rep.Restored, d)
+			rep.Kept++
+			continue
+		}
+		if err := s.PurgeTrash(d); err != nil {
+			return fmt.Errorf("storage: purge blob %s: %w", d, err)
+		}
+		rep.RemovedBlobs = append(rep.RemovedBlobs, d)
+		if size := sizes[d]; size > 0 {
+			rep.BytesFreed += size
+		}
+	}
+	return nil
+}
+
 // Sweep removes every blob whose refcount in refs is zero or absent, plus
 // all staging residue. The invariant callers rely on: a blob with
 // refs[digest] > 0 is never removed, whatever else fails — removals happen
 // one file at a time, so an interrupted sweep only leaves extra garbage
-// for the next run.
+// for the next run. Equivalent to SweepRecheck with a nil recheck; callers
+// that may run beside live savers must supply one (see SweepRecheck).
 func (s *BlobStore) Sweep(refs map[string]int) (*SweepReport, error) {
+	return s.SweepRecheck(refs, nil)
+}
+
+// SweepRecheck is Sweep with the two-phase removal that makes sweeping
+// safe beside concurrent savers. A saver that *reuses* an existing blob
+// never rewrites it, so a refcount snapshot taken before the saver's
+// journal append could sweep a blob a just-committed checkpoint
+// references. Instead, victims are renamed into trash, recheck re-derives
+// the pins, and only then are they purged — or restored.
+//
+// Why this closes the race: a saver appends its journal record BEFORE its
+// reuse check (`Has`). If the reuse check saw the blob, it ran before the
+// trash rename, so the record append ran before it too — and therefore
+// before the recheck read, which then restores the blob. If the reuse
+// check ran after the trash rename, it saw the blob missing and the saver
+// re-published it. Either way no referenced blob is lost.
+func (s *BlobStore) SweepRecheck(refs map[string]int, recheck RecheckFunc) (*SweepReport, error) {
 	blobs, staging, stray, err := s.List()
 	if err != nil {
 		return nil, err
@@ -316,18 +510,93 @@ func (s *BlobStore) Sweep(refs map[string]int) (*SweepReport, error) {
 	// Stray entries (not blobs, not staging) are left alone: the sweeper
 	// only ever deletes what it fully understands.
 	_ = stray
+	var trashed []string
+	sizes := map[string]int64{}
 	for _, blob := range blobs {
+		rep.Examined++
 		if refs[blob.Digest] > 0 {
 			rep.Kept++
 			continue
 		}
-		if err := s.Remove(blob.Digest); err != nil {
+		if err := s.Trash(blob.Digest); err != nil {
 			return rep, fmt.Errorf("storage: sweep blob %s: %w", blob.Digest, err)
 		}
-		rep.RemovedBlobs = append(rep.RemovedBlobs, blob.Digest)
-		if blob.Size > 0 {
-			rep.BytesFreed += blob.Size
+		trashed = append(trashed, blob.Digest)
+		sizes[blob.Digest] = blob.Size
+	}
+	if err := s.finalizeTrashed(trashed, sizes, recheck, rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// StagingResidue lists the store's staging-residue paths without walking
+// the blob fan-out — the cheap cleanup enumeration the generational sweep
+// uses (a full List touches every stored blob).
+func (s *BlobStore) StagingResidue() ([]string, error) {
+	dir := s.root + "/" + blobStageDir
+	if !s.b.Exists(dir) {
+		return nil, nil
+	}
+	files, err := s.b.List(dir)
+	if err != nil {
+		// Best effort: a concurrent publish can drain the directory between
+		// the Exists check and the listing (implied directories vanish with
+		// their last file). Residue missed here is caught next pass.
+		return nil, nil
+	}
+	out := make([]string, 0, len(files))
+	for _, f := range files {
+		out = append(out, dir+"/"+strings.TrimSuffix(f, "/"))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SweepDigests is the generational sweep: it examines exactly the candidate
+// digests — blobs whose youngest reference fell inside retired generations
+// — and removes those that exist and are not pinned by refs. Unlike Sweep
+// it never lists the store, so its cost is O(candidates), independent of
+// how many live blobs the run has accumulated. When dryRun is set the
+// candidates are examined (existence + size) but nothing is removed.
+//
+// The safety invariant matches Sweep's — a digest with refs[digest] > 0
+// is never touched, removals are per-blob, an interrupted sweep only
+// leaves reclaim work — and the same two-phase trash/recheck protocol as
+// SweepRecheck protects blobs a concurrent saver reuses after the pin
+// snapshot was taken.
+func (s *BlobStore) SweepDigests(candidates []string, refs map[string]int, dryRun bool, recheck RecheckFunc) (*SweepReport, error) {
+	rep := &SweepReport{}
+	var trashed []string
+	sizes := map[string]int64{}
+	for _, d := range candidates {
+		if !ValidDigest(d) {
+			return rep, fmt.Errorf("storage: sweep candidate: invalid digest %q", d)
 		}
+		rep.Examined++
+		if refs[d] > 0 {
+			rep.Kept++
+			continue
+		}
+		size, err := s.Stat(d)
+		if err != nil {
+			continue // already gone (a previous sweep, or never stored)
+		}
+		if dryRun {
+			rep.RemovedBlobs = append(rep.RemovedBlobs, d)
+			if size > 0 {
+				rep.BytesFreed += size
+			}
+			continue
+		}
+		if err := s.Trash(d); err != nil {
+			return rep, fmt.Errorf("storage: sweep blob %s: %w", d, err)
+		}
+		trashed = append(trashed, d)
+		sizes[d] = size
+	}
+	if err := s.finalizeTrashed(trashed, sizes, recheck, rep); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }

@@ -1,0 +1,152 @@
+package train
+
+// Retention hook coverage: Config.KeepLast drives ckpt.Retain after every
+// checkpoint event, bounding a run's storage footprint while keeping the
+// newest checkpoints resumable — sync and async save paths both.
+
+import (
+	"testing"
+
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/storage"
+)
+
+func retainConfig(keepLast int, async bool) Config {
+	return Config{
+		Model: modelcfg.Tiny(), Seed: 51, Task: SFT(),
+		TotalSteps: 50, WarmupSteps: 2, BaseLR: 2e-3,
+		CkptInterval: 10, WorldSize: 2, RunRoot: "run",
+		DedupCkpt: true, KeepLast: keepLast, AsyncCkpt: async,
+	}
+}
+
+func TestKeepLastRetiresOldCheckpoints(t *testing.T) {
+	b := storage.NewMem()
+	tr, err := New(retainConfig(2, false), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ckpt.List(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 2 || dirs[0] != "run/checkpoint-40" || dirs[1] != "run/checkpoint-50" {
+		t.Fatalf("dirs = %v", dirs)
+	}
+	var retired int
+	for _, ev := range res.Ckpts {
+		retired += len(ev.Retired)
+	}
+	if retired != 3 {
+		t.Fatalf("events retired %d checkpoints, want 3", retired)
+	}
+	// The survivors resume; the index and store are coherent (full GC and
+	// the audit find nothing wrong).
+	if _, err := ResumeLatest(retainConfig(2, false), b, "run"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ckpt.GC(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RemovedBlobs) != 0 || len(rep.IndexRepaired) != 0 {
+		t.Fatalf("retention left work for full gc: %+v", rep)
+	}
+	statuses, err := ckpt.ScanBlobs(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range statuses {
+		if s.State != ckpt.BlobReferenced {
+			t.Fatalf("blob %s is %v after retention", s.Path, s.State)
+		}
+	}
+}
+
+func TestKeepLastComposesWithAsyncSaves(t *testing.T) {
+	b := storage.NewMem()
+	tr, err := New(retainConfig(2, true), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ckpt.List(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Async retention is best-effort per event (a save may still be in
+	// flight when the policy runs), but after the drain at most
+	// KeepLast+workers checkpoints survive and the newest are present.
+	if len(dirs) < 2 || len(dirs) > 4 {
+		t.Fatalf("dirs = %v", dirs)
+	}
+	if dirs[len(dirs)-1] != "run/checkpoint-50" {
+		t.Fatalf("newest = %s", dirs[len(dirs)-1])
+	}
+	if _, err := ResumeLatest(retainConfig(2, true), b, "run"); err != nil {
+		t.Fatal(err)
+	}
+	// A final explicit retention converges the population.
+	if _, err := ckpt.Retain(b, "run", 2, false); err != nil {
+		t.Fatal(err)
+	}
+	dirs, _ = ckpt.List(b, "run")
+	if len(dirs) != 2 {
+		t.Fatalf("dirs after explicit retain = %v", dirs)
+	}
+	if _, err := ResumeLatest(retainConfig(2, true), b, "run"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeepLastBoundsStorageOverLongRun(t *testing.T) {
+	b := storage.NewMem()
+	cfg := retainConfig(3, false)
+	cfg.TotalSteps = 120
+	tr, err := New(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dirs, _ := ckpt.List(b, "run")
+	if len(dirs) != 3 {
+		t.Fatalf("%d checkpoints survived, want 3", len(dirs))
+	}
+	// The journal stays O(KeepLast), not O(saves): 12 saves happened but
+	// only the live generations keep records.
+	statuses, err := ckpt.ScanRefs(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 3 {
+		t.Fatalf("index holds %d entries after retention: %+v", len(statuses), statuses)
+	}
+	for _, s := range statuses {
+		if s.State != ckpt.RefOK {
+			t.Fatalf("index entry %+v not ok", s)
+		}
+	}
+	// Blob count is bounded by the live set too: every stored blob is
+	// referenced by one of the three survivors.
+	blobs, err := ckpt.ScanBlobs(b, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range blobs {
+		if s.State != ckpt.BlobReferenced {
+			t.Fatalf("long run leaked blob %s (%v)", s.Path, s.State)
+		}
+	}
+	if len(blobs) == 0 {
+		t.Fatal("no blobs scanned")
+	}
+}

@@ -50,6 +50,12 @@ type Config struct {
 	// layers between saves cost zero payload bytes. Resume is transparent
 	// (ResumeLatest reads either layout) and bit-identical to plain saves.
 	DedupCkpt bool
+	// KeepLast, when > 0, retires all but the newest KeepLast committed
+	// checkpoints after every checkpoint event (ckpt.Retain): the dropped
+	// directories' ref-index generations are retired and the blobs whose
+	// youngest reference died with them are swept generationally, so a
+	// long run's storage footprint stays O(KeepLast), not O(steps).
+	KeepLast int
 }
 
 func (c *Config) validate() error {
@@ -92,6 +98,11 @@ type CkptEvent struct {
 	// event (telemetry feeding dynamic strategies and the motivation
 	// experiment).
 	UpdateNorms map[modelcfg.LayerRef]float64
+	// Retired lists checkpoint directories the retention policy
+	// (Config.KeepLast) dropped at this event.
+	Retired []string
+	// BlobBytesFreed totals the blob bytes the retention sweep reclaimed.
+	BlobBytesFreed int64
 }
 
 // Result summarises a run.
@@ -372,6 +383,19 @@ func (t *Trainer) checkpoint(strat strategy.Strategy, loss float64) (CkptEvent, 
 	}
 
 	ev := CkptEvent{Step: t.step, Dir: dir, Partial: layers != nil, UpdateNorms: norms}
+	if t.Cfg.KeepLast > 0 {
+		// Retention only ever touches committed checkpoints; an async save
+		// still in flight is invisible to List, its journal record pins the
+		// blobs it publishes, and the sweep's two-phase trash/recheck
+		// protocol (storage.SweepRecheck) protects even blobs the save
+		// merely reuses — so running right after the save enqueue is safe.
+		rep, err := ckpt.Retain(t.backend, t.Cfg.RunRoot, t.Cfg.KeepLast, false)
+		if err != nil {
+			return CkptEvent{}, fmt.Errorf("train: retention after step %d: %w", t.step, err)
+		}
+		ev.Retired = rep.Removed
+		ev.BlobBytesFreed = rep.BytesFreed
+	}
 	saved := layers
 	if saved == nil {
 		saved = t.Cfg.Model.AllLayers()

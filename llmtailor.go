@@ -85,6 +85,14 @@ type (
 	BlobStatus = ckpt.BlobStatus
 	// BlobGCReport records what a blob garbage collection removed and kept.
 	BlobGCReport = ckpt.GCReport
+	// RetainReport records what a keep-last retention pass removed and
+	// generationally swept.
+	RetainReport = ckpt.RetainReport
+	// RefStatus is one audited entry of a run root's journaled blob ref
+	// index (objects/refs/) — the doctor's index view.
+	RefStatus = ckpt.RefStatus
+	// RefReconcileReport records a rebuild of the ref index from manifests.
+	RefReconcileReport = ckpt.RefReconcileReport
 	// AdoptReport records what the adopt-or-quarantine migration did.
 	AdoptReport = ckpt.AdoptReport
 )
@@ -104,6 +112,18 @@ const (
 	BlobUnreferenced = ckpt.BlobUnreferenced
 	BlobStaging      = ckpt.BlobStaging
 	BlobStray        = ckpt.BlobStray
+	BlobTrashed      = ckpt.BlobTrashed
+)
+
+// Ref-index audit states (see ScanCheckpointRefs).
+const (
+	RefOK         = ckpt.RefOK
+	RefSuperseded = ckpt.RefSuperseded
+	RefOrphaned   = ckpt.RefOrphaned
+	RefDivergent  = ckpt.RefDivergent
+	RefCorrupt    = ckpt.RefCorrupt
+	RefMissing    = ckpt.RefMissing
+	RefStaging    = ckpt.RefStaging
 )
 
 // NewFaultBackend wraps a backend with the fault injector used by the
@@ -212,11 +232,46 @@ func ScanCheckpointBlobs(b Backend, runRoot string) ([]BlobStatus, error) {
 	return ckpt.ScanBlobs(b, runRoot)
 }
 
-// GCCheckpointBlobs sweeps the run root's blob store: staging residue and
-// blobs no committed (or sealed-but-unpublished) manifest references are
-// removed. Referenced blobs are never collected, whatever else fails.
+// GCCheckpointBlobs is the full mark-and-sweep verification pass: blob
+// refcounts are re-derived from every manifest under the run root, the
+// whole store is swept against them, and the journaled ref index is
+// validated (superseded records retired, divergent or missing ones rebuilt
+// from the manifests). Referenced blobs are never collected, whatever else
+// fails.
 func GCCheckpointBlobs(b Backend, runRoot string) (*BlobGCReport, error) {
 	return ckpt.GC(b, runRoot)
+}
+
+// GCRetiredGenerations is the incremental sweep: journal records provably
+// superseded by a newer save of the same checkpoint directory are retired,
+// and only those generations' blobs are examined — O(retired generations +
+// live index), independent of run length. With dryRun set nothing is
+// removed.
+func GCRetiredGenerations(b Backend, runRoot string, dryRun bool) (*BlobGCReport, error) {
+	return ckpt.GCGenerational(b, runRoot, dryRun)
+}
+
+// RetainCheckpoints keeps the newest keepLast committed checkpoints under
+// the run root, retires the rest (directories plus their ref-index
+// generations) and generationally sweeps the blobs whose youngest
+// reference died with them. The latest pointer's target is never removed.
+func RetainCheckpoints(b Backend, runRoot string, keepLast int, dryRun bool) (*RetainReport, error) {
+	return ckpt.Retain(b, runRoot, keepLast, dryRun)
+}
+
+// ScanCheckpointRefs audits the run root's journaled blob ref index
+// (objects/refs/) against the checkpoint manifests — stale, divergent,
+// corrupt or missing records are the findings `doctor` reports and
+// `doctor -fix` reconciles.
+func ScanCheckpointRefs(b Backend, runRoot string) ([]RefStatus, error) {
+	return ckpt.ScanRefs(b, runRoot)
+}
+
+// ReconcileCheckpointRefs rebuilds the ref index from the manifests
+// (quiescent: an in-flight save's record is indistinguishable from a
+// crashed one's). Repair runs this automatically.
+func ReconcileCheckpointRefs(b Backend, runRoot string) (*RefReconcileReport, error) {
+	return ckpt.ReconcileRefIndex(b, runRoot)
 }
 
 // AdoptCheckpoints runs the adopt-or-quarantine migration over a run root:
