@@ -104,20 +104,22 @@ bench-smoke:
 
 # Perf floors, both live and recorded: bench-smoke runs every benchmark
 # once (the key benchmarks assert their floors inline — raw merge >= 2x,
-# dedup delta >= 5x, generational gc >= 5x), then benchcheck verifies the
+# dedup delta >= 5x, generational gc >= 5x, lazy-capture stall >= 5x),
+# then benchcheck verifies the
 # committed BENCH_*.json records still clear the same floors, so a stale
 # or hand-edited perf record fails CI instead of silently shifting the
 # baseline future PRs diff against.
 bench-check: bench-smoke
 	$(GO) run ./cmd/benchcheck
 
-# Refresh BENCH_merge.json, BENCH_merge_raw.json and BENCH_delta.json
-# (the perf records future PRs diff against) with stable measurements.
+# Refresh the committed BENCH_*.json perf records (the baselines future
+# PRs diff against) with stable measurements.
 bench-record:
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkMergeFullStreamed|BenchmarkMergeRawVsDecode' -benchtime=5x .
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkIncrementalSave' -benchtime=3x .
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkGCIncremental' -benchtime=3x .
-	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json BENCH_gc.json
+	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkCaptureStall' -benchtime=3x .
+	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json BENCH_gc.json BENCH_stall.json
 
 clean:
 	rm -f llmtailor trainsim paperbench ckptstat cover.out cover.html

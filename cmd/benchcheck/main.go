@@ -10,6 +10,8 @@
 //	BENCH_delta.json      dedup bytes reduction    >= 5x
 //	BENCH_gc.json         generational gc speedup  >= 5x
 //	BENCH_merge.json      bounded-memory merge: peak in-flight <= cap
+//	BENCH_stall.json      lazy-capture stall-bytes reduction >= 5x,
+//	                      and the stall scales with changed layers
 //
 // Usage: benchcheck [-dir DIR]; exits non-zero on any violated floor or
 // unreadable record.
@@ -79,6 +81,31 @@ var checks = []check{
 		}
 		if inc*2 > full {
 			return fmt.Errorf("incremental gc examined %.0f blobs vs full's %.0f", inc, full)
+		}
+		return nil
+	}},
+	{"BENCH_stall.json", "lazy-capture checkpoint stall-bytes reduction >= 5x", atLeast(5, "reduction")},
+	{"BENCH_stall.json", "lazy-capture stall is O(changed layers), not O(model)", func(m map[string]any) error {
+		lazy, err := number(m, "stall_bytes_lazy")
+		if err != nil {
+			return err
+		}
+		snap, err := number(m, "stall_bytes_snapshot")
+		if err != nil {
+			return err
+		}
+		total, err := number(m, "total_layers")
+		if err != nil {
+			return err
+		}
+		changed, err := number(m, "layers_changed_per_step")
+		if err != nil {
+			return err
+		}
+		// 4x slack covers unlayered optimizer groups and container framing.
+		if lazy*total > snap*changed*4 {
+			return fmt.Errorf("lazy stall %.0f bytes vs snapshot %.0f with %.0f/%.0f layers changed",
+				lazy, snap, changed, total)
 		}
 		return nil
 	}},

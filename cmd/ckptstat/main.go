@@ -6,14 +6,17 @@
 //	ckptstat -model llama3.1-8b            # anatomy + sizes
 //	ckptstat -model llama3.2-1b -groups    # 2-group vs layerwise layouts
 //	ckptstat -root DIR -ckpt checkpoint-100  # on-disk checkpoint stats
+//	ckptstat -root DIR -ckpt checkpoint-100 -delta  # per-layer dedup delta
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"llmtailor"
+	"llmtailor/internal/ckpt"
 	"llmtailor/internal/modelcfg"
 	"llmtailor/internal/optim"
 )
@@ -23,6 +26,7 @@ func main() {
 	groups := flag.Bool("groups", false, "print optimizer group layouts (Figures 2-3)")
 	root := flag.String("root", "", "storage root (with -ckpt)")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory under -root")
+	delta := flag.Bool("delta", false, "per-layer delta of a dedup checkpoint: bytes moved vs referenced against the previous checkpoint (with -root/-ckpt)")
 	flag.Parse()
 
 	switch {
@@ -30,12 +34,16 @@ func main() {
 		if err := describeModel(*modelName, *groups); err != nil {
 			fail(err)
 		}
+	case *root != "" && *ckptDir != "" && *delta:
+		if err := describeDelta(*root, *ckptDir, os.Stdout); err != nil {
+			fail(err)
+		}
 	case *root != "" && *ckptDir != "":
 		if err := describeCheckpoint(*root, *ckptDir); err != nil {
 			fail(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: ckptstat -model NAME [-groups] | ckptstat -root DIR -ckpt DIR")
+		fmt.Fprintln(os.Stderr, "usage: ckptstat -model NAME [-groups] | ckptstat -root DIR -ckpt DIR [-delta]")
 		fmt.Fprintf(os.Stderr, "models: %v\n", modelcfg.PresetNames())
 		os.Exit(2)
 	}
@@ -93,6 +101,50 @@ func describeCheckpoint(root, dir string) error {
 		}
 	}
 	fmt.Printf("  %-24s %12d bytes\n", "TOTAL", total)
+	return nil
+}
+
+// describeDelta prints the per-layer dedup breakdown: which layers a
+// checkpoint actually changed relative to its predecessor, and how many
+// payload bytes moved (new blobs) versus were merely referenced.
+func describeDelta(root, dir string, out io.Writer) error {
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		return err
+	}
+	prev, err := ckpt.PreviousCheckpoint(b, dir)
+	if err != nil {
+		return err
+	}
+	rows, err := ckpt.LayerDelta(b, dir, prev)
+	if err != nil {
+		return err
+	}
+	if prev == "" {
+		fmt.Fprintf(out, "delta %s (no previous checkpoint: everything moved)\n", dir)
+	} else {
+		fmt.Fprintf(out, "delta %s vs %s\n", dir, prev)
+	}
+	fmt.Fprintf(out, "  %-14s %9s %14s %14s %14s  %s\n",
+		"layer", "payloads", "bytes", "moved", "referenced", "state")
+	var total ckpt.LayerDeltaRow
+	changed := 0
+	for _, r := range rows {
+		state := "reused"
+		if r.Changed {
+			state = "CHANGED"
+			changed++
+		}
+		fmt.Fprintf(out, "  %-14s %9d %14d %14d %14d  %s\n",
+			r.Layer, r.Payloads, r.Bytes, r.BytesMoved, r.BytesReused, state)
+		total.Payloads += r.Payloads
+		total.Bytes += r.Bytes
+		total.BytesMoved += r.BytesMoved
+		total.BytesReused += r.BytesReused
+	}
+	fmt.Fprintf(out, "  %-14s %9d %14d %14d %14d  %d/%d layers changed\n",
+		"TOTAL", total.Payloads, total.Bytes, total.BytesMoved, total.BytesReused,
+		changed, len(rows))
 	return nil
 }
 

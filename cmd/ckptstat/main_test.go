@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"llmtailor"
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/tensor"
+)
+
+// TestDescribeDelta drives the -delta surface: two dedup checkpoints with
+// one block changed between them print one CHANGED row against the
+// auto-resolved previous checkpoint.
+func TestDescribeDelta(t *testing.T) {
+	root := t.TempDir()
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := modelcfg.Tiny()
+	m, _ := model.NewInitialized(cfg, tensor.BF16, 3)
+	o, _ := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
+	save := func(step int) {
+		t.Helper()
+		if err := ckpt.Save(b, ckpt.SaveSpec{
+			Dir: "run/" + ckpt.DirName(step), Model: m, Optim: o, WorldSize: 2,
+			Strategy: "full", Dedup: true, State: ckpt.TrainerState{Step: step, Seed: 3},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save(10)
+	for i, spec := range m.Specs() {
+		if spec.Layer == modelcfg.Block(1) {
+			ts := m.Tensors()[i]
+			ts.Set(0, ts.At(0)+1)
+		}
+	}
+	save(20)
+
+	var out strings.Builder
+	if err := describeDelta(root, "run/checkpoint-20", &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "delta run/checkpoint-20 vs run/checkpoint-10") {
+		t.Fatalf("output: %s", s)
+	}
+	if !strings.Contains(s, "CHANGED") || strings.Count(s, "CHANGED") != 1 {
+		t.Fatalf("want exactly one CHANGED row:\n%s", s)
+	}
+	if !strings.Contains(s, "1/") || !strings.Contains(s, "layers changed") {
+		t.Fatalf("missing summary line:\n%s", s)
+	}
+
+	out.Reset()
+	if err := describeDelta(root, "run/checkpoint-10", &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no previous checkpoint") {
+		t.Fatalf("output: %s", out.String())
+	}
+}

@@ -468,28 +468,28 @@ func runGC(args []string, out io.Writer) error {
 		return nil
 	}
 	if *dryRun {
-		blobs, err := llmtailor.ScanCheckpointBlobs(b, *run)
+		rep, err := llmtailor.GCCheckpointBlobsDryRun(b, *run)
 		if err != nil {
 			return err
 		}
-		var kept, remove int
-		var freed int64
-		for _, bl := range blobs {
-			switch bl.State {
-			case llmtailor.BlobReferenced:
-				kept++
-			case llmtailor.BlobUnreferenced:
-				remove++
-				if bl.Size > 0 {
-					freed += bl.Size
-				}
-				fmt.Fprintf(out, "  would remove %s (%d bytes)\n", bl.Path, bl.Size)
-			case llmtailor.BlobStaging:
-				remove++
-				fmt.Fprintf(out, "  would remove %s (staging residue)\n", bl.Path)
-			}
+		for _, d := range rep.RemovedBlobs {
+			fmt.Fprintf(out, "  would remove blob %s\n", d)
 		}
-		fmt.Fprintf(out, "dry run: %d blobs kept, %d entries removable, %d bytes reclaimable\n", kept, remove, freed)
+		for _, p := range rep.RemovedStaging {
+			fmt.Fprintf(out, "  would remove %s (staging residue)\n", p)
+		}
+		for _, r := range rep.IndexRetired {
+			fmt.Fprintf(out, "  would retire record %s\n", r)
+		}
+		for _, r := range rep.IndexRepaired {
+			fmt.Fprintf(out, "  would repair record %s\n", r)
+		}
+		fmt.Fprintf(out, "dry run (full): %d records, %d retirable, %d blobs examined, %d kept, %d removable (%d bytes reclaimable), %d staging entries\n",
+			rep.IndexRecords, len(rep.IndexRetired), rep.Examined, rep.Kept,
+			len(rep.RemovedBlobs), rep.BytesFreed, len(rep.RemovedStaging))
+		if rep.IndexStale > 0 {
+			fmt.Fprintf(out, "%d stale/unmatched record(s) left pinned; run doctor -fix (quiescent) to reconcile\n", rep.IndexStale)
+		}
 		return nil
 	}
 	rep, err := llmtailor.GCCheckpointBlobs(b, *run)

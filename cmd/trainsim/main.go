@@ -44,10 +44,11 @@ func main() {
 	resume := flag.String("resume", "", "resume from this complete checkpoint directory")
 	dedup := flag.Bool("dedup", false, "save checkpoints content-addressed: payloads dedup against the run root's objects/ store, so unchanged layers cost zero bytes")
 	keepLast := flag.Int("keep-last", 0, "retain only the newest N committed checkpoints, retiring older generations (and their blobs) after each save (0 = keep all)")
+	lazy := flag.Bool("lazy-capture", false, "capture checkpoints lazily layer by layer, overlapped with the next step; with -dedup, unchanged layers are recognized before any byte moves (implies async saving)")
 	flag.Parse()
 
 	if err := run(*root, *runRoot, *modelName, *sim, *taskName, *steps, *warmup, *lr,
-		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup, *keepLast); err != nil {
+		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup, *keepLast, *lazy); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
@@ -55,7 +56,8 @@ func main() {
 
 func run(root, runRoot, modelName string, sim bool, taskName string,
 	steps, warmup int, lr float64, interval int, strategyName string,
-	worldSize int, seed uint64, failAt int, resume string, dedup bool, keepLast int) error {
+	worldSize int, seed uint64, failAt int, resume string, dedup bool, keepLast int,
+	lazy bool) error {
 
 	if root == "" {
 		return fmt.Errorf("missing -root")
@@ -86,7 +88,7 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 		TotalSteps: steps, WarmupSteps: warmup, BaseLR: lr,
 		CkptInterval: interval, Strategy: strat,
 		WorldSize: worldSize, RunRoot: runRoot, FailAt: failAt,
-		DedupCkpt: dedup, KeepLast: keepLast,
+		DedupCkpt: dedup, KeepLast: keepLast, LazyCapture: lazy,
 	}
 
 	var tr *train.Trainer
@@ -134,6 +136,14 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 	if keepLast > 0 {
 		fmt.Printf("retention: kept newest %d, retired %d checkpoints (%d blob bytes freed)\n",
 			keepLast, retired, freed)
+	}
+	if lazy {
+		cs := res.Capture
+		fmt.Printf("lazy capture: %d saves, %d layers gen-reused, %d payloads spooled / %d referenced\n",
+			cs.Saves, cs.LayersReused, cs.PayloadsSpooled, cs.PayloadsReferenced)
+		fmt.Printf("  bytes hashed %d, spooled %d, referenced %d; stall %.2fms; spool peak %d\n",
+			cs.BytesHashed, cs.BytesSpooled, cs.BytesReferenced,
+			float64(cs.StallNs)/1e6, cs.SpoolPeakBytes)
 	}
 	return nil
 }

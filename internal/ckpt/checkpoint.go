@@ -93,6 +93,88 @@ type SaveSpec struct {
 	// checkpoint directory holds manifests referencing them. Unchanged
 	// layers between saves cost zero payload bytes.
 	Dedup bool
+	// LayerGens carries the optimizer's per-layer mutation counters
+	// (optim.AdamW.LayerGens) at save time. Lazy capture uses them to prove
+	// a layer unchanged since the previous save and skip hashing it
+	// entirely; nil disables the proof (capture still dedups by digest).
+	// The synchronous Save path ignores the field.
+	LayerGens map[modelcfg.LayerRef]int64
+}
+
+// savePlan is the validated, enumerated shape of one checkpoint save: which
+// live weight tensors and optimizer groups the layer selection includes,
+// plus every header scalar the write needs, snapshotted at plan time.
+// Building a plan moves no payload bytes — the lazy capture path relies on
+// that to keep the foreground Save call O(metadata).
+type savePlan struct {
+	cfg    *modelcfg.Config
+	layers []modelcfg.LayerRef
+	// weights lists the included live tensors in model spec order;
+	// weightLayers is parallel (each tensor's owning layer).
+	weights      []*tensor.Tensor
+	weightLayers []modelcfg.LayerRef
+	// metas and states are parallel: the included groups' LTOS metadata
+	// (offsets unset) and their live state, in layout order.
+	metas  []ShardGroupMeta
+	states []*optim.GroupState
+	// groupLayers is parallel to metas; hasLayer[i] is false for two-group
+	// layouts.
+	groupLayers []modelcfg.LayerRef
+	hasLayer    []bool
+
+	worldSize  int
+	stepCount  int
+	layoutKind optim.LayoutKind
+	hyper      optim.Hyper
+	complete   bool
+}
+
+// buildSavePlan validates a spec and enumerates what it saves. It reads
+// only metadata (names, shapes, counters) from the live model and
+// optimizer, never payload bytes.
+func buildSavePlan(spec *SaveSpec) (*savePlan, error) {
+	cfg := spec.Model.Config
+	layers := spec.Layers
+	if layers == nil {
+		layers = cfg.AllLayers()
+	}
+	if spec.WorldSize <= 0 {
+		return nil, fmt.Errorf("ckpt: world size %d", spec.WorldSize)
+	}
+	inSet := map[modelcfg.LayerRef]bool{}
+	for _, ref := range layers {
+		inSet[ref] = true
+	}
+	if cfg.TieWordEmbeddings && inSet[modelcfg.LMHead] {
+		return nil, fmt.Errorf("ckpt: model %s ties embeddings; lm_head is not a separate layer", cfg.Name)
+	}
+	o := spec.Optim
+	p := &savePlan{
+		cfg: cfg, layers: layers, worldSize: spec.WorldSize,
+		stepCount: o.StepCount, layoutKind: o.Layout.Kind, hyper: o.Hyper,
+		complete: len(layers) == len(cfg.AllLayers()),
+	}
+	for gi, g := range o.Layout.Groups {
+		include := true
+		if g.HasLayer {
+			include = inSet[g.Layer]
+		} else if len(layers) != len(cfg.AllLayers()) {
+			return nil, fmt.Errorf("ckpt: partial save requires a layerwise optimizer layout (got %s)", o.Layout.Kind)
+		}
+		if include {
+			p.metas = append(p.metas, metaForGroup(g))
+			p.states = append(p.states, o.States[gi])
+			p.groupLayers = append(p.groupLayers, g.Layer)
+			p.hasLayer = append(p.hasLayer, g.HasLayer)
+		}
+	}
+	for i, s := range spec.Model.Specs() {
+		if inSet[s.Layer] {
+			p.weights = append(p.weights, spec.Model.Tensors()[i])
+			p.weightLayers = append(p.weightLayers, s.Layer)
+		}
+	}
+	return p, nil
 }
 
 // Save writes a checkpoint directory: consolidated weights, per-rank
@@ -102,37 +184,11 @@ type SaveSpec struct {
 // rename before the run-root "latest" pointer moves. A crash at any point
 // leaves the previous checkpoint intact and resolvable.
 func Save(b storage.Backend, spec SaveSpec) error {
-	cfg := spec.Model.Config
-	layers := spec.Layers
-	if layers == nil {
-		layers = cfg.AllLayers()
-	}
-	if spec.WorldSize <= 0 {
-		return fmt.Errorf("ckpt: world size %d", spec.WorldSize)
-	}
-	inSet := map[modelcfg.LayerRef]bool{}
-	for _, ref := range layers {
-		inSet[ref] = true
-	}
-	if cfg.TieWordEmbeddings && inSet[modelcfg.LMHead] {
-		return fmt.Errorf("ckpt: model %s ties embeddings; lm_head is not a separate layer", cfg.Name)
-	}
-	// Validate the layout before opening the transaction, so spec errors
+	// Validate the spec before opening the transaction, so spec errors
 	// never leave a staging directory behind.
-	o := spec.Optim
-	var metas []ShardGroupMeta
-	var states []*optim.GroupState
-	for gi, g := range o.Layout.Groups {
-		include := true
-		if g.HasLayer {
-			include = inSet[g.Layer]
-		} else if len(layers) != len(cfg.AllLayers()) {
-			return fmt.Errorf("ckpt: partial save requires a layerwise optimizer layout (got %s)", o.Layout.Kind)
-		}
-		if include {
-			metas = append(metas, metaForGroup(g))
-			states = append(states, o.States[gi])
-		}
+	plan, err := buildSavePlan(&spec)
+	if err != nil {
+		return err
 	}
 
 	txn, err := Begin(b, spec.Dir)
@@ -146,67 +202,68 @@ func Save(b storage.Backend, spec SaveSpec) error {
 	// groups). The dedup path stores payloads as content-addressed blobs —
 	// published on the base backend before the commit seals the manifests —
 	// while the plain path writes full LTSF/LTOS containers into staging.
-	var weights []*tensor.Tensor
-	for i, s := range spec.Model.Specs() {
-		if inSet[s.Layer] {
-			weights = append(weights, spec.Model.Tensors()[i])
-		}
-	}
-	byRank, err := zero.ShardAll(states, spec.WorldSize)
+	byRank, err := zero.ShardAll(plan.states, plan.worldSize)
 	if err != nil {
 		return err
 	}
 	var refGen int64
 	if spec.Dedup {
-		gen, err := writeDedupPayloads(b, sb, dir, spec.Dir, cfg.Name, weights,
-			metas, byRank, spec.WorldSize, o.StepCount, o.Layout.Kind)
+		gen, err := writeDedupPayloads(b, sb, dir, spec.Dir, plan.cfg.Name, plan.weights,
+			plan.metas, byRank, plan.worldSize, plan.stepCount, plan.layoutKind)
 		if err != nil {
 			return err
 		}
 		refGen = gen
 	} else {
-		if err := WriteLTSF(sb, dir+"/model.ltsf", cfg.Name, weights); err != nil {
+		if err := WriteLTSF(sb, dir+"/model.ltsf", plan.cfg.Name, plan.weights); err != nil {
 			return err
 		}
-		for r := 0; r < spec.WorldSize; r++ {
+		for r := 0; r < plan.worldSize; r++ {
 			name := dir + "/" + ShardFileName(r)
-			if err := WriteShardFile(sb, name, r, spec.WorldSize, o.StepCount, o.Layout.Kind, metas, byRank[r]); err != nil {
+			if err := WriteShardFile(sb, name, r, plan.worldSize, plan.stepCount, plan.layoutKind, plan.metas, byRank[r]); err != nil {
 				return err
 			}
 		}
 	}
 
 	// 3. Config, trainer state, manifest.
-	if err := writeJSON(sb, dir+"/config.json", cfg); err != nil {
+	if err := writeTrailer(sb, dir, &spec, plan, refGen); err != nil {
+		return err
+	}
+
+	// 4. Seal and publish, then move the run-root "latest" pointer.
+	if err := txn.Commit(spec.State.Step); err != nil {
+		return err
+	}
+	return WriteLatestPointer(b, spec.Dir)
+}
+
+// writeTrailer stages the small JSON files every checkpoint ends with:
+// config, trainer state and manifest. Shared between the synchronous Save
+// and the lazy capture writer, so the two paths stay byte-identical.
+func writeTrailer(sb storage.Backend, dir string, spec *SaveSpec, plan *savePlan, refGen int64) error {
+	if err := writeJSON(sb, dir+"/config.json", plan.cfg); err != nil {
 		return err
 	}
 	st := spec.State
-	st.WorldSize = spec.WorldSize
-	st.Layout = o.Layout.Kind.String()
-	st.Hyper = o.Hyper
+	st.WorldSize = plan.worldSize
+	st.Layout = plan.layoutKind.String()
+	st.Hyper = plan.hyper
 	if err := writeJSON(sb, dir+"/trainer_state.json", &st); err != nil {
 		return err
 	}
 	man := Manifest{
 		Step:     st.Step,
 		Strategy: spec.Strategy,
-		Complete: len(layers) == len(cfg.AllLayers()),
+		Complete: plan.complete,
 		Dedup:    spec.Dedup,
 		RefGen:   refGen,
 	}
-	for _, ref := range layers {
+	for _, ref := range plan.layers {
 		man.Layers = append(man.Layers, ref.String())
 	}
 	sort.Strings(man.Layers)
-	if err := writeJSON(sb, dir+"/manifest.json", &man); err != nil {
-		return err
-	}
-
-	// 4. Seal and publish, then move the run-root "latest" pointer.
-	if err := txn.Commit(st.Step); err != nil {
-		return err
-	}
-	return WriteLatestPointer(b, spec.Dir)
+	return writeJSON(sb, dir+"/manifest.json", &man)
 }
 
 // LatestPointerPath returns where the "latest" pointer for a checkpoint

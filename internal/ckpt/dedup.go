@@ -708,6 +708,92 @@ func GC(b storage.Backend, runRoot string) (*GCReport, error) {
 	return rep, nil
 }
 
+// GCDryRun runs the full mark-and-sweep's mark phase without mutating
+// anything: references are re-derived from every manifest, unioned with
+// the journal's pins, and the whole store is classified against them. The
+// report mirrors GC's accounting — Examined/Kept count every stored blob,
+// RemovedBlobs/RemovedStaging/BytesFreed list what a real sweep would
+// reclaim, and IndexRetired/IndexRepaired name the records it would
+// retire or rebuild.
+func GCDryRun(b storage.Backend, runRoot string) (*GCReport, error) {
+	dirs, err := collectDirRefs(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
+	refs := map[string]int{}
+	for _, d := range dirs {
+		for _, dg := range d.Digests {
+			refs[dg]++
+		}
+	}
+	rep := &GCReport{Mode: "full", DryRun: true, Referenced: len(refs)}
+	store := storage.NewBlobStore(b, objectsPath(runRoot))
+	if !b.Exists(store.Root()) {
+		return rep, nil
+	}
+	audit, err := auditRefs(b, runRoot, dirs)
+	if err != nil {
+		return nil, err
+	}
+	rep.IndexRecords = len(audit.records)
+	sweepRefs := map[string]int{}
+	for d, n := range refs {
+		sweepRefs[d] = n
+	}
+	for _, ar := range audit.records {
+		switch ar.state {
+		case RefSuperseded, RefCorrupt:
+			rep.IndexRetired = append(rep.IndexRetired, ar.entry.Name)
+		default:
+			if ar.rec != nil {
+				for _, dg := range ar.rec.Digests {
+					sweepRefs[dg]++
+				}
+			}
+			if ar.state == RefOrphaned {
+				rep.IndexStale++
+			}
+			if ar.state == RefDivergent {
+				rep.IndexRepaired = append(rep.IndexRepaired, ar.entry.Name)
+			}
+		}
+	}
+	for _, d := range audit.missing {
+		rep.IndexRepaired = append(rep.IndexRepaired, d.Key)
+	}
+	blobs, staging, _, err := store.List()
+	if err != nil {
+		return rep, err
+	}
+	for _, blob := range blobs {
+		rep.Examined++
+		if sweepRefs[blob.Digest] > 0 {
+			rep.Kept++
+		} else {
+			rep.RemovedBlobs = append(rep.RemovedBlobs, blob.Digest)
+			if blob.Size > 0 {
+				rep.BytesFreed += blob.Size
+			}
+		}
+	}
+	rep.RemovedStaging = staging
+	// Trash from an interrupted two-phase sweep: a real run purges what is
+	// no longer referenced (and restores the rest).
+	trash, err := store.ListTrash()
+	if err != nil {
+		return rep, err
+	}
+	for _, t := range trash {
+		if sweepRefs[t.Digest] == 0 {
+			rep.RemovedBlobs = append(rep.RemovedBlobs, t.Digest)
+			if t.Size > 0 {
+				rep.BytesFreed += t.Size
+			}
+		}
+	}
+	return rep, nil
+}
+
 // BlobState classifies one entry of the run root's blob store.
 type BlobState int
 

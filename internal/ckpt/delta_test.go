@@ -1,0 +1,112 @@
+package ckpt
+
+import (
+	"testing"
+
+	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+)
+
+// TestLayerDelta: two dedup saves with exactly one block mutated between
+// them break down into one CHANGED row (bytes moved) and reused rows for
+// everything else; the first checkpoint is all-moved.
+func TestLayerDelta(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	m, err := model.NewInitialized(cfg, tensor.BF16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	save := func(step int) {
+		t.Helper()
+		if err := Save(b, SaveSpec{
+			Dir: "run/" + DirName(step), Model: m, Optim: o, WorldSize: 2,
+			Strategy: "full", Dedup: true, State: TrainerState{Step: step, Seed: 9},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save(10)
+
+	// Mutate exactly block-0 (weights and optimizer state).
+	target := modelcfg.Block(0)
+	for i, spec := range m.Specs() {
+		if spec.Layer == target {
+			ts := m.Tensors()[i]
+			ts.Set(0, ts.At(0)+1)
+		}
+	}
+	for gi, g := range o.Layout.Groups {
+		if g.HasLayer && g.Layer == target {
+			o.States[gi].Master[0] += 1
+		}
+	}
+	save(20)
+
+	rows, err := LayerDelta(b, "run/checkpoint-20", "run/checkpoint-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var changed []string
+	for _, r := range rows {
+		if r.Bytes != r.BytesMoved+r.BytesReused {
+			t.Errorf("%s: bytes %d != moved %d + reused %d", r.Layer, r.Bytes, r.BytesMoved, r.BytesReused)
+		}
+		if r.Changed {
+			changed = append(changed, r.Layer)
+			if r.BytesMoved == 0 {
+				t.Errorf("%s marked changed with zero bytes moved", r.Layer)
+			}
+		} else if r.BytesMoved != 0 {
+			t.Errorf("%s: unchanged layer moved %d bytes", r.Layer, r.BytesMoved)
+		}
+	}
+	if len(changed) != 1 || changed[0] != target.String() {
+		t.Fatalf("changed layers = %v, want [%s]", changed, target)
+	}
+	// Rows follow the model's layer order.
+	if rows[0].Layer != modelcfg.Block(0).String() {
+		t.Errorf("first row = %s, want %s", rows[0].Layer, modelcfg.Block(0))
+	}
+
+	// First checkpoint: no predecessor, everything moved.
+	first, err := LayerDelta(b, "run/checkpoint-10", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range first {
+		if !r.Changed || r.BytesReused != 0 {
+			t.Errorf("%s: first checkpoint should be all-moved (moved %d, reused %d)",
+				r.Layer, r.BytesMoved, r.BytesReused)
+		}
+	}
+
+	// PreviousCheckpoint resolves run order.
+	if prev, err := PreviousCheckpoint(b, "run/checkpoint-20"); err != nil || prev != "run/checkpoint-10" {
+		t.Fatalf("PreviousCheckpoint = %q, %v", prev, err)
+	}
+	if prev, err := PreviousCheckpoint(b, "run/checkpoint-10"); err != nil || prev != "" {
+		t.Fatalf("oldest checkpoint's previous = %q, %v", prev, err)
+	}
+
+	// Plain checkpoints carry no digests to diff.
+	if err := Save(b, SaveSpec{
+		Dir: "plain/checkpoint-10", Model: m, Optim: o, WorldSize: 2,
+		Strategy: "full", State: TrainerState{Step: 10, Seed: 9},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LayerDelta(b, "plain/checkpoint-10", ""); err == nil {
+		t.Fatal("plain checkpoint accepted")
+	}
+}

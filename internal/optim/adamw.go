@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
 	"llmtailor/internal/tensor"
 )
 
@@ -79,6 +80,15 @@ type AdamW struct {
 
 	// States holds one GroupState per layout group, same order.
 	States []*GroupState
+
+	// Gens counts state mutations per group, same order as States: Step
+	// bumps a group's counter when any of its tensors received a gradient,
+	// and SyncModelFromMaster bumps every group (model tensors are
+	// rewritten). Lazy checkpoint capture compares these counters against
+	// the ones recorded at the previous save to prove a layer's bytes
+	// unchanged without hashing them. Nil on hand-built optimizers; bumping
+	// allocates lazily.
+	Gens []int64
 }
 
 // NewAdamW builds an optimizer whose master weights are upcast from the
@@ -87,7 +97,11 @@ func NewAdamW(m *model.Model, layout *Layout, h Hyper) (*AdamW, error) {
 	if err := layout.Validate(m.Config); err != nil {
 		return nil, err
 	}
-	o := &AdamW{Model: m, Layout: layout, Hyper: h, States: make([]*GroupState, len(layout.Groups))}
+	o := &AdamW{
+		Model: m, Layout: layout, Hyper: h,
+		States: make([]*GroupState, len(layout.Groups)),
+		Gens:   make([]int64, len(layout.Groups)),
+	}
 	for gi, g := range layout.Groups {
 		st := NewGroupState(g.Numel)
 		var off int64
@@ -120,6 +134,7 @@ func (o *AdamW) Step(lr float64, grads Gradients) error {
 			wd = 0
 		}
 		var off int64
+		touched := false
 		for _, name := range g.Names {
 			mt, err := o.Model.Tensor(name)
 			if err != nil {
@@ -138,9 +153,22 @@ func (o *AdamW) Step(lr float64, grads Gradients) error {
 			// Write the rounded master back into the model tensor.
 			writeBack(mt, st.Master[off:off+n])
 			off += n
+			touched = true
+		}
+		if touched {
+			o.bumpGen(gi)
 		}
 	}
 	return nil
+}
+
+// bumpGen advances one group's mutation counter, allocating the slice on
+// first use for hand-built optimizers.
+func (o *AdamW) bumpGen(gi int) {
+	if o.Gens == nil {
+		o.Gens = make([]int64, len(o.Layout.Groups))
+	}
+	o.Gens[gi]++
 }
 
 // updateSegment applies the AdamW recurrence to one tensor's segment of a
@@ -190,8 +218,29 @@ func (o *AdamW) SyncModelFromMaster() error {
 			writeBack(mt, st.Master[off:off+n])
 			off += n
 		}
+		// The model tensors were rewritten, so any gen-based unchanged
+		// proof for this group no longer holds.
+		o.bumpGen(gi)
 	}
 	return nil
+}
+
+// LayerGens folds the per-group mutation counters into one monotonic
+// counter per owning layer (the sum of its groups' counters — a layer's
+// value moves iff any of its groups moved). Groups without a layer (the
+// two-group layout) are omitted; a nil Gens slice yields nil, which lazy
+// capture treats as "no unchanged-layer proofs available".
+func (o *AdamW) LayerGens() map[modelcfg.LayerRef]int64 {
+	if o.Gens == nil {
+		return nil
+	}
+	out := map[modelcfg.LayerRef]int64{}
+	for gi, g := range o.Layout.Groups {
+		if g.HasLayer {
+			out[g.Layer] += o.Gens[gi]
+		}
+	}
+	return out
 }
 
 // TensorState returns copies of the (master, expAvg, expAvgSq) slices for a
@@ -214,6 +263,9 @@ func (o *AdamW) Clone(m *model.Model) *AdamW {
 	c.States = make([]*GroupState, len(o.States))
 	for i, s := range o.States {
 		c.States[i] = s.Clone()
+	}
+	if o.Gens != nil {
+		c.Gens = append([]int64(nil), o.Gens...)
 	}
 	return c
 }

@@ -45,6 +45,28 @@ func (g *ByteGate) Acquire(n int64) {
 	}
 }
 
+// TryAcquire admits n bytes only if they fit under the capacity right now,
+// without blocking. It returns false when the gate is full, letting callers
+// that hold other resources (a capture worker mid-layer, say) fall back to
+// an unmetered path instead of risking a deadlock against the consumer that
+// would release the bytes. Like Acquire, a single item larger than the whole
+// capacity is admitted alone.
+func (g *ByteGate) TryAcquire(n int64) bool {
+	if n < 0 {
+		n = 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.capacity > 0 && g.used > 0 && g.used+n > g.capacity {
+		return false
+	}
+	g.used += n
+	if g.used > g.peak {
+		g.peak = g.used
+	}
+	return true
+}
+
 // Release returns n bytes to the gate.
 func (g *ByteGate) Release(n int64) {
 	if n < 0 {

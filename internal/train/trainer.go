@@ -45,6 +45,15 @@ type Config struct {
 	// composing partial checkpointing with CheckFreq/DataStates-style I/O
 	// overlap, as the paper's related-work section anticipates.
 	AsyncCkpt bool
+	// LazyCapture upgrades async checkpointing to DataStates-LLM-style
+	// lazy layer-wise capture: instead of deep-copying the whole state
+	// synchronously, each layer is streamed out of the live optimizer by
+	// background workers, overlapped with the next step's gradient
+	// computation, and — combined with DedupCkpt — unchanged layers are
+	// recognized by digest (or by the optimizer's mutation counters)
+	// before a single byte is copied. The checkpoint stall becomes
+	// O(changed layers) rather than O(model size). Implies AsyncCkpt.
+	LazyCapture bool
 	// DedupCkpt stores checkpoints content-addressed: payloads land once
 	// per content digest in the run root's objects/ store and unchanged
 	// layers between saves cost zero payload bytes. Resume is transparent
@@ -112,6 +121,9 @@ type Result struct {
 	FinalEvalLoss float64
 	History       []StepStat
 	Ckpts         []CkptEvent
+	// Capture reports the lazy capture engine's accounting (zero value
+	// unless Config.LazyCapture was set).
+	Capture ckpt.CaptureStats
 	// Failed is true when the run stopped at FailAt.
 	Failed bool
 }
@@ -313,6 +325,16 @@ func (t *Trainer) Run() (*Result, error) {
 		t.step++
 		lr := sched.At(t.step)
 		grads := t.objective.Gradients(t.Model, t.step)
+		// Lazy capture overlapped with the (read-only) gradient computation
+		// above; the optimizer step below mutates the live state, so this is
+		// the latest point to reclaim it. The stall is only whatever capture
+		// has not finished by now — O(changed layers) in steady state.
+		if t.saver != nil {
+			if err := t.saver.WaitCaptured(); err != nil {
+				t.saver.Wait()
+				return nil, err
+			}
+		}
 		if err := t.Optim.Step(lr, grads); err != nil {
 			return nil, err
 		}
@@ -335,6 +357,7 @@ func (t *Trainer) Run() (*Result, error) {
 	// checkpoints, but completing them is equivalent to "the write
 	// finished just before the failure" and keeps runs deterministic.
 	if t.saver != nil {
+		res.Capture = t.saver.CaptureStats()
 		if err := t.saver.Wait(); err != nil {
 			return nil, err
 		}
@@ -370,9 +393,18 @@ func (t *Trainer) checkpoint(strat strategy.Strategy, loss float64) (CkptEvent, 
 		Dedup: t.Cfg.DedupCkpt,
 	}
 	var err error
-	if t.Cfg.AsyncCkpt {
+	if t.Cfg.AsyncCkpt || t.Cfg.LazyCapture {
 		if t.saver == nil {
-			t.saver = ckpt.NewAsyncSaver(t.backend, 2)
+			if t.Cfg.LazyCapture {
+				t.saver = ckpt.NewLazyAsyncSaver(t.backend, 2, ckpt.CaptureOptions{})
+			} else {
+				t.saver = ckpt.NewAsyncSaver(t.backend, 2)
+			}
+		}
+		if t.Cfg.LazyCapture {
+			// The optimizer's mutation counters let capture prove a layer
+			// untouched since the previous save without hashing it.
+			spec.LayerGens = t.Optim.LayerGens()
 		}
 		err = t.saver.Save(spec)
 	} else {

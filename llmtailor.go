@@ -242,6 +242,13 @@ func GCCheckpointBlobs(b Backend, runRoot string) (*BlobGCReport, error) {
 	return ckpt.GC(b, runRoot)
 }
 
+// GCCheckpointBlobsDryRun reports what GCCheckpointBlobs would sweep and
+// which index records it would retire or rebuild, without mutating the
+// store or the journal.
+func GCCheckpointBlobsDryRun(b Backend, runRoot string) (*BlobGCReport, error) {
+	return ckpt.GCDryRun(b, runRoot)
+}
+
 // GCRetiredGenerations is the incremental sweep: journal records provably
 // superseded by a newer save of the same checkpoint directory are retired,
 // and only those generations' blobs are examined — O(retired generations +
