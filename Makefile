@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci ci-fast ci-slow cover fuzz-smoke doctor-smoke bench bench-smoke bench-check bench-record clean
+.PHONY: all build test race vet fmt-check ci ci-fast ci-slow cover fuzz-smoke doctor-smoke objstore bench bench-smoke bench-check bench-record clean
 
 all: build test
 
@@ -30,7 +30,7 @@ fmt-check:
 # jobs: ci-fast is the quick correctness gate (a couple of minutes),
 # ci-slow carries the race detector, smokes, perf floors and coverage.
 # `ci` stays the union for local one-shot verification.
-ci-fast: fmt-check vet build test
+ci-fast: fmt-check vet build test objstore
 
 ci-slow: race fuzz-smoke doctor-smoke bench-check cover
 
@@ -92,6 +92,19 @@ doctor-smoke:
 		{ echo "doctor-smoke: -fix did not rebuild the ref index"; exit 1; }; \
 	echo "doctor-smoke: OK"
 
+# Object-store lane: the cross-backend conformance matrix, the object
+# store's own suites (atomic PUTs, compose, multipart, retry metering) and
+# the no-rename commit-protocol crash exploration — re-run with injected
+# per-request latency so the remote-store timing paths (parallel part
+# uploads overlapping the link, retry backoff on the sim clock) execute
+# with real sleeps rather than degenerate zero-latency ones.
+OBJSTORE_LAT_US ?= 200
+objstore:
+	OBJSTORE_LAT_US=$(OBJSTORE_LAT_US) $(GO) test ./internal/storage \
+		-run 'TestBackendConformance|TestRenameSupportedProbe|TestObjStore|TestMultipart|TestRetry|TestMeterCharges'
+	$(GO) test ./internal/ckpt -run 'TestCrashPointExplorationObjStoreSave|TestShardedObjStoreRoundTrip'
+	$(GO) test -race ./internal/ckpt -run 'TestShardedGCRacingConcurrentSave'
+
 # Quick benchmark sweep of the streaming merge hot path.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMerge' -benchmem .
@@ -104,8 +117,8 @@ bench-smoke:
 
 # Perf floors, both live and recorded: bench-smoke runs every benchmark
 # once (the key benchmarks assert their floors inline — raw merge >= 2x,
-# dedup delta >= 5x, generational gc >= 5x, lazy-capture stall >= 5x),
-# then benchcheck verifies the
+# dedup delta >= 5x, generational gc >= 5x, lazy-capture stall >= 5x,
+# multipart object streaming >= 2x), then benchcheck verifies the
 # committed BENCH_*.json records still clear the same floors, so a stale
 # or hand-edited perf record fails CI instead of silently shifting the
 # baseline future PRs diff against.
@@ -119,7 +132,8 @@ bench-record:
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkIncrementalSave' -benchtime=3x .
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkGCIncremental' -benchtime=3x .
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkCaptureStall' -benchtime=3x .
-	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json BENCH_gc.json BENCH_stall.json
+	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkObjStoreMultipart' -benchtime=10x .
+	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json BENCH_gc.json BENCH_stall.json BENCH_objstore.json
 
 clean:
 	rm -f llmtailor trainsim paperbench ckptstat cover.out cover.html

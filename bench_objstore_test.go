@@ -1,0 +1,90 @@
+// BenchmarkObjStoreMultipart measures what parallel multipart streaming
+// buys over a serial whole-object PUT on a latency- and bandwidth-shaped
+// object store: the payload is split into parts uploaded by concurrent
+// workers (each overlapping its share of the simulated link), then stitched
+// server-side with one Compose call. It emits BENCH_objstore.json with the
+// measured speedup and asserts the ≥2× acceptance floor inline, so the
+// perf property is CI-checked on every bench-smoke pass.
+package llmtailor_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"llmtailor/internal/storage"
+)
+
+const (
+	objBenchPayloadBytes = 8 << 20
+	objBenchPartBytes    = 1 << 20
+	objBenchWorkers      = 8
+	objBenchLatency      = 200 * time.Microsecond
+	objBenchBandwidth    = 256 << 20 // bytes/s across the simulated link
+)
+
+type objstoreBenchRecord struct {
+	Bench        string  `json:"bench"`
+	PayloadBytes int64   `json:"payload_bytes"`
+	PartBytes    int64   `json:"part_bytes"`
+	Workers      int     `json:"workers"`
+	LatencyUS    float64 `json:"latency_us"`
+	BandwidthBps float64 `json:"bandwidth_bps"`
+	SerialNsOp   float64 `json:"serial_ns_per_op"`
+	MultiNsOp    float64 `json:"multipart_ns_per_op"`
+	Speedup      float64 `json:"speedup"`
+}
+
+func BenchmarkObjStoreMultipart(b *testing.B) {
+	payload := make([]byte, objBenchPayloadBytes)
+	rand.New(rand.NewSource(23)).Read(payload)
+
+	// put streams the payload once; opts chooses serial (one part) or
+	// parallel multipart. A fresh store per iteration keeps every PUT a
+	// first write, never an overwrite of a cached object.
+	put := func(b *testing.B, opts storage.MultipartOptions) float64 {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			obj := storage.NewObjStore()
+			obj.SetLatency(objBenchLatency, objBenchBandwidth)
+			dst := fmt.Sprintf("objects/blob-%d", i)
+			if err := storage.MultipartPut(obj, dst, bytes.NewReader(payload),
+				objBenchPayloadBytes, opts); err != nil {
+				b.Fatal(err)
+			}
+			if n, err := obj.Stat(dst); err != nil || n != objBenchPayloadBytes {
+				b.Fatalf("put landed %d bytes, %v", n, err)
+			}
+		}
+		return float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+
+	record := objstoreBenchRecord{
+		Bench:        "objstore-multipart-vs-serial",
+		PayloadBytes: objBenchPayloadBytes,
+		PartBytes:    objBenchPartBytes,
+		Workers:      objBenchWorkers,
+		LatencyUS:    float64(objBenchLatency.Microseconds()),
+		BandwidthBps: objBenchBandwidth,
+	}
+	b.Run("serial", func(b *testing.B) {
+		// PartBytes covering the whole payload forces the single-PUT path.
+		record.SerialNsOp = put(b, storage.MultipartOptions{PartBytes: objBenchPayloadBytes})
+	})
+	b.Run("multipart", func(b *testing.B) {
+		record.MultiNsOp = put(b, storage.MultipartOptions{
+			PartBytes: objBenchPartBytes, Workers: objBenchWorkers,
+			PartPrefix: "objects/.stage/mp-",
+		})
+	})
+	if record.SerialNsOp > 0 && record.MultiNsOp > 0 {
+		record.Speedup = record.SerialNsOp / record.MultiNsOp
+		b.ReportMetric(record.Speedup, "speedup")
+		if record.Speedup < 2 {
+			b.Fatalf("multipart speedup %.2fx below the 2x acceptance floor", record.Speedup)
+		}
+		writeBenchJSON(b, "BENCH_objstore.json", record)
+	}
+}

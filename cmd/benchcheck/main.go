@@ -84,6 +84,7 @@ var checks = []check{
 		}
 		return nil
 	}},
+	{"BENCH_objstore.json", "multipart-vs-serial object streaming speedup >= 2x", atLeast(2, "speedup")},
 	{"BENCH_stall.json", "lazy-capture checkpoint stall-bytes reduction >= 5x", atLeast(5, "reduction")},
 	{"BENCH_stall.json", "lazy-capture stall is O(changed layers), not O(model)", func(m map[string]any) error {
 		lazy, err := number(m, "stall_bytes_lazy")

@@ -14,6 +14,7 @@ func writeRecords(t *testing.T, dir string, gcSpeedup, rawSpeedup, reduction str
 		"BENCH_gc.json":        `{"speedup": ` + gcSpeedup + `, "blobs_examined_incremental": 87, "blobs_examined_full": 281}`,
 		"BENCH_merge.json":     `{"stats": {"peak_inflight_bytes": 1000}, "max_inflight": 8388608}`,
 		"BENCH_stall.json":     `{"reduction": 8.2, "stall_bytes_lazy": 8805888, "stall_bytes_snapshot": 72519552, "total_layers": 18, "layers_changed_per_step": 1}`,
+		"BENCH_objstore.json":  `{"speedup": 3.3, "payload_bytes": 8388608, "part_bytes": 1048576, "workers": 8}`,
 	}
 	for name, content := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {

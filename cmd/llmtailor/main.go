@@ -340,6 +340,9 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 	if len(blobs) > 0 {
 		fmt.Fprintf(out, "blob store: %d referenced, %d unreferenced, %d staging, %d stray\n",
 			referenced, unreferenced, staging, stray)
+		if n := llmtailor.BlobShards(b, *run); n > 0 {
+			fmt.Fprintf(out, "blob store layout: %d digest-prefix shards\n", n)
+		}
 		if unreferenced > 0 {
 			fmt.Fprintln(out, "run `llmtailor gc` to reclaim unreferenced blobs")
 		}

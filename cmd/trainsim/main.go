@@ -21,9 +21,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"llmtailor"
+	"llmtailor/internal/ckpt"
 	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/storage"
 	"llmtailor/internal/train"
 )
 
@@ -45,10 +48,14 @@ func main() {
 	dedup := flag.Bool("dedup", false, "save checkpoints content-addressed: payloads dedup against the run root's objects/ store, so unchanged layers cost zero bytes")
 	keepLast := flag.Int("keep-last", 0, "retain only the newest N committed checkpoints, retiring older generations (and their blobs) after each save (0 = keep all)")
 	lazy := flag.Bool("lazy-capture", false, "capture checkpoints lazily layer by layer, overlapped with the next step; with -dedup, unchanged layers are recognized before any byte moves (implies async saving)")
+	objstore := flag.Bool("objstore", false, "run against an ephemeral in-process object store (flat namespace, no-rename commit protocol, retrying PUTs) instead of -root")
+	objLatency := flag.Duration("objstore-latency", 0, "with -objstore: per-operation request latency injected into the object store")
+	shards := flag.Int("shards", 0, "with -dedup: digest-shard the run's blob store across N prefix shards (0 = flat layout)")
 	flag.Parse()
 
 	if err := run(*root, *runRoot, *modelName, *sim, *taskName, *steps, *warmup, *lr,
-		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup, *keepLast, *lazy); err != nil {
+		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup, *keepLast, *lazy,
+		*objstore, *objLatency, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
@@ -57,14 +64,35 @@ func main() {
 func run(root, runRoot, modelName string, sim bool, taskName string,
 	steps, warmup int, lr float64, interval int, strategyName string,
 	worldSize int, seed uint64, failAt int, resume string, dedup bool, keepLast int,
-	lazy bool) error {
+	lazy bool, objstore bool, objLatency time.Duration, shards int) error {
 
-	if root == "" {
-		return fmt.Errorf("missing -root")
+	var b llmtailor.Backend
+	var retry *storage.Retry
+	if objstore {
+		// Ephemeral remote-store simulation: every write is an object PUT,
+		// commits publish by marker appearance, and transient request
+		// failures are absorbed by the retry wrapper.
+		obj := storage.NewObjStore()
+		obj.SetLatency(objLatency, 0)
+		retry = storage.NewRetry(obj, int64(seed))
+		b = retry
+	} else {
+		if root == "" {
+			return fmt.Errorf("missing -root (or use -objstore)")
+		}
+		var err error
+		b, err = llmtailor.OpenDir(root)
+		if err != nil {
+			return err
+		}
 	}
-	b, err := llmtailor.OpenDir(root)
-	if err != nil {
-		return err
+	if shards > 0 {
+		if !dedup {
+			return fmt.Errorf("-shards requires -dedup (it lays out the blob store)")
+		}
+		if err := storage.InitShards(b, runRoot+"/"+ckpt.ObjectsDirName, shards); err != nil {
+			return err
+		}
 	}
 	cfg, err := modelcfg.ByName(modelName)
 	if err != nil {
@@ -136,6 +164,12 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 	if keepLast > 0 {
 		fmt.Printf("retention: kept newest %d, retired %d checkpoints (%d blob bytes freed)\n",
 			keepLast, retired, freed)
+	}
+	if objstore {
+		fmt.Printf("object store: %d transient PUTs retried\n", retry.Retries())
+	}
+	if shards > 0 {
+		fmt.Printf("blob store layout: %d digest-prefix shards\n", shards)
 	}
 	if lazy {
 		cs := res.Capture

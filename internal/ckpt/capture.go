@@ -325,9 +325,12 @@ func (e *captureEngine) captureUnit(u *captureUnit) error {
 	t := u.t
 	plan := t.plan
 	dedup := t.spec.Dedup
-	var store *storage.BlobStore
+	var store storage.CAS
 	if dedup {
-		store = storeFor(e.base, t.spec.Dir)
+		var err error
+		if store, err = storeFor(e.base, t.spec.Dir); err != nil {
+			return err
+		}
 	}
 
 	// Mutation-counter short-circuit: if the layer's counter matches the
@@ -386,7 +389,7 @@ func (e *captureEngine) captureUnit(u *captureUnit) error {
 // generation matches and every cached blob is still present. A missing
 // blob (retention swept it) falls back to the hash path, which re-creates
 // the content from live state.
-func (e *captureEngine) tryReuse(u *captureUnit, gen int64, store *storage.BlobStore) bool {
+func (e *captureEngine) tryReuse(u *captureUnit, gen int64, store storage.CAS) bool {
 	t := u.t
 	plan := t.plan
 	key := cacheKey(&t.spec, u.layer)
@@ -471,7 +474,7 @@ func (e *captureEngine) updateCache(u *captureUnit, gen int64) {
 // I/O), short-circuit on an existing blob, and spool only content misses —
 // paying a second encode pass for the bytes that actually move. Plain saves
 // spool everything in a single pass with the CRC computed inline.
-func (e *captureEngine) capturePayload(dedup bool, store *storage.BlobStore,
+func (e *captureEngine) capturePayload(dedup bool, store storage.CAS,
 	size int64, encode func(io.Writer) (int64, error)) (capturedPayload, error) {
 
 	if dedup {
@@ -643,7 +646,10 @@ func (e *captureEngine) writeDedup(t *captureTicket) error {
 	if err != nil {
 		return err
 	}
-	store := storeFor(e.base, t.spec.Dir)
+	store, err := storeFor(e.base, t.spec.Dir)
+	if err != nil {
+		return err
+	}
 	publish := func(p *capturedPayload, what string) error {
 		if p.spool != nil {
 			_, err := store.PutStream(p.digest, func(w io.Writer) (int64, error) {

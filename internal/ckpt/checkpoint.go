@@ -280,14 +280,19 @@ func LatestPointerPath(dir string) string {
 
 // WriteLatestPointer refreshes the run root's "latest" pointer to name the
 // given checkpoint directory, so resume tooling finds it. The update is
-// atomic (write-staging + rename): a crash mid-update leaves the previous
-// pointer intact, never a truncated one.
+// atomic: write-staging + rename on filesystems, a single whole-object PUT
+// on no-rename backends (an object PUT replaces atomically by itself) — a
+// crash mid-update leaves the previous pointer intact, never a truncated
+// one.
 func WriteLatestPointer(b storage.Backend, dir string) error {
 	name := dir
 	if i := strings.LastIndexByte(dir, '/'); i >= 0 {
 		name = dir[i+1:]
 	}
 	p := LatestPointerPath(dir)
+	if !storage.RenameSupported(b) {
+		return b.WriteFile(p, []byte(name))
+	}
 	tmp := p + stagingSuffix
 	if err := b.WriteFile(tmp, []byte(name)); err != nil {
 		return err

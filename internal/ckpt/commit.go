@@ -1,10 +1,21 @@
 // Crash-consistent checkpoint commits.
 //
-// A checkpoint directory is never built in place: writers stage every file
-// into `<dir>.tmp`, finish by writing a COMMITTED marker carrying each
-// file's size and CRC32, and publish the staged tree with one atomic
-// rename. The run root's `latest` pointer only moves after publication, so
-// a crash at any point leaves either the previous checkpoint or the new
+// On a rename-capable backend a checkpoint directory is never built in
+// place: writers stage every file into `<dir>.tmp`, finish by writing a
+// COMMITTED marker carrying each file's size and CRC32, and publish the
+// staged tree with one atomic rename.
+//
+// On a backend without rename (object stores — storage.RenameSupported
+// reports false) the protocol re-derives as write-objects-then-manifest:
+// the files are PUT directly under their final keys, and the COMMITTED
+// marker object is written last — its appearance is the atomic visibility
+// point, exactly the role the rename plays locally. A crash before the
+// marker PUT leaves marker-less objects that Scan classifies as torn; a
+// crash after it leaves a fully committed checkpoint; there is no
+// in-between, because the marker PUT itself is atomic.
+//
+// Either way the run root's `latest` pointer only moves after publication,
+// so a crash at any point leaves either the previous checkpoint or the new
 // one — readers can never observe a hybrid. Scan classifies every
 // directory under a run root (committed / torn / orphaned staging) and
 // Repair restores the root to a healthy state.
@@ -153,6 +164,23 @@ func Begin(b storage.Backend, dir string) (*Txn, error) {
 	if IsStagingPath(dir) {
 		return nil, fmt.Errorf("ckpt: %s: target must not use the staging suffix %q", dir, stagingSuffix)
 	}
+	if !storage.RenameSupported(b) {
+		// No-rename mode: build under the final keys, publish via the
+		// marker object (staging == final is the mode discriminator). A
+		// prior incarnation of the same name is cleared marker-FIRST — the
+		// one atomic DELETE that makes it stop scanning as committed —
+		// before its remaining objects go; a crash in between leaves a
+		// marker-less (torn) directory, never a half-committed one.
+		if b.Exists(dir) {
+			if err := b.Remove(dir + "/" + CommitMarkerName); err != nil && !storage.IsNotExist(err) {
+				return nil, fmt.Errorf("ckpt: clear prior commit marker under %s: %w", dir, err)
+			}
+			if err := b.Remove(dir); err != nil {
+				return nil, fmt.Errorf("ckpt: clear prior checkpoint %s: %w", dir, err)
+			}
+		}
+		return &Txn{base: b, rec: newSumBackend(b), final: dir, staging: dir}, nil
+	}
 	staging := StagingDir(dir)
 	if b.Exists(staging) {
 		if err := b.Remove(staging); err != nil {
@@ -170,8 +198,9 @@ func (t *Txn) Dir() string { return t.staging }
 
 // Commit writes the COMMITTED marker into the staging directory and
 // atomically renames it over the final path (replacing a previous
-// checkpoint of the same name). After Commit returns nil the checkpoint is
-// durable and visible; on error the staging directory remains for Repair.
+// checkpoint of the same name); in no-rename mode the marker write itself
+// is the publication. After Commit returns nil the checkpoint is durable
+// and visible; on error the staging state remains for Repair.
 func (t *Txn) Commit(step int) error {
 	if t.committed {
 		return nil
@@ -193,6 +222,12 @@ func (t *Txn) Commit(step int) error {
 	}
 	if err := writeJSON(t.base, t.staging+"/"+CommitMarkerName, &marker); err != nil {
 		return err
+	}
+	if t.staging == t.final {
+		// No-rename mode: the marker object's appearance was the atomic
+		// visibility point — the checkpoint is already published.
+		t.committed = true
+		return nil
 	}
 	if t.base.Exists(t.final) {
 		if err := t.base.Remove(t.final); err != nil {
@@ -501,7 +536,10 @@ func Repair(b storage.Backend, runRoot string) (*RepairReport, error) {
 	// First, dispose of trash a crashed sweep left behind: a referenced
 	// blob stranded there would make its (perfectly good) checkpoint scan
 	// as torn — and be deleted below — so restoration must precede Scan.
-	trashStore := storage.NewBlobStore(b, objectsPath(runRoot))
+	trashStore, err := storage.OpenCAS(b, objectsPath(runRoot))
+	if err != nil {
+		return nil, err
+	}
 	if trash, _ := trashStore.ListTrash(); len(trash) > 0 {
 		refs, err := BlobRefs(b, runRoot)
 		if err != nil {
@@ -560,7 +598,10 @@ func Repair(b storage.Backend, runRoot string) (*RepairReport, error) {
 	// orphaned .tmp dir (a blob only exists once its publishing rename
 	// ran), so Repair cleans it; sweeping published blobs stays a
 	// deliberate GC action.
-	store := storage.NewBlobStore(b, objectsPath(runRoot))
+	store, err := storage.OpenCAS(b, objectsPath(runRoot))
+	if err != nil {
+		return nil, err
+	}
 	if b.Exists(store.Root()) {
 		if _, staging, _, err := store.List(); err == nil {
 			for _, p := range staging {

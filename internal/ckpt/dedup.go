@@ -56,9 +56,11 @@ func ObjectsRoot(dir string) string {
 	return ObjectsDirName
 }
 
-// storeFor opens the blob store serving a checkpoint directory.
-func storeFor(b storage.Backend, dir string) *storage.BlobStore {
-	return storage.NewBlobStore(b, ObjectsRoot(dir))
+// storeFor opens the content-addressed store serving a checkpoint
+// directory — a plain blob store, or the digest-sharded layout when the
+// objects root declares one (storage.OpenCAS).
+func storeFor(b storage.Backend, dir string) (storage.CAS, error) {
+	return storage.OpenCAS(b, ObjectsRoot(dir))
 }
 
 // IsDedup reports whether a checkpoint directory is stored content-
@@ -126,7 +128,10 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 	metas []ShardGroupMeta, byRank [][]*zero.GroupShard, worldSize, step int,
 	layout optim.LayoutKind) (int64, error) {
 
-	store := storeFor(base, finalDir)
+	store, err := storeFor(base, finalDir)
+	if err != nil {
+		return 0, err
+	}
 	buf := make([]byte, storage.ChunkOrDefault(0))
 
 	// Phase 1: hash everything; build manifests and the digest set.
@@ -210,7 +215,7 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 // (and CRC-verified) blob by blob, raw extents open directly on the blob
 // files, so resume and merge work transparently against either layout.
 type DedupWeights struct {
-	store *storage.BlobStore
+	store storage.CAS
 	man   *WeightManifest
 	// index maps tensor name to its manifest entry position, so per-tensor
 	// lookups cost what the LTSF header map costs, not a slice scan.
@@ -227,7 +232,11 @@ func OpenDedupWeights(b storage.Backend, dir string) (*DedupWeights, error) {
 	for i, e := range man.Tensors {
 		index[e.Name] = i
 	}
-	return &DedupWeights{store: storeFor(b, dir), man: man, index: index}, nil
+	store, err := storeFor(b, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &DedupWeights{store: store, man: man, index: index}, nil
 }
 
 // entry returns the named tensor's manifest entry via the index.
@@ -372,7 +381,10 @@ func readDedupShardFile(b storage.Backend, dir string, rank int) (*ShardFile, er
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: %s: %w", name, err)
 	}
-	store := storeFor(b, dir)
+	store, err := storeFor(b, dir)
+	if err != nil {
+		return nil, err
+	}
 	f := &ShardFile{
 		Rank: man.Rank, WorldSize: man.WorldSize, Step: man.Step,
 		Layout: layout,
@@ -424,7 +436,10 @@ func MaterializeWeights(b storage.Backend, dir, dst string, chunkBytes int) erro
 	if err != nil {
 		return err
 	}
-	store := storeFor(b, dir)
+	store, err := storeFor(b, dir)
+	if err != nil {
+		return err
+	}
 	w, err := NewLTSFWriter(b, dst, man.Model, chunkBytes)
 	if err != nil {
 		return err
@@ -464,7 +479,10 @@ func MaterializeShardFile(b storage.Backend, dir string, rank int, dst string, c
 	if err != nil {
 		return err
 	}
-	store := storeFor(b, dir)
+	store, err := storeFor(b, dir)
+	if err != nil {
+		return err
+	}
 	w, err := NewShardFileWriter(b, dst, man.Rank, man.WorldSize, man.Step, layout, chunkBytes)
 	if err != nil {
 		return err
@@ -515,7 +533,10 @@ func verifyDedupRefs(b storage.Backend, dir string) error {
 	if !b.Exists(dir + "/" + WeightManifestName) {
 		return nil // plain checkpoint: nothing content-addressed to check
 	}
-	store := storeFor(b, dir)
+	store, err := storeFor(b, dir)
+	if err != nil {
+		return err
+	}
 	check := func(what, digest string, size int64) error {
 		got, err := store.Stat(digest)
 		if err != nil {
@@ -609,7 +630,10 @@ func GC(b storage.Backend, runRoot string) (*GCReport, error) {
 		}
 	}
 	rep := &GCReport{Mode: "full", Referenced: len(refs)}
-	store := storage.NewBlobStore(b, objectsPath(runRoot))
+	store, err := storage.OpenCAS(b, objectsPath(runRoot))
+	if err != nil {
+		return nil, err
+	}
 	if !b.Exists(store.Root()) {
 		return rep, nil
 	}
@@ -727,7 +751,10 @@ func GCDryRun(b storage.Backend, runRoot string) (*GCReport, error) {
 		}
 	}
 	rep := &GCReport{Mode: "full", DryRun: true, Referenced: len(refs)}
-	store := storage.NewBlobStore(b, objectsPath(runRoot))
+	store, err := storage.OpenCAS(b, objectsPath(runRoot))
+	if err != nil {
+		return nil, err
+	}
 	if !b.Exists(store.Root()) {
 		return rep, nil
 	}
@@ -849,7 +876,10 @@ type BlobStatus struct {
 // the committed manifests' references — the blob half of the doctor view.
 // A run root without an objects directory yields an empty scan.
 func ScanBlobs(b storage.Backend, runRoot string) ([]BlobStatus, error) {
-	store := storage.NewBlobStore(b, objectsPath(runRoot))
+	store, err := storage.OpenCAS(b, objectsPath(runRoot))
+	if err != nil {
+		return nil, err
+	}
 	if !b.Exists(store.Root()) {
 		return nil, nil
 	}
@@ -913,11 +943,21 @@ func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, e
 	if IsDedup(b, dir) {
 		return rep, nil
 	}
+	if !storage.RenameSupported(b) {
+		// The in-place conversion re-runs the commit transaction over the
+		// directory being converted; in no-rename mode Begin clears the
+		// final directory — which here IS the input. Convert locally, then
+		// upload.
+		return nil, fmt.Errorf("ckpt: dedupify %s: %w on a no-rename backend", dir, storage.ErrNotSupported)
+	}
 	marker, err := ReadCommitMarker(b, dir)
 	if err != nil {
 		return nil, fmt.Errorf("ckpt: dedupify %s: only committed checkpoints convert: %w", dir, err)
 	}
-	store := storeFor(b, dir)
+	store, err := storeFor(b, dir)
+	if err != nil {
+		return nil, err
+	}
 	// Phase 1 hashes every extent without touching the store, so the full
 	// digest set can be journaled before the first blob is published —
 	// the same record-precedes-blobs ordering the dedup save path uses.

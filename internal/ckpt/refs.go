@@ -671,7 +671,7 @@ func indexRecheck(b storage.Backend, runRoot string, exclude map[string]bool) st
 // handleTrash disposes of trash left by a sweep that crashed between
 // trash and purge: referenced blobs (per the given pins) are restored,
 // the rest purged. Returns (restored, purged).
-func handleTrash(store *storage.BlobStore, pins map[string]int) (restored, purged []string, err error) {
+func handleTrash(store storage.CAS, pins map[string]int) (restored, purged []string, err error) {
 	trash, err := store.ListTrash()
 	if err != nil {
 		return nil, nil, err
@@ -799,7 +799,10 @@ func GCGenerational(b storage.Backend, runRoot string, dryRun bool) (*GCReport, 
 		retiredName[e.Name] = true
 	}
 
-	store := storage.NewBlobStore(b, objectsPath(runRoot))
+	store, err := storage.OpenCAS(b, objectsPath(runRoot))
+	if err != nil {
+		return nil, err
+	}
 	if len(candidates) > 0 {
 		pins, err := livePins(b, runRoot, pinned)
 		if err != nil {
@@ -1030,7 +1033,10 @@ func Retain(b storage.Backend, runRoot string, keepLast int, dryRun bool) (*Reta
 		for _, e := range retired {
 			exclude[e.Name] = true
 		}
-		store := storage.NewBlobStore(b, objectsPath(runRoot))
+		store, err := storage.OpenCAS(b, objectsPath(runRoot))
+		if err != nil {
+			return nil, err
+		}
 		sw, err := store.SweepDigests(candidates, pins, dryRun, indexRecheck(b, runRoot, exclude))
 		if sw != nil {
 			rep.Examined = sw.Examined

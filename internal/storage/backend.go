@@ -9,6 +9,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"io/fs"
@@ -240,7 +241,10 @@ func (b *OS) ReadAt(name string, off int64, p []byte) error {
 	return nil
 }
 
-// Stat implements Backend.
+// Stat implements Backend. Stat names a file: a directory path answers
+// not-exist (its FileInfo size is filesystem metadata, not content — and
+// Mem/ObjStore have no such path to stat at all, so agreeing here keeps
+// callers backend-agnostic).
 func (b *OS) Stat(name string) (int64, error) {
 	p, err := b.resolve(name)
 	if err != nil {
@@ -249,6 +253,9 @@ func (b *OS) Stat(name string) (int64, error) {
 	fi, err := os.Stat(p)
 	if err != nil {
 		return 0, fmt.Errorf("storage: stat %s: %w", name, err)
+	}
+	if fi.IsDir() {
+		return 0, fmt.Errorf("storage: stat %s: is a directory: %w", name, fs.ErrNotExist)
 	}
 	return fi.Size(), nil
 }
@@ -315,20 +322,32 @@ func syncDir(dir string) {
 	}
 }
 
-// Remove implements Backend.
+// Remove implements Backend. Removal of an absent path is a silent no-op,
+// matching Mem and ObjStore — including a path "under" a file, where
+// RemoveAll reports ENOTDIR rather than ENOENT. Repair's best-effort
+// cleanup depends on idempotent removes behaving identically everywhere.
 func (b *OS) Remove(name string) error {
 	p, err := b.resolve(name)
 	if err != nil {
 		return err
 	}
 	if err := os.RemoveAll(p); err != nil {
+		if _, statErr := os.Lstat(p); statErr != nil {
+			return nil // nothing at that path: removal already holds
+		}
 		return fmt.Errorf("storage: remove %s: %w", name, err)
 	}
 	return nil
 }
 
-// IsNotExist reports whether an error from a Backend denotes a missing file.
+// IsNotExist reports whether an error from a Backend denotes a missing
+// file. OS surfaces *fs.PathError from the syscall layer; Mem and ObjStore
+// wrap fs.ErrNotExist directly — both forms answer true here, so callers
+// never need to know which backend produced the error.
 func IsNotExist(err error) bool {
+	if errors.Is(err, fs.ErrNotExist) {
+		return true
+	}
 	var pe *fs.PathError
 	return errorsAs(err, &pe) && os.IsNotExist(pe)
 }

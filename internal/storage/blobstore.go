@@ -55,16 +55,29 @@ var blobSeq atomic.Int64
 
 // BlobStore is a content-addressed store rooted at a directory of a
 // Backend.
+//
+// On a backend without rename (RenameSupported false — object stores) the
+// store switches publication modes: writers spool the payload locally and
+// publish with one idempotent whole-object PUT (multipart for large blobs
+// when the backend can Compose). The PUT itself is atomic on an object
+// store, so the no-half-written-blob invariant holds in both modes.
 type BlobStore struct {
-	b    Backend
-	root string
+	b      Backend
+	root   string
+	rename bool
+	mp     MultipartOptions
 }
 
 // NewBlobStore returns a store over root (e.g. "run/objects"). The root is
 // created lazily by the first put.
 func NewBlobStore(b Backend, root string) *BlobStore {
-	return &BlobStore{b: b, root: strings.TrimSuffix(root, "/")}
+	return &BlobStore{b: b, root: strings.TrimSuffix(root, "/"), rename: RenameSupported(b)}
 }
+
+// SetMultipart tunes how no-rename publication streams large blobs (part
+// size, upload parallelism, in-flight byte budget). Rename-mode stores
+// ignore it.
+func (s *BlobStore) SetMultipart(opts MultipartOptions) { s.mp = opts }
 
 // Root returns the store's root directory.
 func (s *BlobStore) Root() string { return s.root }
@@ -195,6 +208,17 @@ func (s *BlobStore) Writer() (*BlobWriter, error) {
 	// truncates rather than excluding, so a name collision would
 	// interleave two writers' bytes in one staging file.
 	stage := fmt.Sprintf("%s/%s/put-%d-%d", s.root, blobStageDir, os.Getpid(), blobSeq.Add(1))
+	if !s.rename {
+		// No rename to publish with: spool the payload locally, verify the
+		// digest against the spooled bytes, then publish with one atomic
+		// PUT at Commit. Nothing touches the backend until the content is
+		// proven, so ErrStagingLost cannot occur in this mode.
+		sp, err := NewSpool(s.b)
+		if err != nil {
+			return nil, fmt.Errorf("storage: spool blob: %w", err)
+		}
+		return &BlobWriter{s: s, stage: stage, spool: sp, sum: sha256.New()}, nil
+	}
 	w, err := s.b.Create(stage)
 	if err != nil {
 		return nil, fmt.Errorf("storage: stage blob: %w", err)
@@ -206,7 +230,8 @@ func (s *BlobStore) Writer() (*BlobWriter, error) {
 type BlobWriter struct {
 	s     *BlobStore
 	stage string
-	w     io.WriteCloser
+	w     io.WriteCloser // rename mode: staging stream
+	spool Spool          // no-rename mode: local spool until Commit
 	sum   hash.Hash
 	n     int64
 	done  bool
@@ -214,7 +239,13 @@ type BlobWriter struct {
 
 // Write implements io.Writer.
 func (w *BlobWriter) Write(p []byte) (int, error) {
-	n, err := w.w.Write(p)
+	var n int
+	var err error
+	if w.spool != nil {
+		n, err = w.spool.Write(p)
+	} else {
+		n, err = w.w.Write(p)
+	}
 	if n > 0 {
 		w.sum.Write(p[:n])
 		w.n += int64(n)
@@ -232,6 +263,9 @@ func (w *BlobWriter) Commit(digest string) (bool, error) {
 		return false, fmt.Errorf("storage: blob commit after close")
 	}
 	w.done = true
+	if w.spool != nil {
+		return w.commitPut(digest)
+	}
 	if err := w.w.Close(); err != nil {
 		w.s.b.Remove(w.stage)
 		return false, fmt.Errorf("storage: stage blob %s: %w", digest, err)
@@ -265,12 +299,52 @@ func (w *BlobWriter) Commit(digest string) (bool, error) {
 	return true, nil
 }
 
-// Abort drops the staging file (best effort; safe after Commit).
+// commitPut is Commit for no-rename backends: verify the spooled content,
+// then publish with one whole-object PUT — multipart when the payload
+// spans several parts and the backend can Compose, serial otherwise. Part
+// objects are named into the staging directory so residue from a crash
+// mid-multipart is swept exactly like rename-mode staging residue.
+func (w *BlobWriter) commitPut(digest string) (bool, error) {
+	defer w.spool.Discard()
+	if !ValidDigest(digest) {
+		return false, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	if got := hex.EncodeToString(w.sum.Sum(nil)); got != digest {
+		return false, fmt.Errorf("storage: blob content hashes to %s, want %s", got, digest)
+	}
+	if w.s.Has(digest) {
+		return false, nil
+	}
+	r, err := w.spool.Reader()
+	if err != nil {
+		return false, fmt.Errorf("storage: publish blob %s: %w", digest, err)
+	}
+	defer r.Close()
+	opts := w.s.mp
+	if opts.PartPrefix == "" {
+		opts.PartPrefix = w.stage + ".part-"
+	}
+	if err := MultipartPut(w.s.b, w.s.Path(digest), r, w.n, opts); err != nil {
+		if w.s.Has(digest) {
+			// Lost the publish race to another writer of the same digest;
+			// content addressing makes the copies identical.
+			return false, nil
+		}
+		return false, fmt.Errorf("storage: publish blob %s: %w", digest, err)
+	}
+	return true, nil
+}
+
+// Abort drops the staging state (best effort; safe after Commit).
 func (w *BlobWriter) Abort() {
 	if w.done {
 		return
 	}
 	w.done = true
+	if w.spool != nil {
+		w.spool.Discard()
+		return
+	}
 	w.w.Close()
 	w.s.b.Remove(w.stage)
 }
@@ -376,14 +450,30 @@ func (s *BlobStore) trashPath(digest string) string {
 	return s.root + "/" + blobTrashDir + "/" + digest
 }
 
-// Trash provisionally removes a blob: one atomic rename into the trash
-// area. The blob stops being visible to Has/Open; a recheck either
-// restores it or purges it.
+// moveObject relocates one object: a single atomic rename when the backend
+// has one, copy-then-delete otherwise. In the copy mode the destination is
+// fully published before the source disappears, so a crash between the two
+// steps leaves the object visible at both paths — and both callers
+// (trash/restore) converge from that state on the next pass: Restore drops
+// the redundant trash copy, and a re-trash of an already-trashed digest
+// just re-copies identical content.
+func (s *BlobStore) moveObject(from, to string) error {
+	if s.rename {
+		return s.b.Rename(from, to)
+	}
+	if _, err := CopyFile(s.b, to, s.b, from, 0); err != nil {
+		return err
+	}
+	return s.b.Remove(from)
+}
+
+// Trash provisionally removes a blob into the trash area. The blob stops
+// being visible to Has/Open; a recheck either restores it or purges it.
 func (s *BlobStore) Trash(digest string) error {
 	if !ValidDigest(digest) {
 		return fmt.Errorf("storage: invalid blob digest %q", digest)
 	}
-	return s.b.Rename(s.Path(digest), s.trashPath(digest))
+	return s.moveObject(s.Path(digest), s.trashPath(digest))
 }
 
 // Restore undoes a provisional removal. If the blob was re-published
@@ -397,7 +487,7 @@ func (s *BlobStore) Restore(digest string) error {
 	if s.Has(digest) {
 		return s.b.Remove(s.trashPath(digest))
 	}
-	return s.b.Rename(s.trashPath(digest), s.Path(digest))
+	return s.moveObject(s.trashPath(digest), s.Path(digest))
 }
 
 // PurgeTrash deletes a trashed blob permanently.

@@ -1,0 +1,132 @@
+// Read-through local blob cache.
+//
+// Resume and merge against a remote store would otherwise pay the remote
+// link for every tensor read — including lazy OpenRange reads that revisit
+// the same blob many times. CachedCAS interposes a local BlobStore: the
+// first read of a blob pulls it whole from the remote and publishes it
+// locally (content-addressed, so the copy is self-verifying); subsequent
+// reads, including ranged ones, hit local disk.
+//
+// Invalidation rules, deliberately minimal because blobs are immutable:
+//
+//   - a digest's content never changes, so a cached blob can never be
+//     stale — only present or absent;
+//   - existence/size authority stays with the remote (Has/Stat are never
+//     answered from the cache), so a blob GC'd remotely stops being
+//     reported even while a local copy lingers; and
+//   - Remove/Trash/PurgeTrash forward to the remote and evict the local
+//     copy (best effort), so the cache never outlives the authority by
+//     more than the current call.
+
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// CachedCAS wraps a remote CAS with a local read cache. All writes, sweeps
+// and metadata queries go straight to the remote; only Open/OpenRange
+// consult the cache.
+type CachedCAS struct {
+	CAS              // the remote authority
+	local *BlobStore // read cache
+}
+
+// NewCachedCAS wraps remote with a read-through cache stored in local.
+func NewCachedCAS(remote CAS, local *BlobStore) *CachedCAS {
+	return &CachedCAS{CAS: remote, local: local}
+}
+
+// fill pulls one whole blob from the remote into the local cache,
+// verifying its digest on the way (a corrupt transfer never lands). The
+// pull is best-effort: on any failure the caller falls back to reading
+// remote directly.
+func (c *CachedCAS) fill(digest string) bool {
+	r, err := c.CAS.Open(digest)
+	if err != nil {
+		return false
+	}
+	defer r.Close()
+	sum := sha256.New()
+	_, err = c.local.PutStream(digest, func(w io.Writer) (int64, error) {
+		return io.Copy(io.MultiWriter(w, sum), r)
+	})
+	if err != nil {
+		return false
+	}
+	if hex.EncodeToString(sum.Sum(nil)) != digest {
+		// PutStream's own commit check makes this unreachable, but a cheap
+		// second opinion on cache fills costs nothing.
+		c.local.Remove(digest)
+		return false
+	}
+	return true
+}
+
+// Open implements CAS: local copy if cached, else pull-through then local,
+// else straight remote.
+func (c *CachedCAS) Open(digest string) (io.ReadCloser, error) {
+	if !ValidDigest(digest) {
+		return nil, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	if c.local.Has(digest) || c.fill(digest) {
+		return c.local.Open(digest)
+	}
+	return c.CAS.Open(digest)
+}
+
+// OpenRange implements CAS with the same read-through policy; ranged reads
+// pull the whole blob once so later ranges over it stay local.
+func (c *CachedCAS) OpenRange(digest string, off, n int64) (io.ReadCloser, error) {
+	if !ValidDigest(digest) {
+		return nil, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	if c.local.Has(digest) || c.fill(digest) {
+		return c.local.OpenRange(digest, off, n)
+	}
+	return c.CAS.OpenRange(digest, off, n)
+}
+
+// Remove forwards to the remote and evicts the local copy.
+func (c *CachedCAS) Remove(digest string) error {
+	err := c.CAS.Remove(digest)
+	c.local.Remove(digest)
+	return err
+}
+
+// Trash forwards to the remote and evicts the local copy: a provisionally
+// removed blob must stop serving reads immediately, even cached ones.
+func (c *CachedCAS) Trash(digest string) error {
+	err := c.CAS.Trash(digest)
+	c.local.Remove(digest)
+	return err
+}
+
+// PurgeTrash forwards to the remote and evicts the local copy.
+func (c *CachedCAS) PurgeTrash(digest string) error {
+	err := c.CAS.PurgeTrash(digest)
+	c.local.Remove(digest)
+	return err
+}
+
+// EvictAll drops the entire local cache (e.g. to reclaim disk).
+func (c *CachedCAS) EvictAll() error {
+	blobs, staging, _, err := c.local.List()
+	if err != nil {
+		return err
+	}
+	for _, b := range blobs {
+		if err := c.local.Remove(b.Digest); err != nil {
+			return err
+		}
+	}
+	for _, p := range staging {
+		c.local.b.Remove(p)
+	}
+	return nil
+}
+
+var _ CAS = (*CachedCAS)(nil)

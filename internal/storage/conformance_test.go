@@ -1,0 +1,254 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// conformanceBackend is one backend under the cross-backend suite.
+type conformanceBackend struct {
+	name string
+	b    Backend
+	// flat marks object-store semantics: directories exist only while a
+	// key lives under them, so an emptied directory reads as missing.
+	flat bool
+}
+
+// conformanceBackends builds every Backend implementation (bare and
+// wrapped) over a fresh store. The wrappers matter: Meter and Fault must
+// not change List/Exists/Stat/Remove semantics, and the suite is what
+// pins that.
+func conformanceBackends(t *testing.T) []conformanceBackend {
+	t.Helper()
+	osb, err := NewOS(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewOS: %v", err)
+	}
+	lat := objstoreTestLatency()
+	obj := NewObjStore()
+	obj.SetLatency(lat, 0)
+	wrappedObj := NewObjStore()
+	wrappedObj.SetLatency(lat, 0)
+	retry := NewRetry(wrappedObj, 1)
+	retry.Sleep = func(time.Duration) {}
+	return []conformanceBackend{
+		{name: "os", b: osb},
+		{name: "mem", b: NewMem()},
+		{name: "meter", b: NewMeter(NewMem(), LocalNVMe())},
+		{name: "fault", b: NewFault(NewMem())},
+		{name: "objstore", b: obj, flat: true},
+		{name: "retry+meter+objstore", b: retry, flat: true},
+	}
+}
+
+// objstoreTestLatency reads the CI lane's injected latency (OBJSTORE_LAT_US
+// microseconds per operation); zero outside the lane.
+func objstoreTestLatency() time.Duration {
+	us := 0
+	for _, c := range os.Getenv("OBJSTORE_LAT_US") {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		us = us*10 + int(c-'0')
+	}
+	return time.Duration(us) * time.Microsecond
+}
+
+func writeAll(t *testing.T, b Backend, name, content string) {
+	t.Helper()
+	if err := b.WriteFile(name, []byte(content)); err != nil {
+		t.Fatalf("WriteFile(%s): %v", name, err)
+	}
+}
+
+// TestBackendConformance runs every backend through the same
+// List/Exists/Stat/Remove matrix: missing paths, empty directories,
+// nested directories, and file-vs-directory confusion. The assertions are
+// the cross-backend contract Repair and the commit protocol rely on.
+func TestBackendConformance(t *testing.T) {
+	for _, cb := range conformanceBackends(t) {
+		cb := cb
+		t.Run(cb.name, func(t *testing.T) {
+			b := cb.b
+
+			// -- Missing paths -------------------------------------------------
+			if b.Exists("nope") {
+				t.Fatalf("Exists(nope) = true on empty store")
+			}
+			if _, err := b.Stat("nope"); err == nil {
+				t.Fatalf("Stat(nope) succeeded")
+			} else if !IsNotExist(err) {
+				t.Fatalf("Stat(nope): error %v not IsNotExist", err)
+			}
+			if _, err := b.List("nope"); err == nil {
+				t.Fatalf("List(nope) succeeded")
+			} else if !IsNotExist(err) {
+				t.Fatalf("List(nope): error %v not IsNotExist", err)
+			}
+			if _, err := b.ReadFile("nope"); err == nil || !IsNotExist(err) {
+				t.Fatalf("ReadFile(nope): want IsNotExist, got %v", err)
+			}
+			// Remove of a missing path is idempotent cleanup on every
+			// backend — Repair's best-effort deletions depend on it.
+			if err := b.Remove("nope"); err != nil {
+				t.Fatalf("Remove(nope): %v", err)
+			}
+			if err := b.Remove("no/such/nested/path"); err != nil {
+				t.Fatalf("Remove(nested missing): %v", err)
+			}
+
+			// -- Root ----------------------------------------------------------
+			if !b.Exists("") {
+				t.Fatalf(`Exists("") = false; the root always exists`)
+			}
+
+			// -- Nested content ------------------------------------------------
+			writeAll(t, b, "a/b/c.txt", "ccc")
+			writeAll(t, b, "a/d.txt", "dd")
+			for _, p := range []string{"a", "a/b", "a/b/c.txt", "a/d.txt"} {
+				if !b.Exists(p) {
+					t.Fatalf("Exists(%s) = false after writes", p)
+				}
+			}
+			got, err := b.List("a")
+			if err != nil {
+				t.Fatalf("List(a): %v", err)
+			}
+			want := []string{"b/", "d.txt"}
+			if strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Fatalf("List(a) = %v, want %v", got, want)
+			}
+			if !sort.StringsAreSorted(got) {
+				t.Fatalf("List(a) not sorted: %v", got)
+			}
+			if n, err := b.Stat("a/d.txt"); err != nil || n != 2 {
+				t.Fatalf("Stat(a/d.txt) = %d, %v; want 2, nil", n, err)
+			}
+
+			// -- File-vs-directory ---------------------------------------------
+			// Stat names a FILE's size; a directory path must error rather
+			// than answer with filesystem metadata.
+			if _, err := b.Stat("a/b"); err == nil {
+				t.Fatalf("Stat(a/b) succeeded on a directory")
+			}
+			// Listing a file path is an error everywhere (not-a-directory
+			// on hierarchical backends, nothing-under-prefix on flat ones).
+			if _, err := b.List("a/d.txt"); err == nil {
+				t.Fatalf("List(a/d.txt) succeeded on a file")
+			}
+			// Reading a directory path must not hand back bytes.
+			if _, err := b.ReadFile("a/b"); err == nil {
+				t.Fatalf("ReadFile(a/b) succeeded on a directory")
+			}
+
+			// -- Empty-but-existing directories --------------------------------
+			if err := b.Remove("a/b/c.txt"); err != nil {
+				t.Fatalf("Remove(a/b/c.txt): %v", err)
+			}
+			if cb.flat {
+				// Flat namespace: the directory existed only through its
+				// key, so it vanishes with it.
+				if b.Exists("a/b") {
+					t.Fatalf("flat Exists(a/b) = true after removing its only key")
+				}
+				if _, err := b.List("a/b"); err == nil || !IsNotExist(err) {
+					t.Fatalf("flat List(a/b): want IsNotExist, got %v", err)
+				}
+			} else {
+				// Hierarchical: the emptied directory remains, listing as
+				// empty — the Mem regression this suite pins.
+				if !b.Exists("a/b") {
+					t.Fatalf("Exists(a/b) = false after emptying the directory")
+				}
+				entries, err := b.List("a/b")
+				if err != nil {
+					t.Fatalf("List(a/b) on emptied directory: %v", err)
+				}
+				if len(entries) != 0 {
+					t.Fatalf("List(a/b) = %v, want empty", entries)
+				}
+				// And the emptied directory shows in the parent listing.
+				got, err := b.List("a")
+				if err != nil {
+					t.Fatalf("List(a): %v", err)
+				}
+				want := []string{"b/", "d.txt"}
+				if strings.Join(got, ",") != strings.Join(want, ",") {
+					t.Fatalf("List(a) = %v, want %v", got, want)
+				}
+			}
+
+			// -- Directory-tree removal ----------------------------------------
+			if err := b.Remove("a"); err != nil {
+				t.Fatalf("Remove(a): %v", err)
+			}
+			for _, p := range []string{"a", "a/b", "a/d.txt"} {
+				if b.Exists(p) {
+					t.Fatalf("Exists(%s) = true after Remove(a)", p)
+				}
+			}
+			if _, err := b.List("a"); err == nil || !IsNotExist(err) {
+				t.Fatalf("List(a) after removal: want IsNotExist, got %v", err)
+			}
+
+			// -- Streams and ranges keep file semantics ------------------------
+			w, err := b.Create("s/stream.bin")
+			if err != nil {
+				t.Fatalf("Create: %v", err)
+			}
+			if _, err := w.Write([]byte("0123456789")); err != nil {
+				t.Fatalf("stream write: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("stream close: %v", err)
+			}
+			rc, err := b.OpenRange("s/stream.bin", 2, 5)
+			if err != nil {
+				t.Fatalf("OpenRange: %v", err)
+			}
+			part, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil || string(part) != "23456" {
+				t.Fatalf("OpenRange read = %q, %v", part, err)
+			}
+			if _, err := b.OpenRange("s/stream.bin", 8, 5); err == nil {
+				t.Fatalf("OpenRange past EOF succeeded")
+			}
+			p := make([]byte, 4)
+			if err := b.ReadAt("s/stream.bin", 6, p); err != nil || string(p) != "6789" {
+				t.Fatalf("ReadAt = %q, %v", p, err)
+			}
+			// Removing a path "under" a file is a no-op everywhere, like
+			// any other missing path — this is where OS (ENOTDIR from
+			// RemoveAll) historically diverged from Mem's silent nil.
+			if err := b.Remove("s/stream.bin/child"); err != nil {
+				t.Fatalf("Remove(under a file): %v", err)
+			}
+			if _, err := b.Stat("s/stream.bin"); err != nil {
+				t.Fatalf("file damaged by Remove(under a file): %v", err)
+			}
+		})
+	}
+}
+
+// TestRenameSupportedProbe pins the capability probe: every filesystem
+// backend (and wrapper over one) renames; ObjStore (and wrappers over it)
+// do not, and Rename surfaces ErrNotSupported there.
+func TestRenameSupportedProbe(t *testing.T) {
+	for _, cb := range conformanceBackends(t) {
+		if got := RenameSupported(cb.b); got == cb.flat {
+			t.Fatalf("%s: RenameSupported = %v, want %v", cb.name, got, !cb.flat)
+		}
+		if cb.flat {
+			writeAll(t, cb.b, "x", "1")
+			if err := cb.b.Rename("x", "y"); !errors.Is(err, ErrNotSupported) {
+				t.Fatalf("%s: Rename err = %v, want ErrNotSupported", cb.name, err)
+			}
+		}
+	}
+}

@@ -23,8 +23,9 @@ func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
 //   - each chunk Write on a stream returned by Create (optionally torn:
 //     a prefix of the chunk lands),
 //   - Close of a created stream,
-//   - Rename, and
-//   - Remove.
+//   - Rename,
+//   - Remove, and
+//   - Compose (multipart completion).
 //
 // Once the armed fault fires, the wrapper enters the crashed state: every
 // subsequent mutating operation fails immediately with ErrInjected, exactly
@@ -229,6 +230,25 @@ func (f *Fault) Remove(name string) error {
 		return injectedf("storage: remove %s", name)
 	}
 	return f.Backend.Remove(name)
+}
+
+// RenameSupported forwards the capability of the wrapped backend, so the
+// commit protocol picks the same publication mode with or without fault
+// injection.
+func (f *Fault) RenameSupported() bool { return RenameSupported(f.Backend) }
+
+// ComposeSupported forwards the capability of the wrapped backend.
+func (f *Fault) ComposeSupported() bool { return ComposeSupported(f.Backend) }
+
+// Compose implements Composer; one fault point. A fired fault fails before
+// the backend mutates anything — Compose is atomic on the backend, so the
+// only crash outcomes are "nothing happened" and "dst fully published",
+// which is exactly the guarantee multipart recovery leans on.
+func (f *Fault) Compose(dst string, parts ...string) error {
+	if fire, _ := f.point(); fire {
+		return injectedf("storage: compose %s", dst)
+	}
+	return Compose(f.Backend, dst, parts...)
 }
 
 // ReadFile implements Backend (never a fault point).

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"io/fs"
 	"path"
 	"sort"
 	"strings"
@@ -12,21 +13,44 @@ import (
 
 // Mem is an in-memory Backend used by tests and fast benchmarks. It is safe
 // for concurrent use.
+//
+// Unlike an object store's flat namespace, Mem models a filesystem: writing
+// a/b/c brings directories a and a/b into existence (the dirs set), and
+// they persist after their last file is removed — so List over an emptied
+// directory returns an empty slice and Exists keeps reporting it, exactly
+// like the OS backend. The cross-backend conformance suite pins this.
 type Mem struct {
 	mu    sync.RWMutex
 	files map[string][]byte
+	dirs  map[string]bool
 }
 
 // NewMem returns an empty in-memory backend.
-func NewMem() *Mem { return &Mem{files: map[string][]byte{}} }
+func NewMem() *Mem { return &Mem{files: map[string][]byte{}, dirs: map[string]bool{}} }
 
 func memClean(name string) string { return strings.TrimPrefix(path.Clean("/"+name), "/") }
+
+func memNotExist(op, name string) error {
+	return fmt.Errorf("storage: %s %s: %w", op, name, fs.ErrNotExist)
+}
+
+// addParents registers every ancestor directory of a path (mirroring the
+// MkdirAll the OS backend performs before a write). Callers hold b.mu.
+func (b *Mem) addParents(name string) {
+	for i, c := range name {
+		if c == '/' {
+			b.dirs[name[:i]] = true
+		}
+	}
+}
 
 // WriteFile implements Backend.
 func (b *Mem) WriteFile(name string, data []byte) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.files[memClean(name)] = append([]byte(nil), data...)
+	clean := memClean(name)
+	b.files[clean] = append([]byte(nil), data...)
+	b.addParents(clean)
 	return nil
 }
 
@@ -36,7 +60,7 @@ func (b *Mem) ReadFile(name string) ([]byte, error) {
 	defer b.mu.RUnlock()
 	data, ok := b.files[memClean(name)]
 	if !ok {
-		return nil, fmt.Errorf("storage: read %s: file does not exist", name)
+		return nil, memNotExist("read", name)
 	}
 	return append([]byte(nil), data...), nil
 }
@@ -69,6 +93,7 @@ func (w *memWriter) Close() error {
 	w.b.mu.Lock()
 	defer w.b.mu.Unlock()
 	w.b.files[w.name] = append([]byte(nil), w.buf.Bytes()...)
+	w.b.addParents(w.name)
 	return nil
 }
 
@@ -87,7 +112,7 @@ func (b *Mem) OpenRange(name string, off, n int64) (io.ReadCloser, error) {
 	data, ok := b.files[memClean(name)]
 	b.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("storage: open %s: file does not exist", name)
+		return nil, memNotExist("open", name)
 	}
 	if err := checkRange(name, off, n, int64(len(data))); err != nil {
 		return nil, err
@@ -101,7 +126,7 @@ func (b *Mem) ReadAt(name string, off int64, p []byte) error {
 	defer b.mu.RUnlock()
 	data, ok := b.files[memClean(name)]
 	if !ok {
-		return fmt.Errorf("storage: read %s: file does not exist", name)
+		return memNotExist("read", name)
 	}
 	if off < 0 || off+int64(len(p)) > int64(len(data)) {
 		return fmt.Errorf("storage: read %s@%d+%d: out of range (size %d)", name, off, len(p), len(data))
@@ -116,16 +141,19 @@ func (b *Mem) Stat(name string) (int64, error) {
 	defer b.mu.RUnlock()
 	data, ok := b.files[memClean(name)]
 	if !ok {
-		return 0, fmt.Errorf("storage: stat %s: file does not exist", name)
+		return 0, memNotExist("stat", name)
 	}
 	return int64(len(data)), nil
 }
 
-// List implements Backend.
+// List implements Backend. An existing-but-empty directory (all files
+// removed, or only ever created as a parent) lists as an empty slice; a
+// directory that never existed is a not-exist error, matching OS.
 func (b *Mem) List(dir string) ([]string, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
-	prefix := memClean(dir)
+	clean := memClean(dir)
+	prefix := clean
 	if prefix != "" {
 		prefix += "/"
 	}
@@ -141,8 +169,21 @@ func (b *Mem) List(dir string) ([]string, error) {
 			seen[rest] = true
 		}
 	}
-	if len(seen) == 0 && prefix != "" {
-		return nil, fmt.Errorf("storage: list %s: directory does not exist", dir)
+	for name := range b.dirs {
+		if name == clean || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := name[len(prefix):]
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			rest = rest[:i]
+		}
+		seen[rest+"/"] = true
+	}
+	if len(seen) == 0 && clean != "" && !b.dirs[clean] {
+		if _, isFile := b.files[clean]; isFile {
+			return nil, fmt.Errorf("storage: list %s: not a directory", dir)
+		}
+		return nil, memNotExist("list", dir)
 	}
 	names := make([]string, 0, len(seen))
 	for n := range seen {
@@ -152,12 +193,19 @@ func (b *Mem) List(dir string) ([]string, error) {
 	return names, nil
 }
 
-// Exists implements Backend.
+// Exists implements Backend: file keys, registered directories (empty ones
+// included) and the root all exist.
 func (b *Mem) Exists(name string) bool {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	clean := memClean(name)
+	if clean == "" {
+		return true
+	}
 	if _, ok := b.files[clean]; ok {
+		return true
+	}
+	if b.dirs[clean] {
 		return true
 	}
 	prefix := clean + "/"
@@ -179,6 +227,7 @@ func (b *Mem) Rename(oldName, newName string) error {
 		return nil
 	}
 	_, isFile := b.files[oc]
+	isDir := b.dirs[oc]
 	oldPrefix := oc + "/"
 	var moved []string
 	for n := range b.files {
@@ -186,17 +235,21 @@ func (b *Mem) Rename(oldName, newName string) error {
 			moved = append(moved, n)
 		}
 	}
-	if !isFile && len(moved) == 0 {
-		return fmt.Errorf("storage: rename %s: file does not exist", oldName)
+	if !isFile && !isDir && len(moved) == 0 {
+		return memNotExist("rename", oldName)
 	}
 	// Mirror os.Rename: replacing a file with a file is fine, clobbering a
-	// directory that has contents is not, and neither is renaming a
+	// directory (even an empty one) is not, and neither is renaming a
 	// directory over an existing file (ENOTDIR on a real filesystem).
 	newPrefix := nc + "/"
+	destDir := b.dirs[nc]
 	for n := range b.files {
 		if strings.HasPrefix(n, newPrefix) {
-			return fmt.Errorf("storage: rename %s -> %s: destination directory exists", oldName, newName)
+			destDir = true
 		}
+	}
+	if destDir {
+		return fmt.Errorf("storage: rename %s -> %s: destination directory exists", oldName, newName)
 	}
 	if !isFile {
 		if _, clobbersFile := b.files[nc]; clobbersFile {
@@ -211,19 +264,44 @@ func (b *Mem) Rename(oldName, newName string) error {
 		b.files[nc+n[len(oc):]] = b.files[n]
 		delete(b.files, n)
 	}
+	// Move the directory set: the source tree's dirs re-root under the
+	// destination, and the destination's parents come into existence.
+	if isDir || len(moved) > 0 {
+		var movedDirs []string
+		for d := range b.dirs {
+			if d == oc || strings.HasPrefix(d, oldPrefix) {
+				movedDirs = append(movedDirs, d)
+			}
+		}
+		for _, d := range movedDirs {
+			delete(b.dirs, d)
+			b.dirs[nc+d[len(oc):]] = true
+		}
+	}
+	b.addParents(nc)
 	return nil
 }
 
-// Remove implements Backend.
+// Remove implements Backend: the file or directory tree is deleted, parent
+// directories stay (matching os.RemoveAll).
 func (b *Mem) Remove(name string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	clean := memClean(name)
 	delete(b.files, clean)
+	delete(b.dirs, clean)
 	prefix := clean + "/"
+	if clean == "" {
+		prefix = ""
+	}
 	for n := range b.files {
 		if strings.HasPrefix(n, prefix) {
 			delete(b.files, n)
+		}
+	}
+	for n := range b.dirs {
+		if strings.HasPrefix(n, prefix) {
+			delete(b.dirs, n)
 		}
 	}
 	return nil

@@ -145,13 +145,22 @@ func (m *Meter) chargeWrite(n int64) {
 	m.stats.SimTime += m.Profile.WriteTime(m.scale(n))
 }
 
-// WriteFile implements Backend.
+// WriteFile implements Backend. The attempt is charged whether or not it
+// succeeds: a PUT that fails server-side still moved its bytes over the
+// link, and a retry loop above us must pay open latency and bandwidth
+// again on every attempt or the cost model silently flatters retries.
 func (m *Meter) WriteFile(name string, data []byte) error {
-	if err := m.Backend.WriteFile(name, data); err != nil {
-		return err
-	}
+	err := m.Backend.WriteFile(name, data)
 	m.chargeWrite(int64(len(data)))
-	return nil
+	return err
+}
+
+// AddSimTime adds d to the accumulated simulated time. Retry wrappers use
+// it to bill backoff delays to the sim clock instead of sleeping.
+func (m *Meter) AddSimTime(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.SimTime += d
 }
 
 // ReadFile implements Backend.
@@ -274,3 +283,22 @@ func (m *Meter) Remove(name string) error { return m.Backend.Remove(name) }
 
 // Rename implements Backend (uncharged: metadata only).
 func (m *Meter) Rename(oldName, newName string) error { return m.Backend.Rename(oldName, newName) }
+
+// RenameSupported forwards the capability of the wrapped backend.
+func (m *Meter) RenameSupported() bool { return RenameSupported(m.Backend) }
+
+// ComposeSupported forwards the capability of the wrapped backend.
+func (m *Meter) ComposeSupported() bool { return ComposeSupported(m.Backend) }
+
+// Compose forwards multipart completion, charged as a single metadata-ish
+// operation: one file written plus one open latency. The payload bytes were
+// already charged when the parts uploaded; a server-side concatenation
+// moves no client bandwidth.
+func (m *Meter) Compose(dst string, parts ...string) error {
+	err := Compose(m.Backend, dst, parts...)
+	m.mu.Lock()
+	m.stats.FilesWritten++
+	m.stats.SimTime += m.Profile.OpenLatency
+	m.mu.Unlock()
+	return err
+}

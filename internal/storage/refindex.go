@@ -234,6 +234,15 @@ func (ix *RefIndex) Append(r *RefRecord) error {
 		data = append(data, d...)
 	}
 	final := ix.Dir() + "/" + recordName(rec.Generation, rec.Key)
+	if !RenameSupported(ix.b) {
+		// Object-store mode: a whole-object PUT is already atomic (no torn
+		// record possible) and idempotent, so the record publishes directly
+		// — no staging sibling, no rename, nothing for a sweep to steal.
+		if err := ix.b.WriteFile(final, append(data, '\n')); err != nil {
+			return fmt.Errorf("storage: publish ref record %s: %w", rec.Key, err)
+		}
+		return nil
+	}
 	stage := strings.TrimSuffix(final, refSuffix) + refStageSuffix
 	const maxAttempts = 8
 	for attempt := 1; ; attempt++ {

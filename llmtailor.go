@@ -232,6 +232,24 @@ func ScanCheckpointBlobs(b Backend, runRoot string) ([]BlobStatus, error) {
 	return ckpt.ScanBlobs(b, runRoot)
 }
 
+// BlobShards reports the digest-prefix fan-out of a run root's content-
+// addressed objects/ store: the shard count when the sharded layout is in
+// use (shards.json present), 0 for the flat single-directory layout.
+func BlobShards(b Backend, runRoot string) int {
+	root := ckpt.ObjectsDirName
+	if runRoot != "" {
+		root = runRoot + "/" + ckpt.ObjectsDirName
+	}
+	cas, err := storage.OpenCAS(b, root)
+	if err != nil {
+		return 0
+	}
+	if ss, ok := cas.(*storage.ShardedStore); ok {
+		return ss.Shards()
+	}
+	return 0
+}
+
 // GCCheckpointBlobs is the full mark-and-sweep verification pass: blob
 // refcounts are re-derived from every manifest under the run root, the
 // whole store is swept against them, and the journaled ref index is
