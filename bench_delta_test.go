@@ -18,7 +18,6 @@ import (
 	"llmtailor/internal/modelcfg"
 	"llmtailor/internal/optim"
 	"llmtailor/internal/storage"
-	"llmtailor/internal/tensor"
 )
 
 const (
@@ -60,15 +59,7 @@ func mutateLayers(m *model.Model, o *optim.AdamW, cfg *modelcfg.Config, step int
 // returns the metered bytes written plus the backend for inspection.
 func runIncrementalSaves(b *testing.B, dedup bool) (int64, *storage.Mem) {
 	b.Helper()
-	cfg := modelcfg.Llama32_1B().DefaultSimScale()
-	m, err := model.NewInitialized(cfg, tensor.BF16, 77)
-	if err != nil {
-		b.Fatal(err)
-	}
-	o, err := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
-	if err != nil {
-		b.Fatal(err)
-	}
+	cfg, m, o := buildDeltaWorkload(b)
 	mem := storage.NewMem()
 	meter := storage.NewMeter(mem, storage.Profile{})
 	for i := 1; i <= deltaSaves; i++ {

@@ -12,6 +12,8 @@
 //	BENCH_merge.json      bounded-memory merge: peak in-flight <= cap
 //	BENCH_stall.json      lazy-capture stall-bytes reduction >= 5x,
 //	                      and the stall scales with changed layers
+//	BENCH_compress.json   blob-codec changed-layer compression >= 3x,
+//	                      and xor chains within the re-base bound
 //
 // Usage: benchcheck [-dir DIR]; exits non-zero on any violated floor or
 // unreadable record.
@@ -107,6 +109,24 @@ var checks = []check{
 		if lazy*total > snap*changed*4 {
 			return fmt.Errorf("lazy stall %.0f bytes vs snapshot %.0f with %.0f/%.0f layers changed",
 				lazy, snap, changed, total)
+		}
+		return nil
+	}},
+	{"BENCH_compress.json", "blob-codec changed-layer compression >= 3x", atLeast(3, "reduction")},
+	{"BENCH_compress.json", "xor-parent chains stay within the re-base bound", func(m map[string]any) error {
+		deepest, err := number(m, "deepest_chain")
+		if err != nil {
+			return err
+		}
+		entries, err := number(m, "xor_entries")
+		if err != nil {
+			return err
+		}
+		if entries < 1 {
+			return fmt.Errorf("record has no xor-parent entries")
+		}
+		if deepest > 8 { // ckpt.DefaultCodecRebase
+			return fmt.Errorf("deepest chain %.0f exceeds the re-base bound 8", deepest)
 		}
 		return nil
 	}},

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"llmtailor"
 	"llmtailor/internal/ckpt"
@@ -27,11 +28,16 @@ func main() {
 	root := flag.String("root", "", "storage root (with -ckpt)")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory under -root")
 	delta := flag.Bool("delta", false, "per-layer delta of a dedup checkpoint: bytes moved vs referenced against the previous checkpoint (with -root/-ckpt)")
+	codec := flag.Bool("codec", false, "blob codec breakdown of a dedup checkpoint: entries per codec, stored vs payload bytes, deepest xor-parent chain (with -root/-ckpt)")
 	flag.Parse()
 
 	switch {
 	case *modelName != "":
 		if err := describeModel(*modelName, *groups); err != nil {
+			fail(err)
+		}
+	case *root != "" && *ckptDir != "" && *codec:
+		if err := describeCodec(*root, *ckptDir, os.Stdout); err != nil {
 			fail(err)
 		}
 	case *root != "" && *ckptDir != "" && *delta:
@@ -43,7 +49,7 @@ func main() {
 			fail(err)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "usage: ckptstat -model NAME [-groups] | ckptstat -root DIR -ckpt DIR [-delta]")
+		fmt.Fprintln(os.Stderr, "usage: ckptstat -model NAME [-groups] | ckptstat -root DIR -ckpt DIR [-delta|-codec]")
 		fmt.Fprintf(os.Stderr, "models: %v\n", modelcfg.PresetNames())
 		os.Exit(2)
 	}
@@ -125,8 +131,8 @@ func describeDelta(root, dir string, out io.Writer) error {
 	} else {
 		fmt.Fprintf(out, "delta %s vs %s\n", dir, prev)
 	}
-	fmt.Fprintf(out, "  %-14s %9s %14s %14s %14s  %s\n",
-		"layer", "payloads", "bytes", "moved", "referenced", "state")
+	fmt.Fprintf(out, "  %-14s %9s %14s %14s %14s %14s  %s\n",
+		"layer", "payloads", "bytes", "moved", "referenced", "stored", "state")
 	var total ckpt.LayerDeltaRow
 	changed := 0
 	for _, r := range rows {
@@ -135,16 +141,52 @@ func describeDelta(root, dir string, out io.Writer) error {
 			state = "CHANGED"
 			changed++
 		}
-		fmt.Fprintf(out, "  %-14s %9d %14d %14d %14d  %s\n",
-			r.Layer, r.Payloads, r.Bytes, r.BytesMoved, r.BytesReused, state)
+		fmt.Fprintf(out, "  %-14s %9d %14d %14d %14d %14d  %s\n",
+			r.Layer, r.Payloads, r.Bytes, r.BytesMoved, r.BytesReused, r.BytesStored, state)
 		total.Payloads += r.Payloads
 		total.Bytes += r.Bytes
 		total.BytesMoved += r.BytesMoved
 		total.BytesReused += r.BytesReused
+		total.BytesStored += r.BytesStored
 	}
-	fmt.Fprintf(out, "  %-14s %9d %14d %14d %14d  %d/%d layers changed\n",
+	fmt.Fprintf(out, "  %-14s %9d %14d %14d %14d %14d  %d/%d layers changed\n",
 		"TOTAL", total.Payloads, total.Bytes, total.BytesMoved, total.BytesReused,
-		changed, len(rows))
+		total.BytesStored, changed, len(rows))
+	return nil
+}
+
+// describeCodec prints the blob codec breakdown of a dedup checkpoint:
+// how many manifest entries landed per codec, the payload-vs-stored byte
+// totals, and the deepest xor-parent ancestor chain.
+func describeCodec(root, dir string, out io.Writer) error {
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		return err
+	}
+	cs, err := ckpt.ReadCodecStats(b, dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "codec %s\n", dir)
+	names := make([]string, 0, len(cs.Entries))
+	for name := range cs.Entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(out, "  %-12s %6d entries\n", name, cs.Entries[name])
+	}
+	ratio := 0.0
+	if cs.StoredBytes > 0 {
+		ratio = float64(cs.RawBytes) / float64(cs.StoredBytes)
+	}
+	fmt.Fprintf(out, "  payload %d bytes, stored %d bytes (%.2fx)\n",
+		cs.RawBytes, cs.StoredBytes, ratio)
+	if cs.DeepestChain > 0 {
+		fmt.Fprintf(out, "  deepest xor-parent chain: %d (%s)\n", cs.DeepestChain, cs.DeepestSlot)
+	} else {
+		fmt.Fprintln(out, "  deepest xor-parent chain: 0 (no deltas)")
+	}
 	return nil
 }
 

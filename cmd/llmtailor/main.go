@@ -347,6 +347,28 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 			fmt.Fprintln(out, "run `llmtailor gc` to reclaim unreferenced blobs")
 		}
 	}
+	// Codec health: a dedup checkpoint whose manifests pin an xor parent
+	// the store no longer holds cannot restore those entries — a problem.
+	// Deep chains are telemetry (re-base bounds them at save time).
+	codecs, err := llmtailor.ScanCheckpointCodecs(b, *run)
+	if err != nil {
+		return problems, err
+	}
+	var deepest int
+	deepestAt := ""
+	for _, ch := range codecs {
+		if ch.Stats.DeepestChain > deepest {
+			deepest = ch.Stats.DeepestChain
+			deepestAt = ch.Dir + " " + ch.Stats.DeepestSlot
+		}
+		for _, mp := range ch.MissingParents {
+			problems++
+			fmt.Fprintf(out, "  %-12s %s — xor parent missing: %s\n", "codec", ch.Dir, mp)
+		}
+	}
+	if deepest > 0 {
+		fmt.Fprintf(out, "blob codec: deepest xor-parent chain %d (%s)\n", deepest, deepestAt)
+	}
 	// Ref-index health: records that disagree with the manifests (missing,
 	// divergent, corrupt), stale records with no checkpoint behind them,
 	// and append residue are problems -fix reconciles; superseded records

@@ -51,11 +51,13 @@ func main() {
 	objstore := flag.Bool("objstore", false, "run against an ephemeral in-process object store (flat namespace, no-rename commit protocol, retrying PUTs) instead of -root")
 	objLatency := flag.Duration("objstore-latency", 0, "with -objstore: per-operation request latency injected into the object store")
 	shards := flag.Int("shards", 0, "with -dedup: digest-shard the run's blob store across N prefix shards (0 = flat layout)")
+	codec := flag.String("codec", "", "with -dedup: blob compression codec — raw, plane (byte-plane split + RLE), or xor (delta changed layers against the previous checkpoint)")
+	codecRebase := flag.Int("codec-rebase", 0, "with -codec xor: re-base a slot to a full plane blob when its parent chain would exceed this depth (0 = default)")
 	flag.Parse()
 
 	if err := run(*root, *runRoot, *modelName, *sim, *taskName, *steps, *warmup, *lr,
 		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup, *keepLast, *lazy,
-		*objstore, *objLatency, *shards); err != nil {
+		*objstore, *objLatency, *shards, *codec, *codecRebase); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
@@ -64,7 +66,8 @@ func main() {
 func run(root, runRoot, modelName string, sim bool, taskName string,
 	steps, warmup int, lr float64, interval int, strategyName string,
 	worldSize int, seed uint64, failAt int, resume string, dedup bool, keepLast int,
-	lazy bool, objstore bool, objLatency time.Duration, shards int) error {
+	lazy bool, objstore bool, objLatency time.Duration, shards int,
+	codec string, codecRebase int) error {
 
 	var b llmtailor.Backend
 	var retry *storage.Retry
@@ -117,6 +120,7 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 		CkptInterval: interval, Strategy: strat,
 		WorldSize: worldSize, RunRoot: runRoot, FailAt: failAt,
 		DedupCkpt: dedup, KeepLast: keepLast, LazyCapture: lazy,
+		CkptCodec: codec, CkptCodecRebase: codecRebase,
 	}
 
 	var tr *train.Trainer
@@ -170,6 +174,9 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 	}
 	if shards > 0 {
 		fmt.Printf("blob store layout: %d digest-prefix shards\n", shards)
+	}
+	if codec != "" && codec != "raw" {
+		fmt.Printf("blob codec: %s\n", codec)
 	}
 	if lazy {
 		cs := res.Capture

@@ -108,6 +108,12 @@ type capturedPayload struct {
 	// gated is the spool's byte cost held in the engine's gate until the
 	// payload is released (0 for file-backed spools).
 	gated int64
+	// entryCodec/entryStored/entryParents record how the blob actually
+	// landed in the store; writeDedup fills them at publish time and the
+	// manifest entries copy them.
+	entryCodec   string
+	entryStored  int64
+	entryParents []string
 }
 
 // captureTicket tracks one save through capture: the plan, a result slot
@@ -621,15 +627,49 @@ func (e *captureEngine) write(t *captureTicket) error {
 
 func (e *captureEngine) writeDedup(t *captureTicket) error {
 	plan := t.plan
+	// Codec plan for this save. The gate is deliberately nil: spooled
+	// payloads already hold their bytes in the engine's gate, and letting
+	// the encoder block on the same gate could deadlock the write stage.
+	cplan, err := newCodecPlan(e.base, t.spec.Dir, t.spec.Codec, t.spec.CodecRebase, nil)
+	if err != nil {
+		return err
+	}
+	store, err := storeFor(e.base, t.spec.Dir)
+	if err != nil {
+		return err
+	}
+
 	// Digest set in the synchronous path's journal order: weights, then
-	// rank-major groups.
+	// rank-major groups — extended with every xor ancestor the planned
+	// puts would depend on, and with the actual lineage of any blob that
+	// already exists (a dedup hit may carry a chain this save did not plan).
+	type putPlan struct {
+		opts    storage.BlobPutOptions
+		planned []string
+	}
+	wPuts := make([]putPlan, len(plan.weights))
+	gPuts := make([][]putPlan, len(plan.metas))
+	for gi := range gPuts {
+		gPuts[gi] = make([]putPlan, plan.worldSize)
+	}
 	digests := make([]string, 0, len(plan.weights)+len(plan.metas)*plan.worldSize)
+	addPayload := func(slot, digest string, width int, pp *putPlan) {
+		digests = append(digests, digest)
+		if cplan != nil {
+			pp.opts, pp.planned = cplan.optsFor(slot, digest, width)
+			digests = append(digests, pp.planned...)
+		}
+		if ch, err := blobChain(store, digest); err == nil {
+			digests = append(digests, ch...)
+		}
+	}
 	for i := range plan.weights {
-		digests = append(digests, t.weightRes[i].digest)
+		tns := plan.weights[i]
+		addPayload(weightSlot(tns.Name), t.weightRes[i].digest, tns.DType.Size(), &wPuts[i])
 	}
 	for r := 0; r < plan.worldSize; r++ {
 		for gi := range plan.metas {
-			digests = append(digests, t.groupRes[gi][r].digest)
+			addPayload(groupSlotKey(r, plan.metas[gi].Index), t.groupRes[gi][r].digest, 4, &gPuts[gi][r])
 		}
 	}
 
@@ -646,13 +686,10 @@ func (e *captureEngine) writeDedup(t *captureTicket) error {
 	if err != nil {
 		return err
 	}
-	store, err := storeFor(e.base, t.spec.Dir)
-	if err != nil {
-		return err
-	}
-	publish := func(p *capturedPayload, what string) error {
+	publish := func(p *capturedPayload, pp putPlan, what string) error {
+		var res storage.PutResult
 		if p.spool != nil {
-			_, err := store.PutStream(p.digest, func(w io.Writer) (int64, error) {
+			res, err = store.PutStreamOpts(p.digest, pp.opts, func(w io.Writer) (int64, error) {
 				rc, err := p.spool.Open()
 				if err != nil {
 					return 0, err
@@ -667,25 +704,36 @@ func (e *captureEngine) writeDedup(t *captureTicket) error {
 				return fmt.Errorf("ckpt: capture blob %s (%s): %w", p.digest, what, err)
 			}
 			e.releasePayload(p)
-			return nil
+		} else {
+			// A referenced payload moved nothing; its blob must still exist
+			// (the journal record just appended pins it against any sweep's
+			// recheck). If it is gone anyway, fail honestly — the live bytes
+			// are no longer available to re-create it. The manifest entry
+			// records how the existing blob actually landed.
+			meta, err := store.Meta(p.digest)
+			if err != nil {
+				return fmt.Errorf("ckpt: capture reused blob %s (%s) missing from store: %w", p.digest, what, err)
+			}
+			res = storage.PutResult{
+				Codec: meta.Codec, Parent: meta.Parent,
+				RawBytes: meta.RawSize, StoredBytes: meta.StoredSize,
+			}
 		}
-		// A referenced payload moved nothing; its blob must still exist
-		// (the journal record just appended pins it against any sweep's
-		// recheck). If it is gone anyway, fail honestly — the live bytes
-		// are no longer available to re-create it.
-		if !store.Has(p.digest) {
-			return fmt.Errorf("ckpt: capture reused blob %s (%s) missing from store", p.digest, what)
+		codec, stored, parents, err := codecEntryMeta(store, res, pp.planned)
+		if err != nil {
+			return fmt.Errorf("ckpt: capture blob %s (%s): %w", p.digest, what, err)
 		}
+		p.entryCodec, p.entryStored, p.entryParents = codec, stored, parents
 		return nil
 	}
 	for i := range plan.weights {
-		if err := publish(&t.weightRes[i], "tensor "+plan.weights[i].Name); err != nil {
+		if err := publish(&t.weightRes[i], wPuts[i], "tensor "+plan.weights[i].Name); err != nil {
 			return err
 		}
 	}
 	for r := 0; r < plan.worldSize; r++ {
 		for gi := range plan.metas {
-			if err := publish(&t.groupRes[gi][r], fmt.Sprintf("rank %d group %d", r, plan.metas[gi].Index)); err != nil {
+			if err := publish(&t.groupRes[gi][r], gPuts[gi][r], fmt.Sprintf("rank %d group %d", r, plan.metas[gi].Index)); err != nil {
 				return err
 			}
 		}
@@ -699,6 +747,7 @@ func (e *captureEngine) writeDedup(t *captureTicket) error {
 			Name: tns.Name, DType: tns.DType.String(),
 			Shape: append([]int(nil), tns.Shape...),
 			Size:  p.size, CRC32: p.crc, Digest: p.digest,
+			Codec: p.entryCodec, Stored: p.entryStored, Parents: p.entryParents,
 		})
 	}
 	if err := WriteWeightManifest(sb, dir+"/"+WeightManifestName, wm); err != nil {
@@ -715,6 +764,7 @@ func (e *captureEngine) writeDedup(t *captureTicket) error {
 				Index: m.Index, Numel: m.Numel, ShardLen: p.size / 12,
 				NoDecay: m.NoDecay, Layer: m.Layer,
 				Size: p.size, CRC32: p.crc, Digest: p.digest,
+				Codec: p.entryCodec, Stored: p.entryStored, Parents: p.entryParents,
 			})
 		}
 		if err := WriteShardManifest(sb, dir+"/"+ShardManifestName(r), sm); err != nil {

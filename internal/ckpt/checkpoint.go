@@ -93,6 +93,17 @@ type SaveSpec struct {
 	// checkpoint directory holds manifests referencing them. Unchanged
 	// layers between saves cost zero payload bytes.
 	Dedup bool
+	// Codec selects how dedup payload blobs are stored: "" or "raw" keeps
+	// the pre-codec byte-for-byte blobs, "plane" byte-plane-codes every
+	// blob standalone, "xor" (or "xor-parent") additionally deltas changed
+	// payloads against the previous checkpoint's blob for the same slot.
+	// Whatever is requested, blobs that would not shrink are stored raw and
+	// manifests record the actual codec — restore is always byte-identical.
+	Codec string
+	// CodecRebase bounds xor-parent chain depth: a slot whose chain would
+	// exceed it is re-based to a self-contained plane blob. 0 means
+	// DefaultCodecRebase.
+	CodecRebase int
 	// LayerGens carries the optimizer's per-layer mutation counters
 	// (optim.AdamW.LayerGens) at save time. Lazy capture uses them to prove
 	// a layer unchanged since the previous save and skip hashing it
@@ -208,8 +219,12 @@ func Save(b storage.Backend, spec SaveSpec) error {
 	}
 	var refGen int64
 	if spec.Dedup {
+		cplan, err := newCodecPlan(b, spec.Dir, spec.Codec, spec.CodecRebase, nil)
+		if err != nil {
+			return err
+		}
 		gen, err := writeDedupPayloads(b, sb, dir, spec.Dir, plan.cfg.Name, plan.weights,
-			plan.metas, byRank, plan.worldSize, plan.stepCount, plan.layoutKind)
+			plan.metas, byRank, plan.worldSize, plan.stepCount, plan.layoutKind, cplan)
 		if err != nil {
 			return err
 		}

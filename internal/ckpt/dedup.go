@@ -102,12 +102,18 @@ func encodeGroupPayload(w io.Writer, buf []byte, s *zero.GroupShard) (int64, err
 }
 
 // dedupPayload is one payload of a dedup save: its hashed identity plus
-// the encoder that can replay its exact bytes into the store.
+// the encoder that can replay its exact bytes into the store, and — when a
+// codec plan is active — the planned put options and the manifest-entry
+// patch that records how the blob actually landed.
 type dedupPayload struct {
 	digest string
 	crc    uint32
 	size   int64
 	encode func(io.Writer) (int64, error)
+
+	opts    storage.BlobPutOptions
+	planned []string
+	apply   func(codec string, stored int64, parents []string)
 }
 
 // writeDedupPayloads is the dedup half of Save: weight and group payloads
@@ -117,16 +123,18 @@ type dedupPayload struct {
 // eventual (published) path — the blob store location derives from it, not
 // from the staging directory.
 //
-// Ordering is load-bearing: every payload is hashed first (no storage
-// I/O), the full digest set is journaled in the ref index, and only then
-// are missing blobs published — so a concurrent or later sweep always
-// finds a record pinning a blob before the blob exists. The returned
+// Ordering is load-bearing: every payload is hashed first (metadata-only
+// storage I/O), the full digest set — including every xor-parent ancestor a
+// planned or existing delta blob depends on — is journaled in the ref
+// index, and only then are missing blobs published — so a concurrent or
+// later sweep always finds a record pinning a blob (and its decode
+// ancestry) before the blob exists. The returned
 // generation is recorded in the checkpoint's manifest.json (ref_gen),
 // binding the published directory to its journal record.
 func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 	modelName string, weights []*tensor.Tensor,
 	metas []ShardGroupMeta, byRank [][]*zero.GroupShard, worldSize, step int,
-	layout optim.LayoutKind) (int64, error) {
+	layout optim.LayoutKind, cplan *codecPlan) (int64, error) {
 
 	store, err := storeFor(base, finalDir)
 	if err != nil {
@@ -134,15 +142,31 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 	}
 	buf := make([]byte, storage.ChunkOrDefault(0))
 
-	// Phase 1: hash everything; build manifests and the digest set.
+	// Phase 1: hash everything; build manifests and the digest set. With a
+	// codec plan active, each payload also gets its planned put options, and
+	// the journal set is extended with every planned ancestor — the record
+	// must pin a parent before a delta depending on it can exist.
 	var payloads []dedupPayload
 	var digests []string
-	hash := func(size int64, encode func(io.Writer) (int64, error)) (string, uint32, error) {
+	hash := func(slot string, width int, size int64, encode func(io.Writer) (int64, error)) (string, uint32, error) {
 		digest, crc, err := hashStream(size, encode)
 		if err != nil {
 			return "", 0, err
 		}
-		payloads = append(payloads, dedupPayload{digest: digest, crc: crc, size: size, encode: encode})
+		p := dedupPayload{digest: digest, crc: crc, size: size, encode: encode}
+		if cplan != nil {
+			p.opts, p.planned = cplan.optsFor(slot, digest, width)
+			digests = append(digests, p.planned...)
+		}
+		// A blob that already exists may carry an xor lineage this save did
+		// not plan (written by an earlier save from another parent, or by a
+		// codec-enabled save when this one runs raw); the record must pin
+		// those actual ancestors too, or retiring the blob's original
+		// record could orphan them under our feet.
+		if ch, err := blobChain(store, digest); err == nil {
+			digests = append(digests, ch...)
+		}
+		payloads = append(payloads, p)
 		digests = append(digests, digest)
 		return digest, crc, nil
 	}
@@ -150,7 +174,7 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 	for _, t := range weights {
 		t := t
 		size := int64(t.Bytes())
-		digest, crc, err := hash(size, func(w io.Writer) (int64, error) {
+		digest, crc, err := hash(weightSlot(t.Name), t.DType.Size(), size, func(w io.Writer) (int64, error) {
 			return t.EncodeTo(w, buf)
 		})
 		if err != nil {
@@ -161,6 +185,11 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 			Shape: append([]int(nil), t.Shape...),
 			Size:  size, CRC32: crc, Digest: digest,
 		})
+		idx := len(wm.Tensors) - 1
+		payloads[len(payloads)-1].apply = func(codec string, stored int64, parents []string) {
+			e := &wm.Tensors[idx]
+			e.Codec, e.Stored, e.Parents = codec, stored, parents
+		}
 	}
 	sms := make([]*ShardManifest, worldSize)
 	for r := 0; r < worldSize; r++ {
@@ -172,7 +201,8 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 			m := metas[i]
 			size := s.Numel() * 12
 			shard := s
-			digest, crc, err := hash(size, func(w io.Writer) (int64, error) {
+			// Group payloads are FP32 triples, so the plane width is 4.
+			digest, crc, err := hash(groupSlotKey(r, m.Index), 4, size, func(w io.Writer) (int64, error) {
 				return encodeGroupPayload(w, buf, shard)
 			})
 			if err != nil {
@@ -183,6 +213,11 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 				NoDecay: m.NoDecay, Layer: m.Layer,
 				Size: size, CRC32: crc, Digest: digest,
 			})
+			idx := len(sm.Groups) - 1
+			payloads[len(payloads)-1].apply = func(codec string, stored int64, parents []string) {
+				g := &sm.Groups[idx]
+				g.Codec, g.Stored, g.Parents = codec, stored, parents
+			}
 		}
 		sms[r] = sm
 	}
@@ -192,10 +227,20 @@ func writeDedupPayloads(base, sb storage.Backend, stagingDir, finalDir string,
 	if err != nil {
 		return 0, err
 	}
-	for _, p := range payloads {
-		if _, err := store.PutStream(p.digest, p.encode); err != nil {
+	for i := range payloads {
+		// A zero-valued opts (no plan) is a plain raw put; either way the
+		// manifest entry records how the blob actually landed — a dedup hit
+		// may resolve to a container another save stored.
+		p := &payloads[i]
+		res, err := store.PutStreamOpts(p.digest, p.opts, p.encode)
+		if err != nil {
 			return 0, fmt.Errorf("ckpt: dedup blob %s: %w", p.digest, err)
 		}
+		codec, stored, parents, err := codecEntryMeta(store, res, p.planned)
+		if err != nil {
+			return 0, fmt.Errorf("ckpt: dedup blob %s: %w", p.digest, err)
+		}
+		p.apply(codec, stored, parents)
 	}
 
 	// Phase 3: stage the manifests through the recording backend.
@@ -526,9 +571,12 @@ func shardManifestRanks(b storage.Backend, dir string) []int {
 }
 
 // verifyDedupRefs checks that every blob a dedup checkpoint references
-// exists with the manifest's exact size — the cheap half of reference
-// integrity Scan runs on committed dedup directories (content digests are
-// verified by readers and materialization).
+// exists with the manifest's exact payload size — the cheap half of
+// reference integrity Scan runs on committed dedup directories (content
+// digests are verified by readers and materialization). Sizes compare
+// against the blob's decoded (raw) size, so compressed containers verify
+// the same as raw blobs; xor entries additionally require every listed
+// ancestor to be present, because decoding depends on the whole chain.
 func verifyDedupRefs(b storage.Backend, dir string) error {
 	if !b.Exists(dir + "/" + WeightManifestName) {
 		return nil // plain checkpoint: nothing content-addressed to check
@@ -537,13 +585,18 @@ func verifyDedupRefs(b storage.Backend, dir string) error {
 	if err != nil {
 		return err
 	}
-	check := func(what, digest string, size int64) error {
-		got, err := store.Stat(digest)
+	check := func(what, digest string, size int64, parents []string) error {
+		meta, err := store.Meta(digest)
 		if err != nil {
 			return fmt.Errorf("ckpt: %s: %s references missing blob %s: %w", dir, what, digest, err)
 		}
-		if got != size {
-			return fmt.Errorf("ckpt: %s: %s blob %s is %d bytes, manifest says %d", dir, what, digest, got, size)
+		if meta.RawSize != size {
+			return fmt.Errorf("ckpt: %s: %s blob %s holds %d payload bytes, manifest says %d", dir, what, digest, meta.RawSize, size)
+		}
+		for _, pd := range parents {
+			if !store.Has(pd) {
+				return fmt.Errorf("ckpt: %s: %s blob %s: xor parent %s missing", dir, what, digest, pd)
+			}
 		}
 		return nil
 	}
@@ -552,7 +605,7 @@ func verifyDedupRefs(b storage.Backend, dir string) error {
 		return err
 	}
 	for _, e := range wm.Tensors {
-		if err := check("tensor "+e.Name, e.Digest, e.Size); err != nil {
+		if err := check("tensor "+e.Name, e.Digest, e.Size, e.Parents); err != nil {
 			return err
 		}
 	}
@@ -562,7 +615,7 @@ func verifyDedupRefs(b storage.Backend, dir string) error {
 			return err
 		}
 		for _, g := range sm.Groups {
-			if err := check(fmt.Sprintf("rank %d group %d", r, g.Index), g.Digest, g.Size); err != nil {
+			if err := check(fmt.Sprintf("rank %d group %d", r, g.Index), g.Digest, g.Size, g.Parents); err != nil {
 				return err
 			}
 		}
@@ -935,20 +988,39 @@ type DedupifyReport struct {
 // Dedupify converts a committed plain checkpoint to content-addressed form
 // in place: every weight-tensor and optimizer-group payload is stored as a
 // blob (via the raw extent surface — no decode), the LTSF/LTOS containers
-// are replaced by manifests, and the directory is re-staged and republished
-// under the same commit protocol, so a crash mid-conversion leaves the
-// original checkpoint intact. Already-dedup directories are a no-op.
+// are replaced by manifests, and the directory is republished under the
+// commit protocol, so a crash mid-conversion leaves a committed, readable
+// checkpoint at every instant. Already-dedup directories are a no-op.
+//
+// On a rename-capable backend the directory is re-staged and atomically
+// renamed over itself. On a no-rename backend (object stores) the commit
+// transaction cannot be reused — Begin clears the final directory, which
+// here IS the input — so the conversion publishes in place instead:
+//
+//  1. manifests are PUT under their final keys as unlisted extras (the
+//     commit contract checks only listed files, so the directory stays
+//     committed under the old marker);
+//  2. one marker PUT atomically swaps the file listing — manifests in,
+//     payload containers and manifest.json out (manifest.json must go
+//     unlisted so step 3 can rewrite it without a torn window);
+//  3. manifest.json is rewritten (Dedup, RefGen) while unlisted;
+//  4. a second marker PUT re-lists manifest.json under its new sum;
+//  5. the now-unlisted LTSF/LTOS containers are deleted.
+//
+// A crash between any two steps leaves the directory committed — readers
+// see the plain form until step 5 removes model.ltsf, the dedup form after
+// — and a re-run converges: before step 5 the plain containers still
+// exist, so the whole conversion replays idempotently; after it, the
+// IsDedup no-op path sweeps any leftover unlisted shard containers.
 func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, error) {
 	rep := &DedupifyReport{}
 	if IsDedup(b, dir) {
+		if !storage.RenameSupported(b) {
+			if err := sweepUnlistedShardFiles(b, dir); err != nil {
+				return nil, err
+			}
+		}
 		return rep, nil
-	}
-	if !storage.RenameSupported(b) {
-		// The in-place conversion re-runs the commit transaction over the
-		// directory being converted; in no-rename mode Begin clears the
-		// final directory — which here IS the input. Convert locally, then
-		// upload.
-		return nil, fmt.Errorf("ckpt: dedupify %s: %w on a no-rename backend", dir, storage.ErrNotSupported)
 	}
 	marker, err := ReadCommitMarker(b, dir)
 	if err != nil {
@@ -1035,10 +1107,6 @@ func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, e
 	}
 
 	// Optimizer shards: blob every group extent of every rank file found.
-	type rankManifest struct {
-		rank int
-		man  *ShardManifest
-	}
 	var shardMans []rankManifest
 	for rank := 0; ; rank++ {
 		name := dir + "/" + ShardFileName(rank)
@@ -1094,6 +1162,10 @@ func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, e
 		}
 	}
 
+	if !storage.RenameSupported(b) {
+		return rep, dedupifyInPlace(b, dir, marker, gen, wm, shardMans)
+	}
+
 	// Re-stage the directory: manifests in place of payload containers,
 	// every other committed file copied verbatim.
 	txn, err := Begin(b, dir)
@@ -1147,4 +1219,134 @@ func Dedupify(b storage.Backend, dir string, chunkBytes int) (*DedupifyReport, e
 		return nil, err
 	}
 	return rep, nil
+}
+
+// rankManifest pairs one rank's shard manifest with its rank for staging.
+type rankManifest struct {
+	rank int
+	man  *ShardManifest
+}
+
+// dedupifyInPlace is Dedupify's no-rename publication tail (steps 1–5 of
+// the protocol described on Dedupify). The blobs and the ref record are
+// already durable when it runs; every individual write here is an atomic
+// whole-object PUT, and the directory verifies as committed between any
+// two of them.
+func dedupifyInPlace(b storage.Backend, dir string, marker CommitMarker, gen int64,
+	wm *WeightManifest, shardMans []rankManifest) error {
+
+	// Step 1: PUT the manifests under their final keys. They are not listed
+	// in the current marker, so the directory's commit contract is
+	// untouched; record their sums for the marker swap.
+	sums := map[string]FileSum{}
+	putSummed := func(name string, data []byte) error {
+		if err := b.WriteFile(dir+"/"+name, data); err != nil {
+			return err
+		}
+		sums[name] = FileSum{Size: int64(len(data)), CRC32: crc32.ChecksumIEEE(data)}
+		return nil
+	}
+	wdata, err := encodeManifest(ltmfMagic, wm)
+	if err != nil {
+		return err
+	}
+	if err := putSummed(WeightManifestName, wdata); err != nil {
+		return fmt.Errorf("ckpt: dedupify %s: %w", dir, err)
+	}
+	for _, rm := range shardMans {
+		sdata, err := encodeManifest(ltomMagic, rm.man)
+		if err != nil {
+			return err
+		}
+		if err := putSummed(ShardManifestName(rm.rank), sdata); err != nil {
+			return fmt.Errorf("ckpt: dedupify %s: %w", dir, err)
+		}
+	}
+
+	// Step 2: one marker PUT swaps the listing — manifests in, payload
+	// containers out. manifest.json goes unlisted too: it must be rewritten
+	// (Dedup, RefGen) and a listed file can never change content without a
+	// window in which the marker's CRC is wrong.
+	drop := map[string]bool{"model.ltsf": true, "manifest.json": true}
+	for _, rm := range shardMans {
+		drop[ShardFileName(rm.rank)] = true
+	}
+	m2 := CommitMarker{Version: FormatVersion, Step: marker.Step, Files: map[string]FileSum{}}
+	for name, sum := range marker.Files {
+		if !drop[name] {
+			m2.Files[name] = sum
+		}
+	}
+	for name, sum := range sums {
+		m2.Files[name] = sum
+	}
+	if err := writeJSON(b, dir+"/"+CommitMarkerName, &m2); err != nil {
+		return fmt.Errorf("ckpt: dedupify %s: swap marker: %w", dir, err)
+	}
+
+	// Step 3: rewrite manifest.json while unlisted.
+	mdata, err := b.ReadFile(dir + "/manifest.json")
+	if err != nil {
+		return fmt.Errorf("ckpt: dedupify %s: read manifest.json: %w", dir, err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(mdata, &man); err != nil {
+		return fmt.Errorf("ckpt: dedupify %s: decode manifest.json: %w", dir, err)
+	}
+	man.Dedup = true
+	man.RefGen = gen
+	newMan, err := json.MarshalIndent(&man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ckpt: dedupify %s: marshal manifest.json: %w", dir, err)
+	}
+	newMan = append(newMan, '\n')
+	if err := b.WriteFile(dir+"/manifest.json", newMan); err != nil {
+		return fmt.Errorf("ckpt: dedupify %s: rewrite manifest.json: %w", dir, err)
+	}
+
+	// Step 4: re-list manifest.json under its new sum.
+	m2.Files["manifest.json"] = FileSum{Size: int64(len(newMan)), CRC32: crc32.ChecksumIEEE(newMan)}
+	if err := writeJSON(b, dir+"/"+CommitMarkerName, &m2); err != nil {
+		return fmt.Errorf("ckpt: dedupify %s: reseal marker: %w", dir, err)
+	}
+
+	// Step 5: drop the now-unlisted payload containers. model.ltsf first —
+	// its disappearance is what flips readers to the dedup form.
+	if err := b.Remove(dir + "/model.ltsf"); err != nil && !storage.IsNotExist(err) {
+		return fmt.Errorf("ckpt: dedupify %s: remove model.ltsf: %w", dir, err)
+	}
+	for _, rm := range shardMans {
+		if err := b.Remove(dir + "/" + ShardFileName(rm.rank)); err != nil && !storage.IsNotExist(err) {
+			return fmt.Errorf("ckpt: dedupify %s: remove %s: %w", dir, ShardFileName(rm.rank), err)
+		}
+	}
+	return nil
+}
+
+// sweepUnlistedShardFiles removes LTOS containers a crashed no-rename
+// conversion left behind after its marker swap (they are unlisted extras —
+// harmless to readers, but dead weight). Listed shard files are never
+// touched.
+func sweepUnlistedShardFiles(b storage.Backend, dir string) error {
+	marker, err := ReadCommitMarker(b, dir)
+	if err != nil {
+		return nil // not committed: nothing to judge against
+	}
+	// The crashed conversion may have removed some ranks' containers
+	// already, so missing files cannot end the scan — walk every rank the
+	// dedup form manifests, which is exactly the set the conversion was
+	// deleting when it died.
+	for _, rank := range shardManifestRanks(b, dir) {
+		name := ShardFileName(rank)
+		if !b.Exists(dir + "/" + name) {
+			continue
+		}
+		if _, listed := marker.Files[name]; listed {
+			continue
+		}
+		if err := b.Remove(dir + "/" + name); err != nil {
+			return fmt.Errorf("ckpt: dedupify %s: sweep %s: %w", dir, name, err)
+		}
+	}
+	return nil
 }

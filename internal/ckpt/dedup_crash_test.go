@@ -16,11 +16,23 @@ import (
 )
 
 func TestCrashPointExplorationDedupSave(t *testing.T) {
+	exploreDedupSaveCrashes(t, "")
+}
+
+// TestCrashPointExplorationDedupSaveCodec reruns the exploration with
+// xor-parent compression on: the second save deltas changed slots against
+// the first, so the fault points now include the crash window between the
+// journal append that pins the parent chain and the child blob's publish.
+func TestCrashPointExplorationDedupSaveCodec(t *testing.T) {
+	exploreDedupSaveCrashes(t, "xor")
+}
+
+func exploreDedupSaveCrashes(t *testing.T, codec string) {
 	mPrev, oPrev := buildOptim(t, modelcfg.Tiny(), 140)
 	mNext, oNext := buildOptim(t, modelcfg.Tiny(), 141)
 	specFor := func(dir string, step int, m *model.Model, o *optim.AdamW) SaveSpec {
 		return SaveSpec{Dir: dir, Model: m, Optim: o, WorldSize: 2, Strategy: "full",
-			Dedup: true, State: TrainerState{Step: step, Seed: 140}}
+			Dedup: true, Codec: codec, State: TrainerState{Step: step, Seed: 140}}
 	}
 
 	// Ground truth: a fault-free pair of dedup saves.

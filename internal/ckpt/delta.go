@@ -27,6 +27,11 @@ type LayerDeltaRow struct {
 	// BytesReused is the size of payloads whose digest the previous
 	// checkpoint also references.
 	BytesReused int64
+	// BytesStored is the layer's on-disk footprint after blob compression:
+	// the sum of each entry's stored (encoded) size, falling back to the
+	// payload size for raw entries. Equal to Bytes for uncompressed
+	// checkpoints.
+	BytesStored int64
 	// Changed is set when any payload moved.
 	Changed bool
 }
@@ -88,7 +93,7 @@ func LayerDelta(b storage.Backend, dir, prevDir string) ([]LayerDeltaRow, error)
 	}
 
 	rows := map[string]*LayerDeltaRow{}
-	add := func(layer string, size int64, digest string) {
+	add := func(layer string, size, stored int64, digest string) {
 		if layer == "" {
 			layer = Unlayered
 		}
@@ -99,6 +104,10 @@ func LayerDelta(b storage.Backend, dir, prevDir string) ([]LayerDeltaRow, error)
 		}
 		row.Payloads++
 		row.Bytes += size
+		if stored <= 0 {
+			stored = size // raw entry: stored verbatim
+		}
+		row.BytesStored += stored
 		if prev[digest] {
 			row.BytesReused += size
 		} else {
@@ -112,7 +121,7 @@ func LayerDelta(b storage.Backend, dir, prevDir string) ([]LayerDeltaRow, error)
 		return nil, err
 	}
 	for _, e := range wm.Tensors {
-		add(weightLayer[e.Name], e.Size, e.Digest)
+		add(weightLayer[e.Name], e.Size, e.Stored, e.Digest)
 	}
 	for _, r := range shardManifestRanks(b, dir) {
 		sm, err := ReadShardManifest(b, dir+"/"+ShardManifestName(r))
@@ -120,7 +129,7 @@ func LayerDelta(b storage.Backend, dir, prevDir string) ([]LayerDeltaRow, error)
 			return nil, err
 		}
 		for _, g := range sm.Groups {
-			add(g.Layer, g.Size, g.Digest)
+			add(g.Layer, g.Size, g.Stored, g.Digest)
 		}
 	}
 

@@ -48,14 +48,24 @@ func ShardManifestName(rank int) string {
 
 // WeightEntry references one tensor's stored payload blob. The fields
 // mirror ltsfTensorMeta plus the content digest; Size and CRC32 describe
-// the exact bytes AppendRaw splices back during materialization.
+// the exact bytes AppendRaw splices back during materialization — always
+// the UNCOMPRESSED payload, whatever codec the blob is stored under.
+//
+// Codec records how the blob landed in the CAS ("" for raw — which is also
+// what every pre-codec manifest decodes as), Stored its on-backend size,
+// and Parents the full xor-parent ancestor chain (direct parent first).
+// Carrying the whole chain, not just the direct parent, is what lets GC pin
+// ancestors transitively without walking blob headers.
 type WeightEntry struct {
-	Name   string `json:"name"`
-	DType  string `json:"dtype"`
-	Shape  []int  `json:"shape"`
-	Size   int64  `json:"size"`
-	CRC32  uint32 `json:"crc32"`
-	Digest string `json:"digest"`
+	Name    string   `json:"name"`
+	DType   string   `json:"dtype"`
+	Shape   []int    `json:"shape"`
+	Size    int64    `json:"size"`
+	CRC32   uint32   `json:"crc32"`
+	Digest  string   `json:"digest"`
+	Codec   string   `json:"codec,omitempty"`
+	Stored  int64    `json:"stored,omitempty"`
+	Parents []string `json:"parents,omitempty"`
 }
 
 // WeightManifest is the decoded model.ltmf: the model name plus tensor
@@ -86,19 +96,34 @@ func (m *WeightManifest) Digests() []string {
 	return out
 }
 
+// PinDigests returns every digest this manifest keeps alive: the referenced
+// blobs plus the xor-parent ancestors their decoding depends on. GC and the
+// ref index must use this, not Digests — sweeping an ancestor would corrupt
+// every delta blob below it.
+func (m *WeightManifest) PinDigests() []string {
+	out := m.Digests()
+	for _, e := range m.Tensors {
+		out = append(out, e.Parents...)
+	}
+	return out
+}
+
 // ShardGroupEntry references one optimizer group's payload blob. The
 // embedded meta is what ShardFileWriter needs to rebuild the group's LTOS
 // header entry; offsets are recomputed on materialization (a full save's
 // payload is gap-free, so order determines them).
 type ShardGroupEntry struct {
-	Index    int    `json:"index"`
-	Numel    int64  `json:"numel"`
-	ShardLen int64  `json:"shard_len"`
-	NoDecay  bool   `json:"no_decay"`
-	Layer    string `json:"layer,omitempty"`
-	Size     int64  `json:"size"`
-	CRC32    uint32 `json:"crc32"`
-	Digest   string `json:"digest"`
+	Index    int      `json:"index"`
+	Numel    int64    `json:"numel"`
+	ShardLen int64    `json:"shard_len"`
+	NoDecay  bool     `json:"no_decay"`
+	Layer    string   `json:"layer,omitempty"`
+	Size     int64    `json:"size"`
+	CRC32    uint32   `json:"crc32"`
+	Digest   string   `json:"digest"`
+	Codec    string   `json:"codec,omitempty"`
+	Stored   int64    `json:"stored,omitempty"`
+	Parents  []string `json:"parents,omitempty"`
 }
 
 // Meta converts the entry back to the LTOS group metadata (offsets unset).
@@ -124,6 +149,16 @@ func (m *ShardManifest) Digests() []string {
 	out := make([]string, len(m.Groups))
 	for i, g := range m.Groups {
 		out[i] = g.Digest
+	}
+	return out
+}
+
+// PinDigests returns referenced blobs plus their xor-parent ancestors; see
+// WeightManifest.PinDigests.
+func (m *ShardManifest) PinDigests() []string {
+	out := m.Digests()
+	for _, g := range m.Groups {
+		out = append(out, g.Parents...)
 	}
 	return out
 }
@@ -175,6 +210,45 @@ func validateBlobRef(what string, size int64, digest string) error {
 	return nil
 }
 
+// validateCodecRef rejects incoherent codec metadata on a manifest entry:
+// unknown codecs, stored sizes or parent chains that contradict the codec,
+// malformed or self-referential parents, chains past the resolver's depth
+// bound.
+func validateCodecRef(what, codec string, stored int64, parents []string, digest string) error {
+	c, err := storage.ParseBlobCodec(codec)
+	if err != nil {
+		return fmt.Errorf("%s: %w", what, err)
+	}
+	if c == storage.CodecXORParent {
+		if len(parents) == 0 {
+			return fmt.Errorf("%s: xor-parent codec with no parent chain", what)
+		}
+	} else if len(parents) > 0 {
+		return fmt.Errorf("%s: codec %q carries a parent chain", what, c)
+	}
+	if c == storage.CodecRaw {
+		if stored != 0 {
+			return fmt.Errorf("%s: raw codec with stored size %d", what, stored)
+		}
+		return nil
+	}
+	if stored <= 0 {
+		return fmt.Errorf("%s: codec %q with stored size %d", what, c, stored)
+	}
+	if len(parents) > storage.MaxParentDepth {
+		return fmt.Errorf("%s: parent chain of %d exceeds depth bound %d", what, len(parents), storage.MaxParentDepth)
+	}
+	for _, p := range parents {
+		if !storage.ValidDigest(p) {
+			return fmt.Errorf("%s: malformed parent digest %q", what, p)
+		}
+		if p == digest {
+			return fmt.Errorf("%s: blob lists itself as an ancestor", what)
+		}
+	}
+	return nil
+}
+
 // DecodeWeightManifest parses and validates a weight manifest container.
 // Every entry must be internally consistent: parseable dtype, positive
 // dimensions whose product times the dtype size equals the blob size
@@ -195,6 +269,9 @@ func DecodeWeightManifest(data []byte) (*WeightManifest, error) {
 		}
 		seen[e.Name] = true
 		if err := validateBlobRef("tensor "+e.Name, e.Size, e.Digest); err != nil {
+			return nil, fmt.Errorf("ckpt: weight manifest: %w", err)
+		}
+		if err := validateCodecRef("tensor "+e.Name, e.Codec, e.Stored, e.Parents, e.Digest); err != nil {
 			return nil, fmt.Errorf("ckpt: weight manifest: %w", err)
 		}
 		// The same dtype/shape/extent consistency pass OpenLTSF applies,
@@ -232,6 +309,9 @@ func DecodeShardManifest(data []byte) (*ShardManifest, error) {
 		}
 		seen[g.Index] = true
 		if err := validateBlobRef(fmt.Sprintf("group %d", g.Index), g.Size, g.Digest); err != nil {
+			return nil, fmt.Errorf("ckpt: shard manifest: %w", err)
+		}
+		if err := validateCodecRef(fmt.Sprintf("group %d", g.Index), g.Codec, g.Stored, g.Parents, g.Digest); err != nil {
 			return nil, fmt.Errorf("ckpt: shard manifest: %w", err)
 		}
 		// Check the geometry by division, never by multiplication: unlike

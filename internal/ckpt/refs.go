@@ -127,9 +127,12 @@ type dirRefs struct {
 }
 
 // readDirManifestDigests reads every blob digest a directory's manifests
-// reference. With bestEffort set, unreadable manifests contribute nothing
-// instead of failing — the right treatment for quarantined, torn and
-// mid-write staging trees, which may be arbitrarily damaged.
+// keep alive — referenced blobs plus their xor-parent ancestor chains
+// (PinDigests): sweeping an ancestor would corrupt every delta blob below
+// it, so pinning is always transitive. With bestEffort set, unreadable
+// manifests contribute nothing instead of failing — the right treatment for
+// quarantined, torn and mid-write staging trees, which may be arbitrarily
+// damaged.
 func readDirManifestDigests(b storage.Backend, path string, bestEffort bool) ([]string, error) {
 	if !b.Exists(path + "/" + WeightManifestName) {
 		return nil, nil
@@ -142,7 +145,7 @@ func readDirManifestDigests(b storage.Backend, path string, bestEffort bool) ([]
 		}
 		return nil, err
 	}
-	out = append(out, wm.Digests()...)
+	out = append(out, wm.PinDigests()...)
 	for _, r := range shardManifestRanks(b, path) {
 		sm, err := ReadShardManifest(b, path+"/"+ShardManifestName(r))
 		if err != nil {
@@ -151,7 +154,7 @@ func readDirManifestDigests(b storage.Backend, path string, bestEffort bool) ([]
 			}
 			return nil, err
 		}
-		out = append(out, sm.Digests()...)
+		out = append(out, sm.PinDigests()...)
 	}
 	return out, nil
 }
@@ -266,9 +269,14 @@ const (
 	// *yet*) or residue of a crashed one — indistinguishable online, so
 	// sweeps pin these and only quiescent repair removes them.
 	RefOrphaned
-	// RefDivergent: the bound record's digest set disagrees with the
+	// RefDivergent: the bound record's digest set fails to cover the
 	// directory's manifests (external mutilation or a lost update); the
-	// manifests win and the record is rewritten from them.
+	// manifests win and the record is rewritten from them. A record that
+	// pins MORE than the manifests is healthy, not divergent: a save
+	// journals the xor-parent chains it plans before publishing, and a
+	// payload may land raw (incompressible) after its planned parents were
+	// already journaled — over-pinning that only a generation retirement
+	// reclaims.
 	RefDivergent
 	// RefCorrupt: the record file is unreadable or self-inconsistent.
 	RefCorrupt
@@ -333,6 +341,23 @@ type refAudit struct {
 	missing []dirRefs
 }
 
+// digestsCover reports whether set a pins every digest of set b (a ⊇ b).
+// A record covering more than the manifests require is healthy — planned
+// xor parents whose puts fell back to raw stay journaled — but a record
+// missing manifest digests under-pins and must be rewritten.
+func digestsCover(a, b []string) bool {
+	have := map[string]bool{}
+	for _, d := range storage.NormalizeDigests(append([]string(nil), a...)) {
+		have[d] = true
+	}
+	for _, d := range storage.NormalizeDigests(append([]string(nil), b...)) {
+		if !have[d] {
+			return false
+		}
+	}
+	return true
+}
+
 // digestsEqual compares two reference lists as sets.
 func digestsEqual(a, b []string) bool {
 	as := storage.NormalizeDigests(append([]string(nil), a...))
@@ -388,9 +413,9 @@ func auditRefs(b storage.Backend, runRoot string, dirs []dirRefs) (*refAudit, er
 			}
 			switch {
 			case boundDir != nil:
-				if boundDir.Sealed && !boundDir.Staging && !digestsEqual(rec.Digests, boundDir.Digests) {
+				if boundDir.Sealed && !boundDir.Staging && !digestsCover(rec.Digests, boundDir.Digests) {
 					ar.state = RefDivergent
-					ar.detail = fmt.Sprintf("record digests disagree with the manifests of %s", boundDir.Path)
+					ar.detail = fmt.Sprintf("record fails to cover the manifests of %s", boundDir.Path)
 				} else {
 					ar.state = RefOK
 					covered[e.Key] = true
@@ -406,7 +431,7 @@ func auditRefs(b storage.Backend, runRoot string, dirs []dirRefs) (*refAudit, er
 				// mid-write tree without a manifest yet): no proof either
 				// way, so the record pins and the key counts as covered
 				// when the digest sets agree.
-				if digestsEqual(rec.Digests, dirRefsetOf(ds)) {
+				if digestsCover(rec.Digests, dirRefsetOf(ds)) {
 					ar.state = RefOK
 					covered[e.Key] = true
 				} else {

@@ -28,6 +28,9 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"llmtailor/internal/parallel"
+	"llmtailor/internal/tensor"
 )
 
 // ErrStagingLost reports that a writer's staging file vanished before its
@@ -66,7 +69,16 @@ type BlobStore struct {
 	root   string
 	rename bool
 	mp     MultipartOptions
+	// resolveFn, when set, resolves a parent digest to its raw payload
+	// across stores (ShardedStore routes a parent that hashes to another
+	// shard). Nil means parents resolve locally.
+	resolveFn parentResolver
 }
+
+// parentResolver resolves a digest to its fully decoded payload while
+// walking an xor-parent chain. seen and depth thread the cycle/depth guard
+// across store boundaries.
+type parentResolver func(digest string, seen map[string]bool, depth int) ([]byte, error)
 
 // NewBlobStore returns a store over root (e.g. "run/objects"). The root is
 // created lazily by the first put.
@@ -121,20 +133,203 @@ func (s *BlobStore) Stat(digest string) (int64, error) {
 	return s.b.Stat(s.Path(digest))
 }
 
-// Open opens a sequential reader over the blob.
+// Open opens a sequential reader over the blob's payload bytes. A blob
+// stored as an LTBC container is decoded transparently (xor-parent chains
+// resolved against the store), so readers always see the bytes the digest
+// names.
 func (s *BlobStore) Open(digest string) (io.ReadCloser, error) {
 	if !ValidDigest(digest) {
 		return nil, fmt.Errorf("storage: invalid blob digest %q", digest)
 	}
-	return s.b.Open(s.Path(digest))
+	rc, err := s.b.Open(s.Path(digest))
+	if err != nil {
+		return nil, err
+	}
+	var magic [4]byte
+	n, err := io.ReadFull(rc, magic[:])
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		// Shorter than the magic: raw by definition, fully read already.
+		rc.Close()
+		return io.NopCloser(bytes.NewReader(magic[:n])), nil
+	}
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	if !IsContainer(magic[:]) {
+		return &prefixedReader{r: io.MultiReader(bytes.NewReader(magic[:]), rc), c: rc}, nil
+	}
+	rest, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := s.decodeContainerBlob(digest, append(magic[:], rest...), map[string]bool{digest: true}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return io.NopCloser(bytes.NewReader(raw)), nil
 }
 
-// OpenRange opens a sectioned reader over the blob.
+// prefixedReader re-attaches sniffed leading bytes to the backend stream.
+type prefixedReader struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (p *prefixedReader) Read(b []byte) (int, error) { return p.r.Read(b) }
+func (p *prefixedReader) Close() error               { return p.c.Close() }
+
+// OpenRange opens a sectioned reader over the blob's payload bytes. Raw
+// blobs serve the range straight off the backend; containers are decoded in
+// full first (range reads address the *payload*, which has no fixed layout
+// inside a container).
 func (s *BlobStore) OpenRange(digest string, off, n int64) (io.ReadCloser, error) {
 	if !ValidDigest(digest) {
 		return nil, fmt.Errorf("storage: invalid blob digest %q", digest)
 	}
-	return s.b.OpenRange(s.Path(digest), off, n)
+	if off < 0 || n < 0 {
+		return nil, fmt.Errorf("storage: invalid range [%d,+%d) for blob %s", off, n, digest)
+	}
+	path := s.Path(digest)
+	hdr, err := s.sniff(path)
+	if err != nil {
+		return nil, err
+	}
+	if !IsContainer(hdr) {
+		return s.b.OpenRange(path, off, n)
+	}
+	raw, err := s.readDecoded(digest)
+	if err != nil {
+		return nil, err
+	}
+	if off > int64(len(raw)) || off+n > int64(len(raw)) {
+		return nil, fmt.Errorf("storage: range [%d,+%d) beyond blob %s payload (%d bytes)", off, n, digest, len(raw))
+	}
+	return io.NopCloser(bytes.NewReader(raw[off : off+n])), nil
+}
+
+// sniff reads up to the magic length from the head of an object.
+func (s *BlobStore) sniff(path string) ([]byte, error) {
+	rc, err := s.b.OpenRange(path, 0, int64(len(blobMagic)))
+	if err != nil {
+		// A file shorter than the magic cannot be a container; fall back to
+		// a whole-object open so short raw blobs still sniff cleanly.
+		rc, err = s.b.Open(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer rc.Close()
+	hdr := make([]byte, len(blobMagic))
+	n, err := io.ReadFull(rc, hdr)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return hdr[:n], nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return hdr, nil
+}
+
+// Meta describes how the blob is stored: its codec, uncompressed payload
+// size, on-backend size, and (for xor-parent containers) the parent digest.
+// For raw blobs RawSize == StoredSize.
+func (s *BlobStore) Meta(digest string) (BlobMeta, error) {
+	if !ValidDigest(digest) {
+		return BlobMeta{}, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	path := s.Path(digest)
+	size, err := s.b.Stat(path)
+	if err != nil {
+		return BlobMeta{}, err
+	}
+	if size < blobHeaderSize {
+		return BlobMeta{Codec: CodecRaw, RawSize: size, StoredSize: size}, nil
+	}
+	rc, err := s.b.OpenRange(path, 0, blobHeaderSize)
+	if err != nil {
+		return BlobMeta{}, err
+	}
+	hdr := make([]byte, blobHeaderSize)
+	_, rerr := io.ReadFull(rc, hdr)
+	rc.Close()
+	if rerr != nil {
+		return BlobMeta{}, rerr
+	}
+	if !IsContainer(hdr) {
+		return BlobMeta{Codec: CodecRaw, RawSize: size, StoredSize: size}, nil
+	}
+	meta, err := ParseContainerHeader(hdr, size)
+	if err != nil {
+		return BlobMeta{}, fmt.Errorf("storage: blob %s: %w", digest, err)
+	}
+	return meta, nil
+}
+
+// readDecoded returns the blob's full payload bytes with any container
+// decoded and xor-parent chains resolved.
+func (s *BlobStore) readDecoded(digest string) ([]byte, error) {
+	return s.resolveLocal(digest, map[string]bool{}, 0)
+}
+
+// resolveAny resolves a digest through the configured cross-store resolver,
+// falling back to this store.
+func (s *BlobStore) resolveAny(digest string, seen map[string]bool, depth int) ([]byte, error) {
+	if s.resolveFn != nil {
+		return s.resolveFn(digest, seen, depth)
+	}
+	return s.resolveLocal(digest, seen, depth)
+}
+
+// resolveLocal reads one blob from this store and decodes it, recursing
+// through resolveAny for xor parents. seen and depth bound the walk so a
+// corrupt chain (cycle, self-parent, unbounded depth) errors instead of
+// recursing forever.
+func (s *BlobStore) resolveLocal(digest string, seen map[string]bool, depth int) ([]byte, error) {
+	if depth > MaxParentDepth {
+		return nil, fmt.Errorf("storage: blob %s: xor-parent chain deeper than %d", digest, MaxParentDepth)
+	}
+	if seen[digest] {
+		return nil, fmt.Errorf("storage: blob %s: xor-parent chain cycles", digest)
+	}
+	seen[digest] = true
+	rc, err := s.b.Open(s.Path(digest))
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	if !IsContainer(data) {
+		return data, nil
+	}
+	return s.decodeContainerBlob(digest, data, seen, depth)
+}
+
+// decodeContainerBlob decodes container bytes read for digest, resolving the
+// parent chain when the codec is xor-parent.
+func (s *BlobStore) decodeContainerBlob(digest string, data []byte, seen map[string]bool, depth int) ([]byte, error) {
+	payload, meta, err := DecodeContainer(data, DecodeOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("storage: blob %s: %w", digest, err)
+	}
+	if meta.Codec != CodecXORParent {
+		return payload, nil
+	}
+	parentRaw, err := s.resolveAny(meta.Parent, seen, depth+1)
+	if err != nil {
+		return nil, fmt.Errorf("storage: blob %s: resolve parent: %w", digest, err)
+	}
+	if len(parentRaw) != len(payload) {
+		return nil, fmt.Errorf("storage: blob %s: parent %s payload is %d bytes, delta is %d",
+			digest, meta.Parent, len(parentRaw), len(payload))
+	}
+	raw := make([]byte, len(payload))
+	tensor.XORBytes(raw, payload, parentRaw)
+	return raw, nil
 }
 
 // Put streams r into the store under the given digest, unless the blob
@@ -199,6 +394,143 @@ func (s *BlobStore) PutStream(digest string, encode func(io.Writer) (int64, erro
 	}
 }
 
+// BlobPutOptions requests an encoded put: the codec to try, the payload's
+// element width, the parent digest (CodecXORParent) and an optional gate
+// bounding the raw bytes the chunk coders hold in flight.
+type BlobPutOptions struct {
+	Codec  BlobCodec
+	Width  int
+	Parent string
+	Gate   *parallel.ByteGate
+}
+
+// PutResult reports how a put ended up stored. On a dedup hit the fields
+// describe the existing blob (whose codec may differ from the request).
+type PutResult struct {
+	Written     bool
+	Codec       BlobCodec
+	Parent      string
+	RawBytes    int64
+	StoredBytes int64
+}
+
+// resultFor describes the stored blob as a PutResult.
+func (s *BlobStore) resultFor(digest string, written bool) (PutResult, error) {
+	meta, err := s.Meta(digest)
+	if err != nil {
+		return PutResult{Written: written}, err
+	}
+	return PutResult{
+		Written:     written,
+		Codec:       meta.Codec,
+		Parent:      meta.Parent,
+		RawBytes:    meta.RawSize,
+		StoredBytes: meta.StoredSize,
+	}, nil
+}
+
+// PutStreamOpts is PutStream with codec negotiation: the payload is encoded
+// per opts when that pays, with a size-gated fallback chain xor-parent →
+// plane → raw. The digest is ALWAYS verified over the uncompressed payload
+// bytes before anything is published, whatever form ends up stored. An
+// unreachable or size-mismatched parent demotes to plane rather than
+// failing — compression is an optimization, never a correctness dependency.
+func (s *BlobStore) PutStreamOpts(digest string, opts BlobPutOptions, encode func(io.Writer) (int64, error)) (PutResult, error) {
+	if !ValidDigest(digest) {
+		return PutResult{}, fmt.Errorf("storage: invalid blob digest %q", digest)
+	}
+	if opts.Codec != CodecPlane && opts.Codec != CodecXORParent {
+		written, err := s.PutStream(digest, encode)
+		if err != nil {
+			return PutResult{}, err
+		}
+		return s.resultFor(digest, written)
+	}
+	if s.Has(digest) {
+		return s.resultFor(digest, false)
+	}
+	var buf bytes.Buffer
+	sum := sha256.New()
+	if _, err := encode(io.MultiWriter(&buf, sum)); err != nil {
+		return PutResult{}, err
+	}
+	if got := hex.EncodeToString(sum.Sum(nil)); got != digest {
+		return PutResult{}, fmt.Errorf("storage: blob content hashes to %s, want %s", got, digest)
+	}
+	raw := buf.Bytes()
+	container, codec := s.encodeBlob(digest, raw, opts)
+	var written bool
+	var err error
+	if codec == CodecRaw {
+		written, err = s.PutStream(digest, func(w io.Writer) (int64, error) {
+			n, werr := w.Write(raw)
+			return int64(n), werr
+		})
+	} else {
+		written, err = s.putContainer(digest, container)
+	}
+	if err != nil {
+		return PutResult{}, err
+	}
+	return s.resultFor(digest, written)
+}
+
+// encodeBlob picks the effective codec for raw under opts, returning the
+// container bytes, or (nil, CodecRaw) when nothing pays.
+func (s *BlobStore) encodeBlob(digest string, raw []byte, opts BlobPutOptions) ([]byte, BlobCodec) {
+	codec := opts.Codec
+	if codec == CodecXORParent {
+		if ValidDigest(opts.Parent) && opts.Parent != digest {
+			parentRaw, err := s.resolveAny(opts.Parent, map[string]bool{digest: true}, 1)
+			if err == nil && len(parentRaw) == len(raw) {
+				delta := make([]byte, len(raw))
+				tensor.XORBytes(delta, raw, parentRaw)
+				if c, ok := EncodeContainer(delta, CodecXORParent, opts.Width, opts.Parent, opts.Gate); ok {
+					return c, CodecXORParent
+				}
+			}
+		}
+		codec = CodecPlane
+	}
+	if codec == CodecPlane {
+		if c, ok := EncodeContainer(raw, CodecPlane, opts.Width, "", opts.Gate); ok {
+			return c, CodecPlane
+		}
+	}
+	return nil, CodecRaw
+}
+
+// putContainer publishes container bytes under digest. The container's own
+// bytes deliberately do not hash to the digest — the payload they decode to
+// does, verified by the caller — so the writer's content-hash check is
+// skipped, with the same publish-race and staging-loss handling as
+// PutStream.
+func (s *BlobStore) putContainer(digest string, container []byte) (bool, error) {
+	const maxAttempts = 8
+	for attempt := 1; ; attempt++ {
+		if s.Has(digest) {
+			return false, nil
+		}
+		w, err := s.Writer()
+		if err != nil {
+			return false, err
+		}
+		w.container = true
+		w.started = true
+		if _, err := w.Write(container); err != nil {
+			w.Abort()
+			return false, err
+		}
+		written, err := w.Commit(digest)
+		if err == nil {
+			return written, nil
+		}
+		if attempt >= maxAttempts || !errors.Is(err, ErrStagingLost) {
+			return false, err
+		}
+	}
+}
+
 // Writer opens a streaming blob writer. The caller streams the payload,
 // then calls Commit with the expected digest (verified against the bytes
 // actually written) to publish, or Abort to drop the staging file.
@@ -233,12 +565,58 @@ type BlobWriter struct {
 	w     io.WriteCloser // rename mode: staging stream
 	spool Spool          // no-rename mode: local spool until Commit
 	sum   hash.Hash
-	n     int64
+	n     int64 // payload bytes streamed by the caller
 	done  bool
+	// The first magic-length payload bytes are held back until the escape
+	// decision: a raw payload that begins with the container magic is
+	// prefixed with a stored-codec header so file bytes starting with "LTBC"
+	// are always a container. container marks an internal put whose bytes
+	// already ARE a container (no escape, no content-hash check — the digest
+	// names the payload, not the container).
+	head      []byte
+	started   bool
+	container bool
+	stored    int64 // bytes written to the staging stream / spool
 }
 
-// Write implements io.Writer.
+// Write implements io.Writer. The payload hash always covers the caller's
+// bytes; the escape header, when emitted, is storage framing outside it.
 func (w *BlobWriter) Write(p []byte) (int, error) {
+	if !w.started {
+		w.sum.Write(p)
+		w.n += int64(len(p))
+		w.head = append(w.head, p...)
+		if len(w.head) < len(blobMagic) {
+			return len(p), nil
+		}
+		if err := w.flushHead(); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	n, err := w.writeOut(p)
+	if n > 0 {
+		w.sum.Write(p[:n])
+		w.n += int64(n)
+	}
+	return n, err
+}
+
+// flushHead makes the escape decision and starts the underlying stream.
+func (w *BlobWriter) flushHead() error {
+	w.started = true
+	if IsContainer(w.head) {
+		if _, err := w.writeOut(storedHeader()); err != nil {
+			return err
+		}
+	}
+	_, err := w.writeOut(w.head)
+	w.head = nil
+	return err
+}
+
+// writeOut sends bytes to the staging stream (rename mode) or spool.
+func (w *BlobWriter) writeOut(p []byte) (int, error) {
 	var n int
 	var err error
 	if w.spool != nil {
@@ -246,10 +624,7 @@ func (w *BlobWriter) Write(p []byte) (int, error) {
 	} else {
 		n, err = w.w.Write(p)
 	}
-	if n > 0 {
-		w.sum.Write(p[:n])
-		w.n += int64(n)
-	}
+	w.stored += int64(n)
 	return n, err
 }
 
@@ -263,6 +638,14 @@ func (w *BlobWriter) Commit(digest string) (bool, error) {
 		return false, fmt.Errorf("storage: blob commit after close")
 	}
 	w.done = true
+	if !w.started {
+		// Payload shorter than the magic: the escape decision is trivially
+		// "raw"; flush what was held back.
+		if err := w.flushHead(); err != nil {
+			w.abortStage()
+			return false, fmt.Errorf("storage: stage blob %s: %w", digest, err)
+		}
+	}
 	if w.spool != nil {
 		return w.commitPut(digest)
 	}
@@ -274,7 +657,7 @@ func (w *BlobWriter) Commit(digest string) (bool, error) {
 		w.s.b.Remove(w.stage)
 		return false, fmt.Errorf("storage: invalid blob digest %q", digest)
 	}
-	if got := hex.EncodeToString(w.sum.Sum(nil)); got != digest {
+	if got := hex.EncodeToString(w.sum.Sum(nil)); !w.container && got != digest {
 		w.s.b.Remove(w.stage)
 		return false, fmt.Errorf("storage: blob content hashes to %s, want %s", got, digest)
 	}
@@ -309,7 +692,7 @@ func (w *BlobWriter) commitPut(digest string) (bool, error) {
 	if !ValidDigest(digest) {
 		return false, fmt.Errorf("storage: invalid blob digest %q", digest)
 	}
-	if got := hex.EncodeToString(w.sum.Sum(nil)); got != digest {
+	if got := hex.EncodeToString(w.sum.Sum(nil)); !w.container && got != digest {
 		return false, fmt.Errorf("storage: blob content hashes to %s, want %s", got, digest)
 	}
 	if w.s.Has(digest) {
@@ -324,7 +707,9 @@ func (w *BlobWriter) commitPut(digest string) (bool, error) {
 	if opts.PartPrefix == "" {
 		opts.PartPrefix = w.stage + ".part-"
 	}
-	if err := MultipartPut(w.s.b, w.s.Path(digest), r, w.n, opts); err != nil {
+	// w.stored, not w.n: an escape header makes the object longer than the
+	// payload the caller streamed.
+	if err := MultipartPut(w.s.b, w.s.Path(digest), r, w.stored, opts); err != nil {
 		if w.s.Has(digest) {
 			// Lost the publish race to another writer of the same digest;
 			// content addressing makes the copies identical.
@@ -341,6 +726,11 @@ func (w *BlobWriter) Abort() {
 		return
 	}
 	w.done = true
+	w.abortStage()
+}
+
+// abortStage drops staging state once done is set.
+func (w *BlobWriter) abortStage() {
 	if w.spool != nil {
 		w.spool.Discard()
 		return

@@ -1,0 +1,440 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"llmtailor/internal/parallel"
+	"llmtailor/internal/tensor"
+)
+
+// The blob codec: a CAS object may hold either the payload's raw bytes or an
+// LTBC container wrapping an encoded form of them. The digest that names the
+// blob is ALWAYS the SHA-256 of the uncompressed payload — the container is
+// a storage detail invisible to readers, which receive decoded bytes from
+// Open/OpenRange.
+//
+// Container layout (all integers little-endian):
+//
+//	offset size
+//	     0    4  magic "LTBC"
+//	     4    1  format version (1)
+//	     5    1  codec: 1=plane, 2=xor-parent, 3=stored
+//	     6    1  element width in bytes (plane/xor)
+//	     7    1  reserved (0)
+//	     8    8  raw payload size (0 for stored: body is the payload)
+//	    16    4  chunk size
+//	    20   64  parent digest, ASCII hex (xor-parent) or zero bytes
+//	    84    4  chunk count
+//	    88   4N  encoded length of each chunk
+//	   ...       chunk streams, concatenated
+//
+// Each chunk covers chunkSize raw bytes (the last may be short) and is
+// byte-plane split (tensor.SplitPlanes) before coding. A chunk stream is one
+// record per plane: tag byte (0=stored, 1=RLE), uvarint encoded length, then
+// that many bytes. For codec xor-parent the chunk payload is raw XOR
+// parentRaw; the store resolves the parent chain on read.
+//
+// Codec 3 ("stored") is the escape hatch keeping magic sniffing sound: a raw
+// payload that itself begins with "LTBC" is wrapped in a stored container,
+// so file bytes starting with the magic are always a container.
+
+// BlobCodec identifies how a blob's bytes are stored.
+type BlobCodec uint8
+
+const (
+	// CodecRaw means the object file holds the payload bytes directly.
+	CodecRaw BlobCodec = 0
+	// CodecPlane is byte-plane split + per-plane RLE of the payload itself.
+	CodecPlane BlobCodec = 1
+	// CodecXORParent is CodecPlane applied to payload XOR parent-payload.
+	CodecXORParent BlobCodec = 2
+	// CodecStored wraps the raw payload in a container unmodified.
+	CodecStored BlobCodec = 3
+)
+
+// String returns the manifest spelling of the codec.
+func (c BlobCodec) String() string {
+	switch c {
+	case CodecRaw:
+		return "raw"
+	case CodecPlane:
+		return "plane"
+	case CodecXORParent:
+		return "xor-parent"
+	case CodecStored:
+		return "stored"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(c))
+}
+
+// ParseBlobCodec maps a manifest codec string back to its value. The empty
+// string is CodecRaw (pre-codec manifests carry no codec field).
+func ParseBlobCodec(s string) (BlobCodec, error) {
+	switch s {
+	case "", "raw":
+		return CodecRaw, nil
+	case "plane":
+		return CodecPlane, nil
+	case "xor-parent", "xor":
+		return CodecXORParent, nil
+	case "stored":
+		return CodecStored, nil
+	}
+	return 0, fmt.Errorf("unknown blob codec %q", s)
+}
+
+// BlobMeta describes how one blob is stored.
+type BlobMeta struct {
+	Codec      BlobCodec
+	Width      int    // element width (plane/xor containers)
+	ChunkSize  int    // coding chunk size (plane/xor containers)
+	RawSize    int64  // uncompressed payload size
+	StoredSize int64  // bytes on the backend (container included)
+	Parent     string // parent digest (xor-parent only)
+}
+
+const (
+	blobMagic        = "LTBC"
+	blobCodecVersion = 1
+	blobHeaderSize   = 88
+	defaultChunkSize = 256 << 10
+	maxChunkSize     = 4 << 20
+	planeTagStored   = 0
+	planeTagRLE      = 1
+	// MaxParentDepth bounds xor-parent chain resolution; chains are re-based
+	// well below this (ckpt re-bases every K generations), so hitting it
+	// means a corrupt or cyclic chain.
+	MaxParentDepth = 64
+)
+
+var (
+	errNotContainer    = errors.New("blob codec: not an LTBC container")
+	errContainerShort  = errors.New("blob codec: truncated container")
+	errContainerHeader = errors.New("blob codec: malformed container header")
+	// ErrRawTooLarge reports a container whose declared payload exceeds the
+	// decode cap.
+	ErrRawTooLarge = errors.New("blob codec: declared payload exceeds decode limit")
+)
+
+// IsContainer reports whether a blob file beginning with prefix is an LTBC
+// container rather than raw payload bytes.
+func IsContainer(prefix []byte) bool {
+	return len(prefix) >= len(blobMagic) && string(prefix[:len(blobMagic)]) == blobMagic
+}
+
+// DecodeOpts bounds container decoding.
+type DecodeOpts struct {
+	// MaxRawSize caps the declared payload size (0 = no cap). Fuzzing and
+	// any path decoding untrusted bytes should set it.
+	MaxRawSize int64
+}
+
+// ParseContainerHeader validates the fixed header of a container and returns
+// its metadata. storedSize is the full object size on the backend (used for
+// StoredSize and to size stored-codec payloads). hdr needs only the first
+// blobHeaderSize bytes.
+func ParseContainerHeader(hdr []byte, storedSize int64) (BlobMeta, error) {
+	if !IsContainer(hdr) {
+		return BlobMeta{}, errNotContainer
+	}
+	if len(hdr) < blobHeaderSize {
+		return BlobMeta{}, errContainerShort
+	}
+	if hdr[4] != blobCodecVersion {
+		return BlobMeta{}, fmt.Errorf("blob codec: unsupported container version %d", hdr[4])
+	}
+	if hdr[7] != 0 {
+		return BlobMeta{}, errContainerHeader
+	}
+	codec := BlobCodec(hdr[5])
+	width := int(hdr[6])
+	rawSize := int64(binary.LittleEndian.Uint64(hdr[8:16]))
+	chunkSize := int64(binary.LittleEndian.Uint32(hdr[16:20]))
+	nChunks := int64(binary.LittleEndian.Uint32(hdr[84:88]))
+	parent := ""
+	switch codec {
+	case CodecStored:
+		if width != 0 || rawSize != 0 || chunkSize != 0 || nChunks != 0 {
+			return BlobMeta{}, errContainerHeader
+		}
+		if storedSize < blobHeaderSize {
+			return BlobMeta{}, errContainerShort
+		}
+		for _, b := range hdr[20:84] {
+			if b != 0 {
+				return BlobMeta{}, errContainerHeader
+			}
+		}
+		return BlobMeta{Codec: codec, RawSize: storedSize - blobHeaderSize, StoredSize: storedSize}, nil
+	case CodecPlane, CodecXORParent:
+		if width < 1 || rawSize < 0 {
+			return BlobMeta{}, errContainerHeader
+		}
+		if chunkSize < 1 || chunkSize > maxChunkSize {
+			return BlobMeta{}, errContainerHeader
+		}
+		want := (rawSize + chunkSize - 1) / chunkSize
+		if nChunks != want {
+			return BlobMeta{}, errContainerHeader
+		}
+		if codec == CodecXORParent {
+			parent = string(hdr[20:84])
+			if !ValidDigest(parent) {
+				return BlobMeta{}, fmt.Errorf("blob codec: invalid parent digest in container")
+			}
+		} else {
+			for _, b := range hdr[20:84] {
+				if b != 0 {
+					return BlobMeta{}, errContainerHeader
+				}
+			}
+		}
+		return BlobMeta{Codec: codec, Width: width, ChunkSize: int(chunkSize), RawSize: rawSize, StoredSize: storedSize, Parent: parent}, nil
+	}
+	return BlobMeta{}, fmt.Errorf("blob codec: unknown codec %d", hdr[5])
+}
+
+// DecodeContainer decodes a full container into its chunk payload. For
+// CodecPlane and CodecStored the result is the raw payload; for
+// CodecXORParent it is payload XOR parent-payload — the caller resolves the
+// parent and XORs. Every malformed input errors; nothing panics, and no
+// allocation happens before the lengths it implies are validated.
+func DecodeContainer(data []byte, opts DecodeOpts) ([]byte, BlobMeta, error) {
+	meta, err := ParseContainerHeader(data, int64(len(data)))
+	if err != nil {
+		return nil, BlobMeta{}, err
+	}
+	if opts.MaxRawSize > 0 && meta.RawSize > opts.MaxRawSize {
+		return nil, BlobMeta{}, ErrRawTooLarge
+	}
+	if meta.Codec == CodecStored {
+		return data[blobHeaderSize:], meta, nil
+	}
+	chunkSize := meta.ChunkSize
+	nChunks := int((meta.RawSize + int64(chunkSize) - 1) / int64(chunkSize))
+	lensEnd := blobHeaderSize + 4*nChunks
+	if lensEnd > len(data) {
+		return nil, BlobMeta{}, errContainerShort
+	}
+	var total int64
+	lens := make([]int, nChunks)
+	for i := 0; i < nChunks; i++ {
+		l := binary.LittleEndian.Uint32(data[blobHeaderSize+4*i:])
+		lens[i] = int(l)
+		total += int64(l)
+	}
+	if total != int64(len(data)-lensEnd) {
+		return nil, BlobMeta{}, errContainerShort
+	}
+	out := make([]byte, meta.RawSize)
+	off := lensEnd
+	var rawOff int64
+	var scratch []byte
+	for i := 0; i < nChunks; i++ {
+		rawLen := int(min64(int64(chunkSize), meta.RawSize-rawOff))
+		if cap(scratch) < rawLen {
+			scratch = make([]byte, rawLen)
+		}
+		split := scratch[:rawLen]
+		if err := decodeChunk(split, data[off:off+lens[i]], meta.Width); err != nil {
+			return nil, BlobMeta{}, err
+		}
+		tensor.JoinPlanes(out[rawOff:rawOff+int64(rawLen)], split, meta.Width)
+		off += lens[i]
+		rawOff += int64(rawLen)
+	}
+	return out, meta, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// decodeChunk decodes one chunk stream into split, the plane-major bytes of
+// the chunk (length = the chunk's raw length).
+func decodeChunk(split, stream []byte, width int) error {
+	if width < 1 {
+		return errContainerHeader
+	}
+	off := 0
+	si := 0
+	for p := 0; p < width; p++ {
+		planeLen := tensor.PlaneLen(len(split), width, p)
+		if si >= len(stream) {
+			return errContainerShort
+		}
+		tag := stream[si]
+		si++
+		encLen, n := binary.Uvarint(stream[si:])
+		if n <= 0 {
+			return errContainerHeader
+		}
+		si += n
+		if encLen > uint64(len(stream)-si) {
+			return errContainerShort
+		}
+		enc := stream[si : si+int(encLen)]
+		si += int(encLen)
+		switch tag {
+		case planeTagStored:
+			if int(encLen) != planeLen {
+				return errContainerHeader
+			}
+			copy(split[off:off+planeLen], enc)
+		case planeTagRLE:
+			if err := tensor.DecodeRLE(split[off:off+planeLen], enc); err != nil {
+				return fmt.Errorf("blob codec: plane %d: %w", p, err)
+			}
+		default:
+			return fmt.Errorf("blob codec: unknown plane tag %d", tag)
+		}
+		off += planeLen
+	}
+	if si != len(stream) {
+		return errContainerHeader
+	}
+	return nil
+}
+
+// EncodeStored wraps raw in a stored-codec container (the "LTBC"-prefix
+// escape).
+func EncodeStored(raw []byte) []byte {
+	out := make([]byte, blobHeaderSize+len(raw))
+	copy(out, blobMagic)
+	out[4] = blobCodecVersion
+	out[5] = byte(CodecStored)
+	copy(out[blobHeaderSize:], raw)
+	return out
+}
+
+// storedHeader returns just the 88-byte stored-codec header, for streaming
+// writers that prepend it before payload bytes of unknown length.
+func storedHeader() []byte {
+	hdr := make([]byte, blobHeaderSize)
+	copy(hdr, blobMagic)
+	hdr[4] = blobCodecVersion
+	hdr[5] = byte(CodecStored)
+	return hdr
+}
+
+// EncodeContainer encodes raw into a plane or xor-parent container. For
+// CodecXORParent, raw must already be payload XOR parent-payload and parent
+// the parent's digest. Chunks are coded in parallel; gate (optional) bounds
+// the raw bytes admitted to workers at once. The bool result is false when
+// coding did not pay (the container would be at least as large as raw) — the
+// caller should then store raw.
+func EncodeContainer(raw []byte, codec BlobCodec, width int, parent string, gate *parallel.ByteGate) ([]byte, bool) {
+	if codec != CodecPlane && codec != CodecXORParent {
+		return nil, false
+	}
+	if width < 1 || width > 255 {
+		width = 1
+	}
+	if codec == CodecXORParent && !ValidDigest(parent) {
+		return nil, false
+	}
+	chunkSize := defaultChunkSize
+	nChunks := (len(raw) + chunkSize - 1) / chunkSize
+	encoded := make([][]byte, nChunks)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					off := i * chunkSize
+					end := off + chunkSize
+					if end > len(raw) {
+						end = len(raw)
+					}
+					if gate != nil {
+						gate.Acquire(int64(end - off))
+					}
+					encoded[i] = encodeChunk(raw[off:end], width)
+					if gate != nil {
+						gate.Release(int64(end - off))
+					}
+				}
+			}()
+		}
+		for i := 0; i < nChunks; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := 0; i < nChunks; i++ {
+			off := i * chunkSize
+			end := off + chunkSize
+			if end > len(raw) {
+				end = len(raw)
+			}
+			encoded[i] = encodeChunk(raw[off:end], width)
+		}
+	}
+	total := blobHeaderSize + 4*nChunks
+	for _, c := range encoded {
+		total += len(c)
+	}
+	if total >= len(raw) {
+		return nil, false
+	}
+	out := make([]byte, blobHeaderSize, total)
+	copy(out, blobMagic)
+	out[4] = blobCodecVersion
+	out[5] = byte(codec)
+	out[6] = byte(width)
+	binary.LittleEndian.PutUint64(out[8:16], uint64(len(raw)))
+	binary.LittleEndian.PutUint32(out[16:20], uint32(chunkSize))
+	if codec == CodecXORParent {
+		copy(out[20:84], parent)
+	}
+	binary.LittleEndian.PutUint32(out[84:88], uint32(nChunks))
+	for _, c := range encoded {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(c)))
+		out = append(out, l[:]...)
+	}
+	for _, c := range encoded {
+		out = append(out, c...)
+	}
+	return out, true
+}
+
+// encodeChunk plane-splits one chunk and codes each plane, falling back to a
+// stored plane whenever RLE does not shrink it.
+func encodeChunk(chunk []byte, width int) []byte {
+	split := make([]byte, len(chunk))
+	tensor.SplitPlanes(split, chunk, width)
+	out := make([]byte, 0, len(chunk)/4+width*4)
+	off := 0
+	for p := 0; p < width; p++ {
+		planeLen := tensor.PlaneLen(len(chunk), width, p)
+		plane := split[off : off+planeLen]
+		enc := tensor.AppendRLE(nil, plane)
+		if len(enc) < planeLen {
+			out = append(out, planeTagRLE)
+			out = binary.AppendUvarint(out, uint64(len(enc)))
+			out = append(out, enc...)
+		} else {
+			out = append(out, planeTagStored)
+			out = binary.AppendUvarint(out, uint64(planeLen))
+			out = append(out, plane...)
+		}
+		off += planeLen
+	}
+	return out
+}

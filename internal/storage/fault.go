@@ -146,6 +146,7 @@ type faultWriter struct {
 	f    *Fault
 	name string
 	w    io.WriteCloser
+	dead bool // a clean fault cut this stream: no further byte reached the wire
 }
 
 func (w *faultWriter) Write(p []byte) (int, error) {
@@ -155,6 +156,8 @@ func (w *faultWriter) Write(p []byte) (int, error) {
 			// A torn final chunk: half of it reaches the backend before
 			// the crash.
 			n, _ = w.w.Write(p[:(len(p)+1)/2])
+		} else {
+			w.dead = true
 		}
 		return n, injectedf("storage: write %s", w.name)
 	}
@@ -163,7 +166,15 @@ func (w *faultWriter) Write(p []byte) (int, error) {
 
 func (w *faultWriter) Close() error {
 	if fire, _ := w.f.point(); fire {
-		w.w.Close()
+		// A crash at the close itself models a request already in flight:
+		// the backend may still apply it (on buffering backends Close IS
+		// the publish). But a stream a clean fault already cut mid-write
+		// never sent a complete request — forwarding the close would let a
+		// buffering backend publish the partial buffer at the final name,
+		// which an atomic-PUT store can not do. Such a stream just dies.
+		if !w.dead {
+			w.w.Close()
+		}
 		return injectedf("storage: close %s", w.name)
 	}
 	return w.w.Close()

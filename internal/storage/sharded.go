@@ -36,9 +36,11 @@ type CAS interface {
 	Stat(digest string) (int64, error)
 	Open(digest string) (io.ReadCloser, error)
 	OpenRange(digest string, off, n int64) (io.ReadCloser, error)
+	Meta(digest string) (BlobMeta, error)
 	Put(digest string, r io.Reader) (bool, int64, error)
 	PutBytes(data []byte) (digest string, written bool, err error)
 	PutStream(digest string, encode func(io.Writer) (int64, error)) (bool, error)
+	PutStreamOpts(digest string, opts BlobPutOptions, encode func(io.Writer) (int64, error)) (PutResult, error)
 	Remove(digest string) error
 	List() (blobs []BlobInfo, staging, stray []string, err error)
 	Trash(digest string) error
@@ -127,7 +129,18 @@ func NewShardedStore(b Backend, root string, count int) *ShardedStore {
 	for i := 0; i < count; i++ {
 		s.shards = append(s.shards, NewBlobStore(b, fmt.Sprintf("%s/shard-%d", root, i)))
 	}
+	// An xor-parent blob's parent digest routes independently, so decoding
+	// must resolve parents across shards, not just within the owning one.
+	for _, sh := range s.shards {
+		sh.resolveFn = s.resolveRaw
+	}
 	return s
+}
+
+// resolveRaw resolves a digest to its decoded payload via its owning shard,
+// threading the chain walk's cycle/depth guard across shard boundaries.
+func (s *ShardedStore) resolveRaw(digest string, seen map[string]bool, depth int) ([]byte, error) {
+	return s.shard(digest).resolveLocal(digest, seen, depth)
 }
 
 // Shards returns the number of shards.
@@ -184,6 +197,17 @@ func (s *ShardedStore) PutBytes(data []byte) (string, bool, error) {
 // PutStream implements CAS.
 func (s *ShardedStore) PutStream(digest string, encode func(io.Writer) (int64, error)) (bool, error) {
 	return s.shard(digest).PutStream(digest, encode)
+}
+
+// PutStreamOpts implements CAS; the owning shard's cross-shard resolver
+// reaches parents wherever they live.
+func (s *ShardedStore) PutStreamOpts(digest string, opts BlobPutOptions, encode func(io.Writer) (int64, error)) (PutResult, error) {
+	return s.shard(digest).PutStreamOpts(digest, opts, encode)
+}
+
+// Meta implements CAS.
+func (s *ShardedStore) Meta(digest string) (BlobMeta, error) {
+	return s.shard(digest).Meta(digest)
 }
 
 // Remove implements CAS.

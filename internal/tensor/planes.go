@@ -1,0 +1,179 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Byte-plane kernels for the blob compression codec. A tensor payload is a
+// sequence of fixed-width little-endian elements; splitting it into per-byte
+// planes groups the sign/exponent bytes (near-constant between adjacent
+// checkpoints, and near-zero after XOR against the parent generation) away
+// from the noisy mantissa bytes, so a simple run-length coder gets the
+// several-fold wins the incremental-snapshots literature reports.
+//
+// Plane p of an n-byte buffer holds the bytes at indices i with i%width == p,
+// in order. Buffers whose length is not a multiple of width are still valid:
+// plane p simply holds PlaneLen(n, width, p) bytes. Split and Join are exact
+// inverses for every (n, width).
+
+// PlaneLen returns the length of plane p for an n-byte buffer of width-byte
+// elements.
+func PlaneLen(n, width, p int) int {
+	if width <= 1 {
+		if p == 0 {
+			return n
+		}
+		return 0
+	}
+	if p >= n {
+		return 0
+	}
+	return (n - p + width - 1) / width
+}
+
+// SplitPlanes rearranges src into plane-major order in dst. dst must be
+// exactly len(src) bytes.
+func SplitPlanes(dst, src []byte, width int) {
+	if len(dst) != len(src) {
+		panic("tensor: SplitPlanes length mismatch")
+	}
+	if width <= 1 {
+		copy(dst, src)
+		return
+	}
+	k := 0
+	for p := 0; p < width; p++ {
+		for i := p; i < len(src); i += width {
+			dst[k] = src[i]
+			k++
+		}
+	}
+}
+
+// JoinPlanes is the inverse of SplitPlanes: src is plane-major, dst receives
+// the original element-interleaved bytes. dst must be exactly len(src) bytes.
+func JoinPlanes(dst, src []byte, width int) {
+	if len(dst) != len(src) {
+		panic("tensor: JoinPlanes length mismatch")
+	}
+	if width <= 1 {
+		copy(dst, src)
+		return
+	}
+	k := 0
+	for p := 0; p < width; p++ {
+		for i := p; i < len(dst); i += width {
+			dst[i] = src[k]
+			k++
+		}
+	}
+}
+
+// XORBytes writes a XOR b into dst. All three slices must be the same
+// length; dst may alias a or b.
+func XORBytes(dst, a, b []byte) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("tensor: XORBytes length mismatch")
+	}
+	i := 0
+	// 8-byte lanes cover the bulk; the tail is handled byte-wise.
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// The RLE stream is a sequence of ops. Each op starts with a uvarint v
+// (v>>1 is the run length n, which must be > 0): bit0 == 0 is a literal run
+// (the next n stream bytes are copied verbatim), bit0 == 1 is a repeat run
+// (the next single stream byte appears n times). The decoder knows the
+// exact output length, so the stream carries no trailer.
+
+// rleRepeatMin is the shortest run worth a repeat op: a repeat costs up to
+// 3 bytes (uvarint + value) and breaking a literal adds another header.
+const rleRepeatMin = 4
+
+var (
+	errRLEVarint    = errors.New("rle: malformed varint")
+	errRLEZeroRun   = errors.New("rle: zero-length run")
+	errRLEOverflow  = errors.New("rle: run overflows output")
+	errRLETruncated = errors.New("rle: truncated stream")
+	errRLEShort     = errors.New("rle: stream ends before output is full")
+)
+
+// AppendRLE appends the RLE encoding of src to dst and returns the extended
+// slice. Encoding never fails; callers compare len(out) against len(src) to
+// decide whether coding paid.
+func AppendRLE(dst, src []byte) []byte {
+	litStart := 0
+	i := 0
+	for i < len(src) {
+		j := i + 1
+		for j < len(src) && src[j] == src[i] {
+			j++
+		}
+		if run := j - i; run >= rleRepeatMin {
+			if i > litStart {
+				dst = binary.AppendUvarint(dst, uint64(i-litStart)<<1)
+				dst = append(dst, src[litStart:i]...)
+			}
+			dst = binary.AppendUvarint(dst, uint64(run)<<1|1)
+			dst = append(dst, src[i])
+			litStart = j
+		}
+		i = j
+	}
+	if litStart < len(src) {
+		dst = binary.AppendUvarint(dst, uint64(len(src)-litStart)<<1)
+		dst = append(dst, src[litStart:]...)
+	}
+	return dst
+}
+
+// DecodeRLE decodes src into dst, which must be exactly the expected output
+// length. Every malformed input — bad varint, zero-length op, runs past the
+// output, truncated literals or repeats, short streams — returns an error;
+// the decoder never panics and never writes outside dst.
+func DecodeRLE(dst, src []byte) error {
+	di, si := 0, 0
+	for si < len(src) {
+		v, n := binary.Uvarint(src[si:])
+		if n <= 0 {
+			return errRLEVarint
+		}
+		si += n
+		cnt64 := v >> 1
+		if cnt64 == 0 {
+			return errRLEZeroRun
+		}
+		if cnt64 > uint64(len(dst)-di) {
+			return errRLEOverflow
+		}
+		cnt := int(cnt64)
+		if v&1 == 1 {
+			if si >= len(src) {
+				return errRLETruncated
+			}
+			b := src[si]
+			si++
+			for k := 0; k < cnt; k++ {
+				dst[di+k] = b
+			}
+		} else {
+			if cnt > len(src)-si {
+				return errRLETruncated
+			}
+			copy(dst[di:di+cnt], src[si:])
+			si += cnt
+		}
+		di += cnt
+	}
+	if di != len(dst) {
+		return errRLEShort
+	}
+	return nil
+}

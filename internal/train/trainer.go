@@ -65,6 +65,16 @@ type Config struct {
 	// youngest reference died with them are swept generationally, so a
 	// long run's storage footprint stays O(KeepLast), not O(steps).
 	KeepLast int
+	// CkptCodec selects the blob compression codec for dedup saves:
+	// "" or "raw" stores payload bytes verbatim, "plane" byte-plane-splits
+	// and run-length codes each blob, "xor"/"xor-parent" additionally
+	// deltas changed layers against the previous checkpoint's blob for the
+	// same slot. Requires DedupCkpt; restores stay byte-identical.
+	CkptCodec string
+	// CkptCodecRebase bounds xor-parent chain depth: a slot whose chain
+	// would exceed it is re-based to a self-contained plane blob
+	// (0 = ckpt.DefaultCodecRebase).
+	CkptCodecRebase int
 }
 
 func (c *Config) validate() error {
@@ -81,6 +91,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("train: base lr %v", c.BaseLR)
 	case c.RunRoot == "":
 		return fmt.Errorf("train: empty run root")
+	case c.CkptCodec != "" && c.CkptCodec != "raw" && !c.DedupCkpt:
+		return fmt.Errorf("train: ckpt codec %q requires dedup checkpoints", c.CkptCodec)
 	}
 	return c.Model.Validate()
 }
@@ -391,6 +403,7 @@ func (t *Trainer) checkpoint(strat strategy.Strategy, loss float64) (CkptEvent, 
 		WorldSize: t.Cfg.WorldSize, Layers: layers,
 		Strategy: strat.Name(), State: state,
 		Dedup: t.Cfg.DedupCkpt,
+		Codec: t.Cfg.CkptCodec, CodecRebase: t.Cfg.CkptCodecRebase,
 	}
 	var err error
 	if t.Cfg.AsyncCkpt || t.Cfg.LazyCapture {

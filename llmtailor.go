@@ -95,6 +95,9 @@ type (
 	RefReconcileReport = ckpt.RefReconcileReport
 	// AdoptReport records what the adopt-or-quarantine migration did.
 	AdoptReport = ckpt.AdoptReport
+	// CodecHealth is one dedup checkpoint's blob-codec breakdown and
+	// parent-chain health — the doctor's compression view.
+	CodecHealth = ckpt.CodecHealth
 )
 
 // Checkpoint directory recovery states (see ScanCheckpoints).
@@ -297,6 +300,14 @@ func ScanCheckpointRefs(b Backend, runRoot string) ([]RefStatus, error) {
 // crashed one's). Repair runs this automatically.
 func ReconcileCheckpointRefs(b Backend, runRoot string) (*RefReconcileReport, error) {
 	return ckpt.ReconcileRefIndex(b, runRoot)
+}
+
+// ScanCheckpointCodecs audits blob-codec health across the run root's
+// committed dedup checkpoints: entry counts per codec, payload versus
+// stored bytes, the deepest xor-parent chain, and any pinned parent the
+// blob store no longer holds.
+func ScanCheckpointCodecs(b Backend, runRoot string) ([]CodecHealth, error) {
+	return ckpt.ScanCodecs(b, runRoot)
 }
 
 // AdoptCheckpoints runs the adopt-or-quarantine migration over a run root:
