@@ -95,8 +95,9 @@ doctor-smoke:
 	echo "doctor-smoke: OK"
 
 # Object-store lane: the cross-backend conformance matrix, the object
-# store's own suites (atomic PUTs, compose, multipart, retry metering) and
-# the no-rename commit-protocol crash exploration — re-run with injected
+# store's own suites (atomic PUTs, compose, multipart, retry metering),
+# the no-rename commit-protocol crash explorations (save and elastic
+# reshard) and the reshard round-trip — re-run with injected
 # per-request latency so the remote-store timing paths (parallel part
 # uploads overlapping the link, retry backoff on the sim clock) execute
 # with real sleeps rather than degenerate zero-latency ones.
@@ -105,6 +106,7 @@ objstore:
 	OBJSTORE_LAT_US=$(OBJSTORE_LAT_US) $(GO) test ./internal/storage \
 		-run 'TestBackendConformance|TestRenameSupportedProbe|TestObjStore|TestMultipart|TestRetry|TestMeterCharges'
 	$(GO) test ./internal/ckpt -run 'TestCrashPointExplorationObjStoreSave|TestShardedObjStoreRoundTrip'
+	$(GO) test ./internal/reshard -run 'TestReshardObjStore|TestCrashPointExplorationReshardObjStore'
 	$(GO) test -race ./internal/ckpt -run 'TestShardedGCRacingConcurrentSave'
 
 # Quick benchmark sweep of the streaming merge hot path.
@@ -136,7 +138,8 @@ bench-record:
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkCaptureStall' -benchtime=3x .
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkObjStoreMultipart' -benchtime=10x .
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkCompressedSave' -benchtime=3x .
-	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json BENCH_gc.json BENCH_stall.json BENCH_objstore.json BENCH_compress.json
+	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkReshardRawVsDecode' -benchtime=5x .
+	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json BENCH_gc.json BENCH_stall.json BENCH_objstore.json BENCH_compress.json BENCH_reshard.json
 
 clean:
 	rm -f llmtailor trainsim paperbench ckptstat cover.out cover.html

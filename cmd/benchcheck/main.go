@@ -10,6 +10,8 @@
 //	BENCH_delta.json      dedup bytes reduction    >= 5x
 //	BENCH_gc.json         generational gc speedup  >= 5x
 //	BENCH_merge.json      bounded-memory merge: peak in-flight <= cap
+//	BENCH_reshard.json    zero-decode reshard splice speedup >= 2x,
+//	                      and the splice path fully engages
 //	BENCH_stall.json      lazy-capture stall-bytes reduction >= 5x,
 //	                      and the stall scales with changed layers
 //	BENCH_compress.json   blob-codec changed-layer compression >= 3x,
@@ -127,6 +129,40 @@ var checks = []check{
 		}
 		if deepest > 8 { // ckpt.DefaultCodecRebase
 			return fmt.Errorf("deepest chain %.0f exceeds the re-base bound 8", deepest)
+		}
+		return nil
+	}},
+	{"BENCH_reshard.json", "zero-decode reshard splice speedup >= 2x", atLeast(2, "speedup")},
+	{"BENCH_reshard.json", "the raw-copy splice engages on every group", func(m map[string]any) error {
+		groups, err := number(m, "raw", "stats", "groups")
+		if err != nil {
+			return err
+		}
+		rawCopied, err := number(m, "raw", "stats", "groups_raw_copied")
+		if err != nil {
+			return err
+		}
+		if groups < 1 {
+			return fmt.Errorf("record measured no groups")
+		}
+		if rawCopied != groups {
+			return fmt.Errorf("raw side spliced %.0f of %.0f groups", rawCopied, groups)
+		}
+		return nil
+	}},
+	{"BENCH_reshard.json", "resharding stays within its in-flight byte cap", func(m map[string]any) error {
+		for _, side := range []string{"raw", "decode"} {
+			peak, err := number(m, side, "stats", "peak_inflight_bytes")
+			if err != nil {
+				return err
+			}
+			cap, err := number(m, "max_inflight")
+			if err != nil {
+				return err
+			}
+			if cap > 0 && peak > cap {
+				return fmt.Errorf("%s peak in-flight %.0f bytes exceeds the %.0f cap", side, peak, cap)
+			}
 		}
 		return nil
 	}},

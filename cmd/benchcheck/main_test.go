@@ -16,6 +16,7 @@ func writeRecords(t *testing.T, dir string, gcSpeedup, rawSpeedup, reduction str
 		"BENCH_stall.json":     `{"reduction": 8.2, "stall_bytes_lazy": 8805888, "stall_bytes_snapshot": 72519552, "total_layers": 18, "layers_changed_per_step": 1}`,
 		"BENCH_objstore.json":  `{"speedup": 3.3, "payload_bytes": 8388608, "part_bytes": 1048576, "workers": 8}`,
 		"BENCH_compress.json":  `{"reduction": 28.2, "changed_payload_bytes": 4402944, "changed_stored_bytes": 156141, "xor_entries": 585, "deepest_chain": 1}`,
+		"BENCH_reshard.json":   `{"speedup": 2.5, "max_inflight": 8388608, "raw": {"stats": {"groups": 34, "groups_raw_copied": 34, "peak_inflight_bytes": 2279424}}, "decode": {"stats": {"groups": 34, "groups_raw_copied": 0, "peak_inflight_bytes": 2279424}}}`,
 	}
 	for name, content := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {

@@ -53,6 +53,8 @@ func main() {
 			os.Exit(exitProblems)
 		}
 		return
+	case "reshard":
+		err = runReshard(os.Args[2:], os.Stdout)
 	case "gc":
 		err = runGC(os.Args[2:], os.Stdout)
 	case "retain":
@@ -102,6 +104,13 @@ commands:
               blobs whose youngest reference died with them; -dry-run
               reports only
   gen-recipe  build a recipe from partial-checkpoint manifests
+  reshard     repartition a committed checkpoint saved at world-size N
+              into a new committed checkpoint at world-size M —
+              byte-identical to a native save at M. Aligned extents move
+              through a zero-decode splice (CRCs carried forward);
+              -no-raw-copy forces the gather→repartition decode path
+              (identical output bytes); -dedup stores the output
+              content-addressed against the run root's objects/ store
 
 examples:
   llmtailor doctor -root /data -run sft-run        # report only
@@ -112,7 +121,9 @@ examples:
   llmtailor merge -root /data -recipe r.yaml -dedup # dedup the output
   llmtailor gc -root /data -run sft-run            # incremental reclaim
   llmtailor gc -root /data -run sft-run -full      # verify + full sweep
-  llmtailor retain -root /data -run sft-run -keep-last 5`)
+  llmtailor retain -root /data -run sft-run -keep-last 5
+  llmtailor reshard -root /data -src sft-run/checkpoint-300 \
+                    -out sft-run/checkpoint-300-w4 -world 4`)
 }
 
 func openRoot(root string) (llmtailor.Backend, error) {
@@ -620,4 +631,50 @@ func runGenRecipe(args []string) error {
 		return nil
 	}
 	return os.WriteFile(*write, data, 0o644)
+}
+
+func runReshard(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("reshard", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	src := fs.String("src", "", "source checkpoint directory (committed)")
+	dst := fs.String("out", "", "output checkpoint directory")
+	world := fs.Int("world", 0, "target world size M")
+	workers := fs.Int("workers", 4, "parallel group-repartition workers")
+	maxInFlight := fs.Int64("max-inflight", 0, "bound on in-flight group payload bytes (0 = unbounded)")
+	chunkBytes := fs.Int("chunk-bytes", 0, "streaming I/O chunk size in bytes (0 = default)")
+	noRawCopy := fs.Bool("no-raw-copy", false, "disable the zero-decode extent-splice fast path; output bytes are identical either way")
+	dedup := fs.Bool("dedup", false, "store the resharded checkpoint content-addressed in the run root's objects/ store")
+	noLatest := fs.Bool("no-latest", false, "do not move the run root's latest pointer to the output")
+	fs.Parse(args)
+
+	b, err := openRoot(*root)
+	if err != nil {
+		return err
+	}
+	if *src == "" || *dst == "" {
+		return fmt.Errorf("missing -src or -out")
+	}
+	stats, err := llmtailor.ReshardCheckpoint(b, *src, *dst, *world, llmtailor.ReshardOptions{
+		Workers:     *workers,
+		MaxInFlight: *maxInFlight,
+		ChunkBytes:  *chunkBytes,
+		NoRawCopy:   *noRawCopy,
+		Dedup:       *dedup,
+		NoLatest:    *noLatest,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "resharded %s (world %d) -> %s (world %d)\n", *src, stats.WorldFrom, *dst, stats.WorldTo)
+	fmt.Fprintf(out, "  groups: %d  raw-copied: %d  decoded: %d\n", stats.Groups, stats.GroupsRawCopied, stats.GroupsDecoded)
+	fmt.Fprintf(out, "  shards carried: %d  spliced: %d  zero-filled: %d\n", stats.ShardsCarried, stats.ShardsSpliced, stats.ShardsZeroed)
+	fmt.Fprintf(out, "  bytes raw-copied: %d  decoded: %d  zero-filled: %d  weights: %d\n",
+		stats.BytesRawCopied, stats.BytesDecoded, stats.BytesZeroFilled, stats.WeightBytes)
+	fmt.Fprintf(out, "  peak in-flight bytes: %d\n", stats.PeakInFlightBytes)
+	if *dedup {
+		fmt.Fprintf(out, "  dedup: %d blobs written (%d bytes), %d reused (%d bytes deduplicated)\n",
+			stats.BlobsPut, stats.BlobBytesWritten, stats.BlobsReused, stats.BytesDeduped)
+	}
+	fmt.Fprintf(out, "  wall time: %v\n", stats.WallTime)
+	return nil
 }

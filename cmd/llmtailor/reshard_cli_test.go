@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"llmtailor"
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/tensor"
+)
+
+func TestCLIReshard(t *testing.T) {
+	root := t.TempDir()
+	b, err := llmtailor.OpenDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := modelcfg.Tiny()
+	m, _ := model.NewInitialized(cfg, tensor.BF16, 9)
+	o, _ := optim.NewAdamW(m, optim.NewLayerwiseLayout(cfg), optim.DefaultHyper())
+	if err := ckpt.Save(b, ckpt.SaveSpec{
+		Dir: "run/checkpoint-10", Model: m, Optim: o, WorldSize: 3,
+		Strategy: "full", State: ckpt.TrainerState{Step: 10, Seed: 9},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	err = runReshard([]string{"-root", root, "-src", "run/checkpoint-10",
+		"-out", "run/checkpoint-10-w2", "-world", "2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(world 3) -> run/checkpoint-10-w2 (world 2)") {
+		t.Fatalf("output: %s", out.String())
+	}
+
+	// The output is a committed, restorable checkpoint at the new world.
+	if err := ckpt.VerifyCommit(b, "run/checkpoint-10-w2"); err != nil {
+		t.Fatal(err)
+	}
+	rm, _, c, err := ckpt.Restore(b, "run/checkpoint-10-w2", tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State.WorldSize != 2 || !model.Equal(rm, m) {
+		t.Fatalf("resharded checkpoint wrong: world %d", c.State.WorldSize)
+	}
+	// The latest pointer moved to the resharded output.
+	latest, err := ckpt.Latest(b, "run")
+	if err != nil || latest != "run/checkpoint-10-w2" {
+		t.Fatalf("latest = %q, %v", latest, err)
+	}
+
+	// Missing flags are rejected.
+	if err := runReshard([]string{"-root", root, "-world", "2"}, &out); err == nil {
+		t.Fatal("missing -src/-out accepted")
+	}
+	if err := runReshard([]string{"-root", root, "-src", "run/checkpoint-10",
+		"-out", "x", "-world", "0"}, &out); err == nil {
+		t.Fatal("world 0 accepted")
+	}
+}

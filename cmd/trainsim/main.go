@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"llmtailor"
@@ -53,11 +55,13 @@ func main() {
 	shards := flag.Int("shards", 0, "with -dedup: digest-shard the run's blob store across N prefix shards (0 = flat layout)")
 	codec := flag.String("codec", "", "with -dedup: blob compression codec — raw, plane (byte-plane split + RLE), or xor (delta changed layers against the previous checkpoint)")
 	codecRebase := flag.Int("codec-rebase", 0, "with -codec xor: re-base a slot to a full plane blob when its parent chain would exceed this depth (0 = default)")
+	reshardEvery := flag.Int("reshard-every", 0, "elastic-resume scenario: every N steps (a multiple of -interval), stop, reshard the latest committed checkpoint to the next world size from -reshard-worlds and resume from it (0 = off)")
+	reshardWorlds := flag.String("reshard-worlds", "", "with -reshard-every: comma-separated world-size schedule cycled through at each resize (e.g. \"3,2,4\")")
 	flag.Parse()
 
 	if err := run(*root, *runRoot, *modelName, *sim, *taskName, *steps, *warmup, *lr,
 		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup, *keepLast, *lazy,
-		*objstore, *objLatency, *shards, *codec, *codecRebase); err != nil {
+		*objstore, *objLatency, *shards, *codec, *codecRebase, *reshardEvery, *reshardWorlds); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
@@ -67,7 +71,7 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 	steps, warmup int, lr float64, interval int, strategyName string,
 	worldSize int, seed uint64, failAt int, resume string, dedup bool, keepLast int,
 	lazy bool, objstore bool, objLatency time.Duration, shards int,
-	codec string, codecRebase int) error {
+	codec string, codecRebase int, reshardEvery int, reshardWorlds string) error {
 
 	var b llmtailor.Backend
 	var retry *storage.Retry
@@ -124,23 +128,33 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 	}
 
 	var tr *train.Trainer
-	if resume != "" {
-		tr, err = llmtailor.ResumeTrainer(tc, b, resume)
+	var res *train.Result
+	if reshardEvery > 0 {
+		if resume != "" {
+			return fmt.Errorf("-reshard-every cannot be combined with -resume")
+		}
+		tr, res, err = runElastic(tc, b, trueCfg, reshardEvery, reshardWorlds)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("resumed from %s at step %d\n", resume, tr.Step())
 	} else {
-		tr, err = llmtailor.NewTrainer(tc, b)
+		if resume != "" {
+			tr, err = llmtailor.ResumeTrainer(tc, b, resume)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("resumed from %s at step %d\n", resume, tr.Step())
+		} else {
+			tr, err = llmtailor.NewTrainer(tc, b)
+			if err != nil {
+				return err
+			}
+		}
+		tr.SetTrueConfig(trueCfg)
+		res, err = tr.Run()
 		if err != nil {
 			return err
 		}
-	}
-	tr.SetTrueConfig(trueCfg)
-
-	res, err := tr.Run()
-	if err != nil {
-		return err
 	}
 	fmt.Printf("model %s (%s geometry), task %s, strategy %s\n", cfg.Name, geom(sim), task.Name, strat.Name())
 	fmt.Printf("steps: %d  final loss: %.4f  final eval loss: %.4f\n",
@@ -194,4 +208,85 @@ func geom(sim bool) string {
 		return "scaled-sim"
 	}
 	return "true"
+}
+
+// runElastic drives the elastic-resume scenario: train in segments of
+// `every` steps, and between segments repartition the latest committed
+// checkpoint to the next world size from the schedule (via the same
+// transform `llmtailor reshard` exposes) and resume from the resharded
+// output. The aggregated result spans all segments.
+func runElastic(tc train.Config, b llmtailor.Backend, trueCfg *modelcfg.Config,
+	every int, worldsSpec string) (*train.Trainer, *train.Result, error) {
+
+	if every%tc.CkptInterval != 0 {
+		return nil, nil, fmt.Errorf("-reshard-every %d must be a multiple of -interval %d (segments end on a committed checkpoint)", every, tc.CkptInterval)
+	}
+	var worlds []int
+	for _, s := range strings.Split(worldsSpec, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		w, err := strconv.Atoi(s)
+		if err != nil || w < 1 {
+			return nil, nil, fmt.Errorf("-reshard-worlds: bad world size %q", s)
+		}
+		worlds = append(worlds, w)
+	}
+	if len(worlds) == 0 {
+		return nil, nil, fmt.Errorf("-reshard-every requires -reshard-worlds (e.g. \"3,2,4\")")
+	}
+
+	total := tc.TotalSteps
+	tc.FailAt = every
+	if tc.FailAt >= total {
+		tc.FailAt = 0
+	}
+	tr, err := llmtailor.NewTrainer(tc, b)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.SetTrueConfig(trueCfg)
+
+	agg := &train.Result{}
+	for seg := 0; ; seg++ {
+		res, err := tr.Run()
+		if err != nil {
+			return nil, nil, err
+		}
+		agg.History = append(agg.History, res.History...)
+		agg.Ckpts = append(agg.Ckpts, res.Ckpts...)
+		agg.FinalStep, agg.FinalLoss = res.FinalStep, res.FinalLoss
+		agg.FinalEvalLoss, agg.Capture = res.FinalEvalLoss, res.Capture
+		if !res.Failed {
+			return tr, agg, nil
+		}
+
+		latest, err := ckpt.Latest(b, tc.RunRoot)
+		if err != nil {
+			return nil, nil, fmt.Errorf("elastic: no committed checkpoint to reshard: %w", err)
+		}
+		next := worlds[seg%len(worlds)]
+		out := fmt.Sprintf("%s-w%d", latest, next)
+		stats, err := llmtailor.ReshardCheckpoint(b, latest, out, next, llmtailor.ReshardOptions{
+			Workers: 2, Dedup: tc.DedupCkpt,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("elastic: reshard %s to world %d: %w", latest, next, err)
+		}
+		fmt.Printf("elastic: resharded %s (world %d -> %d, %d/%d groups raw-copied) -> %s\n",
+			latest, stats.WorldFrom, stats.WorldTo, stats.GroupsRawCopied, stats.Groups, out)
+
+		tc.WorldSize = next
+		tc.FailAt += every
+		if tc.FailAt >= total {
+			tc.FailAt = 0
+		}
+		tr, err = llmtailor.ResumeTrainer(tc, b, out)
+		if err != nil {
+			return nil, nil, fmt.Errorf("elastic: resume from %s: %w", out, err)
+		}
+		tr.SetTrueConfig(trueCfg)
+		fmt.Printf("elastic: resumed at step %d with world size %d\n", tr.Step(), next)
+	}
 }

@@ -169,7 +169,7 @@ func (w *ShardFileWriter) AppendRawGroup(m ShardGroupMeta, size int64, src io.Re
 	if m.ShardLen < 0 || size < 0 || size%12 != 0 || m.ShardLen != size/12 {
 		return fmt.Errorf("ckpt: %s: raw group %d payload %d bytes, want 12×%d", w.name, m.Index, size, m.ShardLen)
 	}
-	n, err := io.CopyBuffer(w.spool, io.LimitReader(src, size), w.buf)
+	n, err := spliceTo(w.spool, src, size, w.buf)
 	if err != nil {
 		w.err = fmt.Errorf("ckpt: %s: splice raw group %d: %w", w.name, m.Index, err)
 		return w.err

@@ -132,6 +132,15 @@ func (w *containerWriter) finish(hdr any) error {
 	return err
 }
 
+// Preallocate reserves scratch capacity for a payload whose total size the
+// caller knows upfront. Advisory: file-backed spools ignore it, and the
+// payload may still exceed (or undershoot) the reservation.
+func (w *containerWriter) Preallocate(n int64) {
+	if w.spool != nil {
+		storage.GrowSpool(w.spool, n)
+	}
+}
+
 // Abort discards the writer without producing the file (safe after Close).
 func (w *containerWriter) Abort() {
 	w.done = true

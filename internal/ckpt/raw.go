@@ -109,7 +109,7 @@ func (w *LTSFWriter) AppendRaw(rt RawTensor, src io.Reader) error {
 		sum = sha256.New()
 		sink = io.MultiWriter(sink, sum)
 	}
-	n, err := io.CopyBuffer(sink, io.LimitReader(src, rt.Size), w.buf)
+	n, err := spliceTo(sink, src, rt.Size, w.buf)
 	if err != nil {
 		w.err = fmt.Errorf("ckpt: %s: splice raw tensor %q: %w", w.name, rt.Name, err)
 		return w.err
@@ -124,6 +124,23 @@ func (w *LTSFWriter) AppendRaw(rt RawTensor, src io.Reader) error {
 	w.hdr.Tensors[rt.Name] = meta
 	w.off += rt.Size
 	return nil
+}
+
+// memExtent matches in-memory sources whose exact remaining length is
+// known (bytes.Reader, the Mem backend's range readers).
+type memExtent interface {
+	io.WriterTo
+	Len() int
+}
+
+// spliceTo copies exactly size bytes from src into sink. An in-memory
+// source of exactly that length is handed over in one wide write (WriteTo);
+// anything else streams through buf-sized chunks behind a LimitReader.
+func spliceTo(sink io.Writer, src io.Reader, size int64, buf []byte) (int64, error) {
+	if me, ok := src.(memExtent); ok && int64(me.Len()) == size {
+		return me.WriteTo(sink)
+	}
+	return io.CopyBuffer(sink, io.LimitReader(src, size), buf)
 }
 
 // RawEligible reports whether the named tensor can be raw-copied into an

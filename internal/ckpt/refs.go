@@ -430,8 +430,16 @@ func auditRefs(b storage.Backend, runRoot string, dirs []dirRefs) (*refAudit, er
 				// The directory is unbound (pre-ref-index checkpoint, or a
 				// mid-write tree without a manifest yet): no proof either
 				// way, so the record pins and the key counts as covered
-				// when the digest sets agree.
-				if digestsCover(rec.Digests, dirRefsetOf(ds)) {
+				// when the digest sets agree. Exception: when every
+				// directory under the key is a sealed plain checkpoint,
+				// nothing it stores can reference a blob, so the record is
+				// an in-flight dedup conversion's advance pin or residue of
+				// a crashed one — sweeps still honor it, quiescent repair
+				// retires it.
+				if allSealedPlain(ds) {
+					ar.state = RefOrphaned
+					ar.detail = "record over a sealed plain directory (in-flight dedup conversion, or stale after a crashed one)"
+				} else if digestsCover(rec.Digests, dirRefsetOf(ds)) {
 					ar.state = RefOK
 					covered[e.Key] = true
 				} else {
@@ -448,6 +456,18 @@ func auditRefs(b storage.Backend, runRoot string, dirs []dirRefs) (*refAudit, er
 		}
 	}
 	return audit, nil
+}
+
+// allSealedPlain reports whether every directory view of one key is a
+// sealed, non-dedup checkpoint in its final location — a tree that by
+// construction references no blob.
+func allSealedPlain(ds []dirRefs) bool {
+	for i := range ds {
+		if ds[i].Dedup || ds[i].Staging || ds[i].Quarantined || !ds[i].Sealed {
+			return false
+		}
+	}
+	return len(ds) > 0
 }
 
 // dirRefsetOf returns the union digest list over directory views of one key.

@@ -171,6 +171,17 @@ func (l *Layout) finish(cfg *modelcfg.Config) {
 // NumGroups returns the group count (2 for TwoGroup, 2L+x for Layerwise).
 func (l *Layout) NumGroups() int { return len(l.Groups) }
 
+// GroupByIndex returns the layout group with the given global index (group
+// indices are positional). Restore and reshard paths use it to re-validate
+// recorded shard metadata against the layout rebuilt from config before
+// trusting any geometry it claims.
+func (l *Layout) GroupByIndex(idx int) (Group, error) {
+	if idx < 0 || idx >= len(l.Groups) {
+		return Group{}, fmt.Errorf("optim: %s layout has no group %d (%d groups)", l.Kind, idx, len(l.Groups))
+	}
+	return l.Groups[idx], nil
+}
+
 // SegmentOf locates a tensor's flat segment.
 func (l *Layout) SegmentOf(name string) (Segment, error) {
 	s, ok := l.byName[name]

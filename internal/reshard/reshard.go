@@ -1,0 +1,721 @@
+// Package reshard implements elastic repartitioning of committed
+// checkpoints: a run saved at world-size N becomes a committed checkpoint
+// at world-size M, ready to resume on a differently sized fleet
+// (ByteCheckpoint's headline capability; see DESIGN.md "Elastic
+// resharding").
+//
+// Only the optimizer shards depend on the world size — consolidated
+// weights, config and manifest are world-size independent — so the
+// transform is pure zero.Partition math: for every parameter group the
+// unpadded flat vector [0, numel) is the invariant, and each target rank's
+// extent [r·s_M, (r+1)·s_M) is assembled by intersecting it with the source
+// extents [r'·s_N, (r'+1)·s_N). Because both partitions address the same
+// FP32 element grid, every intersection is element-aligned, and each target
+// section (master, exp_avg, exp_avg_sq are stored concatenated per shard)
+// is a concatenation of byte ranges from source payloads plus synthesized
+// zeros for the target's own pad tail — no float ever needs decoding. The
+// transform streams group by group through parallel.Pipeline under a
+// ByteGate, so peak memory is a few groups' target shards, never the full
+// flat state.
+//
+// When the two partitions coincide on a shard (s_N == s_M, which happens
+// whenever ceil(numel/N) == ceil(numel/M)), the target payload is the
+// source payload bit for bit and its CRC is carried forward without
+// recomputation, per the raw-splice surfaces (ShardFileWriter.AppendRawGroup).
+//
+// The output commits through the standard stage → seal → publish protocol
+// (ckpt.Begin/Commit), so Scan, Repair, doctor, GC and the ref journal all
+// treat resharded checkpoints like any other, on rename and no-rename
+// backends alike. With Options.Dedup the published output is converted to
+// content-addressed form; unchanged payloads (all weight tensors, and any
+// group shard whose extent aligns) dedup against existing blobs by content
+// address.
+package reshard
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/parallel"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/zero"
+)
+
+// Options tunes a reshard run.
+type Options struct {
+	// Workers bounds the group-assembly parallelism (default 1).
+	Workers int
+	// ChunkBytes is the streaming I/O chunk size for container writes
+	// (default storage.DefaultChunkBytes).
+	ChunkBytes int
+	// MaxInFlight bounds the payload bytes of groups admitted into the
+	// pipeline and not yet written. 0 means unbounded;
+	// Stats.PeakInFlightBytes reports the high-water mark either way.
+	MaxInFlight int64
+	// NoRawCopy disables the zero-decode extent-splice path, forcing every
+	// group through gather → repartition in decoded FP32. Output bytes are
+	// identical either way (the golden tests pin this); the knob exists for
+	// A/B benchmarking.
+	NoRawCopy bool
+	// Dedup converts the published output to content-addressed form, so
+	// payloads dedup against the run root's objects/ store.
+	Dedup bool
+	// NoLatest leaves the run root's "latest" pointer untouched instead of
+	// moving it to the resharded output.
+	NoLatest bool
+}
+
+// Stats reports what a reshard did.
+type Stats struct {
+	// WorldFrom and WorldTo are the source and target world sizes.
+	WorldFrom, WorldTo int
+	// Groups is the number of parameter groups repartitioned.
+	Groups int
+	// GroupsRawCopied counts groups whose every target shard was assembled
+	// by extent splicing — no FP32 decode anywhere. GroupsDecoded counts
+	// the gather → repartition fallback (NoRawCopy).
+	GroupsRawCopied int
+	GroupsDecoded   int
+	// ShardsCarried counts target shards bit-identical to a source shard
+	// (s_N == s_M): their payloads stream through verbatim and the source
+	// CRC is carried forward without recomputation.
+	ShardsCarried int
+	// ShardsSpliced counts target shards stitched from two or more source
+	// extents (or one partial extent) with the CRC computed during the
+	// splice; ShardsZeroed counts all-padding target shards synthesized
+	// without touching the source at all.
+	ShardsSpliced int
+	ShardsZeroed  int
+	// BytesRawCopied totals source payload bytes moved by the splice path;
+	// BytesDecoded totals payload bytes that went through FP32 decode;
+	// BytesZeroFilled totals synthesized pad bytes.
+	BytesRawCopied  int64
+	BytesDecoded    int64
+	BytesZeroFilled int64
+	// WeightBytes is the consolidated weights payload copied verbatim.
+	WeightBytes int64
+	// PeakInFlightBytes is the byte gate's high-water mark.
+	PeakInFlightBytes int64
+	// WallTime is the measured duration.
+	WallTime time.Duration
+	// Dedup-output counters (Options.Dedup), from the conversion report.
+	BlobsPut         int
+	BlobsReused      int
+	BlobBytesWritten int64
+	BytesDeduped     int64
+}
+
+// srcGroup is one rank's stored payload of one group: its recorded
+// metadata plus an opener over byte ranges of the payload extent. Plain
+// sources range-read the LTOS file; dedup sources range-read the group
+// blob (the CAS decodes codec blobs transparently, so extents always
+// address uncompressed payload bytes).
+type srcGroup struct {
+	meta ckpt.ShardGroupMeta
+	open func(off, n int64) (io.ReadCloser, error)
+}
+
+// Reshard transforms the committed checkpoint at srcDir into a committed
+// checkpoint at dstDir with the given world size. The source is never
+// modified; dstDir must differ from srcDir (an in-place reshard would
+// unseal the only copy mid-flight).
+func Reshard(b storage.Backend, srcDir, dstDir string, world int, opts Options) (*Stats, error) {
+	start := time.Now()
+	if world < 1 {
+		return nil, fmt.Errorf("reshard: target world size %d", world)
+	}
+	if dstDir == srcDir {
+		return nil, fmt.Errorf("reshard: output %s would replace the source in place; pick a different directory", dstDir)
+	}
+	c, err := ckpt.Open(b, srcDir)
+	if err != nil {
+		return nil, fmt.Errorf("reshard: open source: %w", err)
+	}
+	if !c.Manifest.Complete {
+		return nil, fmt.Errorf("reshard: %s is a partial checkpoint (strategy %s); merge it into a complete one first", srcDir, c.Manifest.Strategy)
+	}
+	worldFrom := c.State.WorldSize
+	if worldFrom < 1 {
+		return nil, fmt.Errorf("reshard: source world size %d", worldFrom)
+	}
+	stats := &Stats{WorldFrom: worldFrom, WorldTo: world}
+
+	// Layout re-validation: rebuild the optimizer layout from the source's
+	// config and check every recorded group against it before trusting any
+	// recorded geometry.
+	layout, err := layoutFor(c)
+	if err != nil {
+		return nil, err
+	}
+	groups, srcs, optimStep, err := openGroupSources(b, c, layout)
+	if err != nil {
+		return nil, err
+	}
+	stats.Groups = len(groups)
+
+	txn, err := ckpt.Begin(b, dstDir)
+	if err != nil {
+		return nil, err
+	}
+	defer txn.Abort()
+	sb, staging := txn.Backend(), txn.Dir()
+
+	if err := copyWeights(b, c, sb, staging, opts, stats); err != nil {
+		return nil, err
+	}
+	if err := repartition(layout, groups, srcs, optimStep, sb, staging, world, opts, stats); err != nil {
+		return nil, err
+	}
+	if err := writeTrailer(b, c, sb, staging, world); err != nil {
+		return nil, err
+	}
+	if err := txn.Commit(c.State.Step); err != nil {
+		return nil, err
+	}
+	if !opts.NoLatest {
+		if err := ckpt.WriteLatestPointer(b, dstDir); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Dedup {
+		// Conversion runs after publication under its own replace-in-place
+		// transaction: a crash here leaves the plain resharded checkpoint
+		// committed and intact. Content addressing is what implements the
+		// dedup composition — every weight blob and every aligned group
+		// shard hashes to an existing digest and is reused, not rewritten.
+		rep, err := ckpt.Dedupify(b, dstDir, opts.ChunkBytes)
+		if err != nil {
+			return nil, fmt.Errorf("reshard: dedup output: %w", err)
+		}
+		stats.BlobsPut = rep.BlobsPut
+		stats.BlobsReused = rep.BlobsReused
+		stats.BlobBytesWritten = rep.BlobBytesWritten
+		stats.BytesDeduped = rep.BytesDeduped
+	}
+	stats.WallTime = time.Since(start)
+	return stats, nil
+}
+
+// layoutFor rebuilds the optimizer layout recorded in the source's trainer
+// state from its config.
+func layoutFor(c *ckpt.Checkpoint) (*optim.Layout, error) {
+	kind, err := optim.ParseLayoutKind(c.State.Layout)
+	if err != nil {
+		return nil, fmt.Errorf("reshard: %w", err)
+	}
+	if kind == optim.Layerwise {
+		return optim.NewLayerwiseLayout(c.Config), nil
+	}
+	return optim.NewTwoGroupLayout(c.Config), nil
+}
+
+// openGroupSources indexes every rank's stored groups and validates them
+// against each other and the layout: same step, same group sequence, shard
+// lengths exactly what zero.Partition dictates, and per-group geometry
+// matching the layout rebuilt from config. It returns the canonical group
+// metadata (rank 0's order), srcs[group][rank] extent openers, and the
+// recorded optimizer step count (the LTOS header step, distinct from the
+// trainer step — it feeds AdamW's bias correction on restore, so it must
+// survive the reshard verbatim).
+func openGroupSources(b storage.Backend, c *ckpt.Checkpoint, layout *optim.Layout) ([]ckpt.ShardGroupMeta, [][]srcGroup, int, error) {
+	worldFrom := c.State.WorldSize
+	dedup := c.Manifest.Dedup
+	var store storage.CAS
+	if dedup {
+		var err error
+		store, err = storage.OpenCAS(b, ckpt.ObjectsRoot(c.Dir))
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("reshard: open blob store: %w", err)
+		}
+	}
+
+	perRank := make([][]ckpt.ShardGroupMeta, worldFrom)
+	openers := make([][]func(off, n int64) (io.ReadCloser, error), worldFrom)
+	step := -1
+	for r := 0; r < worldFrom; r++ {
+		if dedup {
+			sm, err := ckpt.ReadShardManifest(b, c.Dir+"/"+ckpt.ShardManifestName(r))
+			if err != nil {
+				return nil, nil, 0, fmt.Errorf("reshard: rank %d: %w", r, err)
+			}
+			if sm.Rank != r || sm.WorldSize != worldFrom {
+				return nil, nil, 0, fmt.Errorf("reshard: rank %d manifest claims rank %d of %d", r, sm.Rank, sm.WorldSize)
+			}
+			if step < 0 {
+				step = sm.Step
+			} else if sm.Step != step {
+				return nil, nil, 0, fmt.Errorf("reshard: rank %d at step %d, rank 0 at %d", r, sm.Step, step)
+			}
+			for _, e := range sm.Groups {
+				if e.Size != e.ShardLen*12 {
+					return nil, nil, 0, fmt.Errorf("reshard: rank %d group %d blob is %d bytes, want 12×%d", r, e.Index, e.Size, e.ShardLen)
+				}
+				m := e.Meta()
+				digest := e.Digest
+				perRank[r] = append(perRank[r], m)
+				openers[r] = append(openers[r], func(off, n int64) (io.ReadCloser, error) {
+					return store.OpenRange(digest, off, n)
+				})
+			}
+			continue
+		}
+		name := c.Dir + "/" + ckpt.ShardFileName(r)
+		h, err := ckpt.ReadShardHeader(b, name)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("reshard: rank %d: %w", r, err)
+		}
+		if h.Rank != r || h.WorldSize != worldFrom {
+			return nil, nil, 0, fmt.Errorf("reshard: rank %d file claims rank %d of %d", r, h.Rank, h.WorldSize)
+		}
+		if step < 0 {
+			step = h.Step
+		} else if h.Step != step {
+			return nil, nil, 0, fmt.Errorf("reshard: rank %d at step %d, rank 0 at %d", r, h.Step, step)
+		}
+		base := h.FileBytes - h.PayloadBytes
+		for _, m := range h.Groups {
+			if m.Offsets[1]-m.Offsets[0] != m.ShardLen*12 {
+				return nil, nil, 0, fmt.Errorf("reshard: rank %d group %d extent %d bytes, want 12×%d", r, m.Index, m.Offsets[1]-m.Offsets[0], m.ShardLen)
+			}
+			fileOff := base + m.Offsets[0]
+			perRank[r] = append(perRank[r], m)
+			openers[r] = append(openers[r], func(off, n int64) (io.ReadCloser, error) {
+				return b.OpenRange(name, fileOff+off, n)
+			})
+		}
+	}
+
+	// Cross-rank and layout validation against rank 0's canonical order. A
+	// complete checkpoint stores exactly the layout's groups in index order.
+	canon := perRank[0]
+	if len(canon) != layout.NumGroups() {
+		return nil, nil, 0, fmt.Errorf("reshard: source has %d groups, layout %d — partial shard files cannot reshard", len(canon), layout.NumGroups())
+	}
+	pShard := int64(0)
+	for gi, m := range canon {
+		if m.Index != gi {
+			return nil, nil, 0, fmt.Errorf("reshard: group %d stored at position %d; complete checkpoints store groups in index order", m.Index, gi)
+		}
+		lg, err := layout.GroupByIndex(m.Index)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("reshard: %w", err)
+		}
+		wantLayer := ""
+		if lg.HasLayer {
+			wantLayer = lg.Layer.String()
+		}
+		if m.Numel != lg.Numel || m.NoDecay != lg.NoDecay || m.Layer != wantLayer {
+			return nil, nil, 0, fmt.Errorf("reshard: group %d metadata (numel %d, no_decay %v, layer %q) disagrees with layout (numel %d, no_decay %v, layer %q)",
+				gi, m.Numel, m.NoDecay, m.Layer, lg.Numel, lg.NoDecay, wantLayer)
+		}
+		p, err := zero.NewPartition(m.Numel, worldFrom)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("reshard: group %d: %w", gi, err)
+		}
+		pShard = p.ShardLen()
+		for r := 0; r < worldFrom; r++ {
+			if gi >= len(perRank[r]) {
+				return nil, nil, 0, fmt.Errorf("reshard: rank %d is missing group %d", r, gi)
+			}
+			rm := perRank[r][gi]
+			if rm.Index != m.Index || rm.Numel != m.Numel || rm.ShardLen != pShard {
+				return nil, nil, 0, fmt.Errorf("reshard: rank %d group %d geometry (numel %d, shard %d) disagrees with rank 0 (numel %d, shard %d)",
+					r, gi, rm.Numel, rm.ShardLen, m.Numel, pShard)
+			}
+		}
+	}
+	for r := 1; r < worldFrom; r++ {
+		if len(perRank[r]) != len(canon) {
+			return nil, nil, 0, fmt.Errorf("reshard: rank %d stores %d groups, rank 0 stores %d", r, len(perRank[r]), len(canon))
+		}
+	}
+
+	srcs := make([][]srcGroup, len(canon))
+	for gi := range canon {
+		srcs[gi] = make([]srcGroup, worldFrom)
+		for r := 0; r < worldFrom; r++ {
+			srcs[gi][r] = srcGroup{meta: perRank[r][gi], open: openers[r][gi]}
+		}
+	}
+	return canon, srcs, step, nil
+}
+
+// copyWeights splices the consolidated weights into the staging directory
+// verbatim, in the source's payload order — weights are world-size
+// independent, so a resharded checkpoint's model.ltsf is byte-identical to
+// the source's (and to what a native save at the target world size writes).
+func copyWeights(b storage.Backend, c *ckpt.Checkpoint, sb storage.Backend, staging string, opts Options, stats *Stats) error {
+	src := c.Weights()
+	names, err := payloadOrder(b, c, src)
+	if err != nil {
+		return err
+	}
+	w, err := ckpt.NewLTSFWriter(sb, staging+"/model.ltsf", src.Model(), opts.ChunkBytes)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+	var total int64
+	for _, name := range names {
+		if n, ok := src.PayloadSize(name); ok {
+			total += n
+		}
+	}
+	w.Preallocate(total)
+	for _, name := range names {
+		rt, rc, err := src.OpenRaw(name)
+		if err != nil {
+			return fmt.Errorf("reshard: open weight %s: %w", name, err)
+		}
+		err = w.AppendRaw(rt, rc)
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("reshard: copy weight %s: %w", name, err)
+		}
+		stats.WeightBytes += rt.Size
+	}
+	return w.Close()
+}
+
+// payloadOrder returns tensor names in stored payload order: manifest entry
+// order for dedup sources, ascending payload offset for plain containers.
+func payloadOrder(b storage.Backend, c *ckpt.Checkpoint, src ckpt.WeightsReader) ([]string, error) {
+	if c.Manifest.Dedup {
+		wm, err := ckpt.ReadWeightManifest(b, c.Dir+"/"+ckpt.WeightManifestName)
+		if err != nil {
+			return nil, fmt.Errorf("reshard: %w", err)
+		}
+		names := make([]string, len(wm.Tensors))
+		for i, e := range wm.Tensors {
+			names[i] = e.Name
+		}
+		return names, nil
+	}
+	names := src.Names()
+	offs := make(map[string]int64, len(names))
+	for _, name := range names {
+		rt, err := src.RawTensor(name)
+		if err != nil {
+			return nil, fmt.Errorf("reshard: index weight %s: %w", name, err)
+		}
+		offs[name] = rt.Offset
+	}
+	ordered := append([]string(nil), names...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && offs[ordered[j]] < offs[ordered[j-1]]; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	return ordered, nil
+}
+
+// groupOut is one repartitioned group: every target rank's assembled
+// payload and finished metadata (CRC computed during the splice, or carried
+// forward when the shard streamed through whole).
+type groupOut struct {
+	metas   []ckpt.ShardGroupMeta
+	data    [][]byte
+	raw     bool
+	carried int
+	spliced int
+	zeroed  int
+	rawIn   int64
+	decIn   int64
+	zeros   int64
+}
+
+// repartition streams every group through the pipeline: workers assemble
+// all M target shards of one group (extent splice or decode fallback), the
+// ordered sink appends them to the M open shard-file writers. The byte gate
+// bounds assembled-but-unwritten payload.
+func repartition(layout *optim.Layout, groups []ckpt.ShardGroupMeta,
+	srcs [][]srcGroup, optimStep int, sb storage.Backend, staging string, world int, opts Options, stats *Stats) error {
+
+	// Every rank's payload size is known from the layout alone: reserve it
+	// upfront so in-memory spools allocate once instead of growing move by
+	// move under 12×ShardLen-sized appends.
+	var rankPayload int64
+	for _, m := range groups {
+		pM, err := zero.NewPartition(m.Numel, world)
+		if err != nil {
+			return err
+		}
+		rankPayload += 12 * pM.ShardLen()
+	}
+
+	writers := make([]*ckpt.ShardFileWriter, world)
+	for rm := 0; rm < world; rm++ {
+		w, err := ckpt.NewShardFileWriter(sb, staging+"/"+ckpt.ShardFileName(rm),
+			rm, world, optimStep, layout.Kind, opts.ChunkBytes)
+		if err != nil {
+			return err
+		}
+		defer w.Abort()
+		w.Preallocate(rankPayload)
+		writers[rm] = w
+	}
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	gate := parallel.NewByteGate(opts.MaxInFlight)
+	pipe := parallel.NewPipeline(workers, workers,
+		func(gi int) (groupOut, error) {
+			return assembleGroup(groups[gi], srcs[gi], world, opts)
+		},
+		func(out groupOut) error {
+			for rm := 0; rm < world; rm++ {
+				m := out.metas[rm]
+				if err := writers[rm].AppendRawGroup(m, int64(len(out.data[rm])), bytes.NewReader(out.data[rm])); err != nil {
+					return err
+				}
+			}
+			if out.raw {
+				stats.GroupsRawCopied++
+			} else {
+				stats.GroupsDecoded++
+			}
+			stats.ShardsCarried += out.carried
+			stats.ShardsSpliced += out.spliced
+			stats.ShardsZeroed += out.zeroed
+			stats.BytesRawCopied += out.rawIn
+			stats.BytesDecoded += out.decIn
+			stats.BytesZeroFilled += out.zeros
+			return nil
+		})
+
+	for gi, m := range groups {
+		pM, err := zero.NewPartition(m.Numel, world)
+		if err != nil {
+			pipe.Close()
+			return fmt.Errorf("reshard: group %d: %w", gi, err)
+		}
+		// In-flight cost: the M assembled target shards, plus the decoded
+		// full group the fallback path holds transiently.
+		cost := pM.Padded * 12
+		if opts.NoRawCopy {
+			cost *= 2
+		}
+		gate.Acquire(cost)
+		released := cost
+		if err := pipe.PushWithCleanup(gi, func() { gate.Release(released) }); err != nil {
+			gate.Release(cost)
+			break
+		}
+	}
+	if err := pipe.Close(); err != nil {
+		return err
+	}
+	for rm := 0; rm < world; rm++ {
+		if err := writers[rm].Close(); err != nil {
+			return err
+		}
+	}
+	if p := gate.Peak(); p > stats.PeakInFlightBytes {
+		stats.PeakInFlightBytes = p
+	}
+	return nil
+}
+
+// assembleGroup builds every target rank's payload for one group.
+func assembleGroup(m ckpt.ShardGroupMeta, srcs []srcGroup, world int, opts Options) (groupOut, error) {
+	if opts.NoRawCopy {
+		return decodeGroup(m, srcs, world)
+	}
+	return spliceGroup(m, srcs, world)
+}
+
+// spliceGroup is the zero-decode path: each target shard's three sections
+// are stitched from byte extents of the source payloads (intersection of
+// old and new Partition.Range, always element-aligned because both
+// partitions address the same FP32 grid), with zeros synthesized for the
+// target's pad tail. Source pad bytes are never read — padding moves with
+// the partition, so the target's padding is always freshly zeroed. When
+// s_N == s_M the whole shard streams through verbatim and the source CRC
+// is carried forward.
+func spliceGroup(m ckpt.ShardGroupMeta, srcs []srcGroup, world int) (groupOut, error) {
+	numel := m.Numel
+	worldFrom := len(srcs)
+	pN, err := zero.NewPartition(numel, worldFrom)
+	if err != nil {
+		return groupOut{}, err
+	}
+	pM, err := zero.NewPartition(numel, world)
+	if err != nil {
+		return groupOut{}, err
+	}
+	sN, sM := pN.ShardLen(), pM.ShardLen()
+	out := groupOut{raw: true, metas: make([]ckpt.ShardGroupMeta, world), data: make([][]byte, world)}
+
+	readExtent := func(rn int, off int64, dst []byte) error {
+		rc, err := srcs[rn].open(off, int64(len(dst)))
+		if err != nil {
+			return err
+		}
+		_, err = io.ReadFull(rc, dst)
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+
+	for rm := 0; rm < world; rm++ {
+		lo, hi := pM.Range(rm)
+		meta := ckpt.ShardGroupMeta{Index: m.Index, Numel: numel, ShardLen: sM,
+			NoDecay: m.NoDecay, Layer: m.Layer}
+		buf := make([]byte, sM*12)
+
+		if sM == sN && rm < worldFrom {
+			// Identical extent: the shard is the source payload bit for bit.
+			if err := readExtent(rm, 0, buf); err != nil {
+				return groupOut{}, fmt.Errorf("reshard: group %d rank %d: read source shard: %w", m.Index, rm, err)
+			}
+			meta.CRC32 = srcs[rm].meta.CRC32
+			out.carried++
+			out.rawIn += int64(len(buf))
+		} else if lo >= numel {
+			// Entirely past the data: an all-padding shard, synthesized.
+			meta.CRC32 = crc32.ChecksumIEEE(buf)
+			out.zeroed++
+			out.zeros += int64(len(buf))
+		} else {
+			dataHi := hi
+			if dataHi > numel {
+				dataHi = numel
+			}
+			for k := int64(0); k < 3; k++ {
+				secBase := k * sM * 4
+				for cur := lo; cur < dataHi; {
+					rn := cur / sN
+					segHi := (rn + 1) * sN
+					if segHi > dataHi {
+						segHi = dataHi
+					}
+					dst := buf[secBase+(cur-lo)*4 : secBase+(segHi-lo)*4]
+					if err := readExtent(int(rn), k*sN*4+(cur-rn*sN)*4, dst); err != nil {
+						return groupOut{}, fmt.Errorf("reshard: group %d rank %d: read extent from source rank %d: %w", m.Index, rm, rn, err)
+					}
+					out.rawIn += int64(len(dst))
+					cur = segHi
+				}
+				out.zeros += (hi - dataHi) * 4
+			}
+			meta.CRC32 = crc32.ChecksumIEEE(buf)
+			out.spliced++
+		}
+		out.metas[rm] = meta
+		out.data[rm] = buf
+	}
+	return out, nil
+}
+
+// decodeGroup is the reference fallback: read and decode every source
+// shard, gather the full group (which validates the source's padding is
+// zero), repartition with zero.ShardGroup, and re-encode. Bit-identical to
+// spliceGroup by construction; the property tests pin it.
+func decodeGroup(m ckpt.ShardGroupMeta, srcs []srcGroup, world int) (groupOut, error) {
+	worldFrom := len(srcs)
+	shards := make([]*zero.GroupShard, worldFrom)
+	for rn := 0; rn < worldFrom; rn++ {
+		sLen := srcs[rn].meta.ShardLen
+		raw := make([]byte, sLen*12)
+		rc, err := srcs[rn].open(0, int64(len(raw)))
+		if err != nil {
+			return groupOut{}, fmt.Errorf("reshard: group %d: open source rank %d: %w", m.Index, rn, err)
+		}
+		_, err = io.ReadFull(rc, raw)
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return groupOut{}, fmt.Errorf("reshard: group %d: read source rank %d: %w", m.Index, rn, err)
+		}
+		if got := crc32.ChecksumIEEE(raw); got != srcs[rn].meta.CRC32 {
+			return groupOut{}, fmt.Errorf("reshard: group %d: source rank %d payload CRC %08x, recorded %08x", m.Index, rn, got, srcs[rn].meta.CRC32)
+		}
+		shards[rn] = &zero.GroupShard{
+			GroupIndex: m.Index, Rank: rn,
+			Master:   decodeSection(raw, 0, sLen),
+			ExpAvg:   decodeSection(raw, 1, sLen),
+			ExpAvgSq: decodeSection(raw, 2, sLen),
+		}
+	}
+	resharded, err := zero.Reshard(shards, m.Numel, world)
+	if err != nil {
+		return groupOut{}, fmt.Errorf("reshard: group %d: %w", m.Index, err)
+	}
+	out := groupOut{metas: make([]ckpt.ShardGroupMeta, world), data: make([][]byte, world)}
+	for rm, s := range resharded {
+		buf := make([]byte, s.Numel()*12)
+		pos := 0
+		for _, sec := range [][]float32{s.Master, s.ExpAvg, s.ExpAvgSq} {
+			for _, v := range sec {
+				binary.LittleEndian.PutUint32(buf[pos:], math.Float32bits(v))
+				pos += 4
+			}
+		}
+		out.metas[rm] = ckpt.ShardGroupMeta{Index: m.Index, Numel: m.Numel, ShardLen: s.Numel(),
+			NoDecay: m.NoDecay, Layer: m.Layer, CRC32: crc32.ChecksumIEEE(buf)}
+		out.data[rm] = buf
+		out.decIn += int64(len(buf))
+	}
+	for rn := 0; rn < worldFrom; rn++ {
+		out.decIn += srcs[rn].meta.ShardLen * 12
+	}
+	return out, nil
+}
+
+func decodeSection(raw []byte, section, shardLen int64) []float32 {
+	out := make([]float32, shardLen)
+	base := section * shardLen * 4
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[base+int64(i)*4:]))
+	}
+	return out
+}
+
+// writeTrailer stages the config, trainer state and manifest. Config is
+// copied verbatim; the trainer state is rewritten with the target world
+// size (every other field survives untouched); the manifest drops the
+// dedup markers — the output stages as a plain checkpoint, and an optional
+// dedup conversion re-marks it after publication.
+func writeTrailer(b storage.Backend, c *ckpt.Checkpoint, sb storage.Backend, staging string, world int) error {
+	cfgData, err := b.ReadFile(c.Dir + "/config.json")
+	if err != nil {
+		return fmt.Errorf("reshard: copy config: %w", err)
+	}
+	if err := sb.WriteFile(staging+"/config.json", cfgData); err != nil {
+		return err
+	}
+	st := c.State
+	st.WorldSize = world
+	if err := writeJSON(sb, staging+"/trainer_state.json", &st); err != nil {
+		return err
+	}
+	man := c.Manifest
+	man.Dedup = false
+	man.RefGen = 0
+	return writeJSON(sb, staging+"/manifest.json", &man)
+}
+
+// writeJSON matches ckpt's trailer encoding byte for byte (two-space
+// indent, trailing newline), which is what keeps a resharded checkpoint
+// identical to a native save at the target world size.
+func writeJSON(b storage.Backend, name string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("reshard: marshal %s: %w", name, err)
+	}
+	return b.WriteFile(name, append(data, '\n'))
+}

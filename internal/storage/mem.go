@@ -74,7 +74,7 @@ func (b *Mem) Create(name string) (io.WriteCloser, error) {
 type memWriter struct {
 	b      *Mem
 	name   string
-	buf    bytes.Buffer
+	data   []byte
 	closed bool
 }
 
@@ -82,7 +82,11 @@ func (w *memWriter) Write(p []byte) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("storage: write %s: stream closed", w.name)
 	}
-	return w.buf.Write(p)
+	// append-based growth: the spare capacity of a pointer-free slice is
+	// never zeroed, so accumulating large streamed files costs one move
+	// per byte instead of bytes.Buffer's zero-then-copy doubling.
+	w.data = append(w.data, p...)
+	return len(p), nil
 }
 
 func (w *memWriter) Close() error {
@@ -92,7 +96,10 @@ func (w *memWriter) Close() error {
 	w.closed = true
 	w.b.mu.Lock()
 	defer w.b.mu.Unlock()
-	w.b.files[w.name] = append([]byte(nil), w.buf.Bytes()...)
+	// Ownership transfer, not a copy: the stream is closed, so nothing
+	// can append to (or otherwise mutate) the accumulated bytes again.
+	w.b.files[w.name] = w.data
+	w.data = nil
 	w.b.addParents(w.name)
 	return nil
 }
@@ -117,8 +124,17 @@ func (b *Mem) OpenRange(name string, off, n int64) (io.ReadCloser, error) {
 	if err := checkRange(name, off, n, int64(len(data))); err != nil {
 		return nil, err
 	}
-	return io.NopCloser(bytes.NewReader(append([]byte(nil), data[off:off+n]...))), nil
+	// Stored slices are never mutated in place (writes always install a
+	// fresh slice), so the reader can serve the range without copying.
+	return memRange{bytes.NewReader(data[off : off+n])}, nil
 }
+
+// memRange is an OpenRange reader that keeps bytes.Reader's Len and
+// WriteTo visible (io.NopCloser would hide Len), letting splice sinks
+// take the payload in one wide write instead of chunked double-buffering.
+type memRange struct{ *bytes.Reader }
+
+func (memRange) Close() error { return nil }
 
 // ReadAt implements Backend.
 func (b *Mem) ReadAt(name string, off int64, p []byte) error {

@@ -75,6 +75,23 @@ type spooler interface {
 	NewSpool() (Spool, error)
 }
 
+// spoolGrower is optionally implemented by spools that can reserve
+// capacity ahead of the writes that fill it.
+type spoolGrower interface {
+	Grow(n int64)
+}
+
+// GrowSpool reserves capacity for n further bytes when the spool supports
+// it. Advisory: file-backed spools ignore it, and writes beyond the
+// reservation still succeed. Writers that know a payload's total size
+// upfront use this to replace repeated grow-and-move reallocation with a
+// single exact allocation.
+func GrowSpool(s Spool, n int64) {
+	if g, ok := s.(spoolGrower); ok && n > 0 {
+		g.Grow(n)
+	}
+}
+
 // NewSpool returns scratch space appropriate for the backend: file-backed for
 // OS-rooted backends (and meters over them), in-memory otherwise. Spools are
 // implementation scratch — they are never charged to a Meter.
@@ -86,17 +103,32 @@ func NewSpool(b Backend) (Spool, error) {
 }
 
 // memSpool buffers the payload in memory (the Mem backend would hold the
-// bytes in memory anyway).
+// bytes in memory anyway). Plain append growth: the spare capacity of a
+// pointer-free slice is never zeroed, so spooling a large container costs
+// one move per byte instead of bytes.Buffer's zero-then-copy doubling.
 type memSpool struct {
-	buf bytes.Buffer
+	data []byte
 }
 
-func (s *memSpool) Write(p []byte) (int, error) { return s.buf.Write(p) }
-func (s *memSpool) Len() int64                  { return int64(s.buf.Len()) }
-func (s *memSpool) Discard() error              { s.buf.Reset(); return nil }
+func (s *memSpool) Write(p []byte) (int, error) {
+	s.data = append(s.data, p...)
+	return len(p), nil
+}
+
+// Grow reserves capacity for n further bytes (see GrowSpool).
+func (s *memSpool) Grow(n int64) {
+	if need := int64(len(s.data)) + n; need > int64(cap(s.data)) {
+		nd := make([]byte, len(s.data), need)
+		copy(nd, s.data)
+		s.data = nd
+	}
+}
+
+func (s *memSpool) Len() int64     { return int64(len(s.data)) }
+func (s *memSpool) Discard() error { s.data = nil; return nil }
 
 func (s *memSpool) Reader() (io.ReadCloser, error) {
-	return io.NopCloser(&s.buf), nil
+	return io.NopCloser(bytes.NewReader(s.data)), nil
 }
 
 // fileSpool spools to an unlinked-on-close temp file outside the backend

@@ -417,6 +417,11 @@ func rawShardSource(plan *Plan, opts Options) (string, bool) {
 	if src == "" {
 		return "", false
 	}
+	if _, mismatched := plan.Resharded[src]; mismatched {
+		// A mismatched-world-size source is never byte-identical to the
+		// output — its groups must be repartitioned shard by shard.
+		return "", false
+	}
 	return src, plan.Sources[src].Manifest.Complete
 }
 
@@ -496,6 +501,81 @@ func shardCopyable(h *ckpt.ShardHeader, plan *Plan, rank int) bool {
 	return pos == h.PayloadBytes
 }
 
+// shardSource adapts one source checkpoint to rank-level group extraction.
+// A source whose native world size matches the plan's holds the target
+// rank's file directly; a mismatched source holds every native rank's file
+// and repartitions each requested group through zero.Partition math on
+// demand — the on-the-fly counterpart of `llmtailor reshard`.
+type shardSource struct {
+	files []*ckpt.ShardFile // 1 file when native, all native ranks when resharding
+	world int               // plan (output) world size
+	rank  int               // target output rank
+	step  int
+	loads int64
+	bytes int64
+}
+
+// loadShardSource reads the shard file(s) a source contributes to one
+// output rank. A mismatched source costs a load per native rank: every
+// shard participates in the repartition, exactly the Table 7 whole-file
+// cost model.
+func loadShardSource(plan *Plan, path string, rank int) (*shardSource, error) {
+	c := plan.Sources[path]
+	s := &shardSource{world: plan.WorldSize, rank: rank}
+	native, mismatched := plan.Resharded[path]
+	if !mismatched {
+		native = 1
+	}
+	for r := 0; r < native; r++ {
+		srcRank := rank
+		if mismatched {
+			srcRank = r
+		}
+		f, err := c.ReadOptimShard(srcRank)
+		if err != nil {
+			return nil, err
+		}
+		s.files = append(s.files, f)
+		s.loads++
+		s.bytes += f.FileBytes
+		if f.Step > s.step {
+			s.step = f.Step
+		}
+	}
+	return s, nil
+}
+
+// group returns the target rank's shard of one layout group, resharding
+// across the source's native ranks when the world sizes differ. Metadata
+// geometry (ShardLen, Offsets, CRC32) is left for WriteGroup to recompute
+// against the output partition.
+func (s *shardSource) group(gi int) (*zero.GroupShard, ckpt.ShardGroupMeta, error) {
+	if len(s.files) == 1 {
+		return s.files[0].GroupByIndex(gi)
+	}
+	shards := make([]*zero.GroupShard, len(s.files))
+	var meta ckpt.ShardGroupMeta
+	for r, f := range s.files {
+		sh, m, err := f.GroupByIndex(gi)
+		if err != nil {
+			return nil, ckpt.ShardGroupMeta{}, err
+		}
+		if r == 0 {
+			meta = m
+		} else if m.Numel != meta.Numel {
+			return nil, ckpt.ShardGroupMeta{}, fmt.Errorf("tailor: group %d numel differs across source ranks (%d vs %d)", gi, m.Numel, meta.Numel)
+		}
+		shards[r] = sh
+	}
+	out, err := zero.Reshard(shards, meta.Numel, s.world)
+	if err != nil {
+		return nil, ckpt.ShardGroupMeta{}, fmt.Errorf("tailor: reshard group %d from world %d to %d: %w", gi, len(s.files), s.world, err)
+	}
+	return out[s.rank], ckpt.ShardGroupMeta{
+		Index: meta.Index, Numel: meta.Numel, NoDecay: meta.NoDecay, Layer: meta.Layer,
+	}, nil
+}
+
 // buildRankShards gathers rank's shard of every layout group from the
 // assigned sources, honouring the requested load order. It returns the
 // shards in layout order, their metadata, the maximum source step, the
@@ -509,13 +589,13 @@ func buildRankShards(plan *Plan, order LoadOrder, rank int) (
 	var loads, readBytes int64
 	maxStep := 0
 
-	extract := func(f *ckpt.ShardFile, ref modelcfg.LayerRef) error {
+	extract := func(src *shardSource, ref modelcfg.LayerRef) error {
 		groups, err := plan.Layout.GroupsOfLayer(ref)
 		if err != nil {
 			return err
 		}
 		for _, gi := range groups {
-			s, m, err := f.GroupByIndex(gi)
+			s, m, err := src.group(gi)
 			if err != nil {
 				return fmt.Errorf("tailor: layer %s: %w", ref, err)
 			}
@@ -525,8 +605,8 @@ func buildRankShards(plan *Plan, order LoadOrder, rank int) (
 			shards[gi] = s
 			metas[gi] = m
 		}
-		if f.Step > maxStep {
-			maxStep = f.Step
+		if src.step > maxStep {
+			maxStep = src.step
 		}
 		return nil
 	}
@@ -544,14 +624,14 @@ func buildRankShards(plan *Plan, order LoadOrder, rank int) (
 			if !ok {
 				continue
 			}
-			f, err := plan.Sources[path].ReadOptimShard(rank)
+			src, err := loadShardSource(plan, path, rank)
 			if err != nil {
 				return nil, nil, 0, 0, 0, err
 			}
-			loads++
-			readBytes += f.FileBytes
+			loads += src.loads
+			readBytes += src.bytes
 			for _, ref := range refs {
-				if err := extract(f, ref); err != nil {
+				if err := extract(src, ref); err != nil {
 					return nil, nil, 0, 0, 0, err
 				}
 			}
@@ -560,14 +640,13 @@ func buildRankShards(plan *Plan, order LoadOrder, rank int) (
 		// Model order; reload the source file for every layer, caching
 		// nothing (the paper's worst-case measurement).
 		for _, ref := range plan.Config.AllLayers() {
-			path := plan.Assign[ref]
-			f, err := plan.Sources[path].ReadOptimShard(rank)
+			src, err := loadShardSource(plan, plan.Assign[ref], rank)
 			if err != nil {
 				return nil, nil, 0, 0, 0, err
 			}
-			loads++
-			readBytes += f.FileBytes
-			if err := extract(f, ref); err != nil {
+			loads += src.loads
+			readBytes += src.bytes
+			if err := extract(src, ref); err != nil {
 				return nil, nil, 0, 0, 0, err
 			}
 		}

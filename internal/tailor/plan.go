@@ -39,8 +39,15 @@ type Plan struct {
 	Assign map[modelcfg.LayerRef]string
 	// Sources holds the opened checkpoints by path.
 	Sources map[string]*ckpt.Checkpoint
-	// WorldSize is the (uniform) rank count of all sources.
+	// WorldSize is the output rank count: the world size of the configs
+	// source. Sources saved at a different world size are admitted and
+	// resharded on the fly (see Resharded).
 	WorldSize int
+	// Resharded maps each source whose native world size differs from
+	// WorldSize to that native size. The merge repartitions these sources'
+	// groups through zero.Partition math instead of erroring; a standalone
+	// transform is also available as `llmtailor reshard`.
+	Resharded map[string]int
 	// Layout is the layerwise group layout shared by all sources.
 	Layout *optim.Layout
 }
@@ -90,15 +97,21 @@ func NewPlan(b storage.Backend, r *recipe.Recipe) (*Plan, error) {
 	}
 
 	if r.Optimizer {
-		ws := 0
+		// The output inherits the configs source's world size; any source
+		// saved at a different world size is recorded for on-the-fly
+		// resharding rather than rejected (`llmtailor reshard` performs the
+		// same repartition as a standalone transform).
+		ws := base.WorldSize()
+		if ws <= 0 {
+			return nil, fmt.Errorf("tailor: configs source has invalid world size %d — reshard it first with `llmtailor reshard`", ws)
+		}
+		p.Resharded = map[string]int{}
 		for path, c := range p.Sources {
 			if c.WorldSize() <= 0 {
 				return nil, fmt.Errorf("tailor: source %s has invalid world size %d", path, c.WorldSize())
 			}
-			if ws == 0 {
-				ws = c.WorldSize()
-			} else if c.WorldSize() != ws {
-				return nil, fmt.Errorf("tailor: world size mismatch: %s has %d, others %d — resharding is not supported", path, c.WorldSize(), ws)
+			if c.WorldSize() != ws {
+				p.Resharded[path] = c.WorldSize()
 			}
 			if c.State.Layout != optim.Layerwise.String() {
 				return nil, fmt.Errorf("tailor: source %s uses a %s optimizer layout; regroup before training to enable layer merging (§4.1)", path, c.State.Layout)
@@ -145,6 +158,11 @@ func (p *Plan) Describe() string {
 	fmt.Fprintf(&b, "output: %s\n", p.Recipe.Output)
 	if p.Recipe.Optimizer {
 		fmt.Fprintf(&b, "optimizer: merged (%d groups, world size %d)\n", p.Layout.NumGroups(), p.WorldSize)
+		for _, path := range p.Recipe.Checkpoints() {
+			if native, ok := p.Resharded[path]; ok {
+				fmt.Fprintf(&b, "  reshard: %s from world size %d to %d\n", path, native, p.WorldSize)
+			}
+		}
 	} else {
 		b.WriteString("optimizer: NOT merged (weights-only output cannot resume training)\n")
 	}

@@ -335,7 +335,9 @@ func TestPlanErrors(t *testing.T) {
 		t.Errorf("missing layer: %v", err)
 	}
 
-	// World-size mismatch across sources.
+	// World-size mismatch across sources is admitted and routed through the
+	// reshard transform: the plan records the mismatched source's native
+	// world size and keeps the configs source's as the output.
 	b3 := storage.NewMem()
 	newRun(t, b3, cfg, 2, []int{5}, nil)
 	m, _ := model.NewInitialized(cfg, tensor.BF16, 5)
@@ -345,8 +347,12 @@ func TestPlanErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec3 := recipe.Parity("run/checkpoint-5", "run/checkpoint-9", cfg, "o")
-	if _, err := NewPlan(b3, rec3); err == nil || !strings.Contains(err.Error(), "world size") {
-		t.Errorf("ws mismatch: %v", err)
+	plan3, err := NewPlan(b3, rec3)
+	if err != nil {
+		t.Fatalf("ws mismatch no longer merges: %v", err)
+	}
+	if plan3.WorldSize != 4 || plan3.Resharded["run/checkpoint-5"] != 2 {
+		t.Errorf("ws mismatch plan: world %d, resharded %v", plan3.WorldSize, plan3.Resharded)
 	}
 
 	// Two-group source cannot be layer-merged.
@@ -428,5 +434,92 @@ func TestMergeStatsTensorCount(t *testing.T) {
 	}
 	if stats.WallTime <= 0 {
 		t.Fatal("wall time not measured")
+	}
+}
+
+// TestMergeReshardedSources merges two checkpoints saved at different world
+// sizes, as if the run had been elastically resized between them: the
+// mismatched source's groups are repartitioned on the fly instead of the
+// old "resharding is not supported" dead end. Both load orders must agree,
+// the output carries the configs source's world size, and every layer's
+// weights and optimizer state match its source snapshot bit for bit.
+func TestMergeReshardedSources(t *testing.T) {
+	b := storage.NewMem()
+	cfg := modelcfg.Tiny()
+	r := newRun(t, b, cfg, 3, []int{5, 10}, nil)
+	// Re-save the step-10 state at world size 5, simulating a resize.
+	err := ckpt.Save(b, ckpt.SaveSpec{
+		Dir: "wide/checkpoint-10", Model: r.models[10], Optim: r.optims[10],
+		WorldSize: 5, Strategy: "test",
+		State: ckpt.TrainerState{Step: 10, LR: 1e-3, Loss: 2, Task: "sft", Seed: 77},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := recipe.Parity("run/checkpoint-5", "wide/checkpoint-10", cfg, "merged/checkpoint-10")
+	plan, err := NewPlan(b, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Configs come from the wide checkpoint, so its world size (5) wins and
+	// the narrow source reshards 3→5.
+	if plan.WorldSize != 5 || plan.Resharded["run/checkpoint-5"] != 3 {
+		t.Fatalf("plan: world %d, resharded %v", plan.WorldSize, plan.Resharded)
+	}
+
+	stats, err := Merge(b, rec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Straightforward: the native source costs 1 load per output rank, the
+	// mismatched one its full native world (3) per output rank: 5×(1+3).
+	if stats.ShardFileLoads != 20 {
+		t.Fatalf("shard loads = %d, want 20", stats.ShardFileLoads)
+	}
+	if stats.ShardsRawCopied != 0 {
+		t.Fatalf("raw-copied %d shards across a world-size boundary", stats.ShardsRawCopied)
+	}
+
+	m, o, c, err := ckpt.Restore(b, "merged/checkpoint-10", tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State.WorldSize != 5 {
+		t.Fatalf("merged world size = %d, want 5", c.State.WorldSize)
+	}
+	for ref, path := range plan.Assign {
+		step := 10
+		if path == "run/checkpoint-5" {
+			step = 5
+		}
+		r.assertLayerMatches(t, m, o, ref, step)
+	}
+
+	// The interleaved order must produce the same merged state.
+	rec.Output = "merged-il/checkpoint-10"
+	if _, err := Merge(b, rec, Options{LoadOrder: Interleaved}); err != nil {
+		t.Fatal(err)
+	}
+	m2, o2, _, err := ckpt.Restore(b, "merged-il/checkpoint-10", tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Equal(m, m2) {
+		t.Fatal("load orders disagree on merged weights")
+	}
+	for ref := range plan.Assign {
+		for _, ts := range m.LayerTensors(ref) {
+			am, ae, av, _ := o.TensorState(ts.Name)
+			bm, be, bv, err := o2.TensorState(ts.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range am {
+				if am[i] != bm[i] || ae[i] != be[i] || av[i] != bv[i] {
+					t.Fatalf("load orders disagree on optimizer state of %s", ts.Name)
+				}
+			}
+		}
 	}
 }

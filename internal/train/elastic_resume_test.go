@@ -1,0 +1,137 @@
+package train
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"llmtailor/internal/model"
+	"llmtailor/internal/reshard"
+	"llmtailor/internal/storage"
+)
+
+// elasticDigest hashes a directory tree's names and bytes for cross-run
+// checkpoint comparison.
+func elasticDigest(t testing.TB, b storage.Backend, dir string) string {
+	t.Helper()
+	h := sha256.New()
+	var walk func(d string)
+	walk = func(d string) {
+		entries, err := b.List(d)
+		if err != nil {
+			t.Fatalf("list %s: %v", d, err)
+		}
+		sort.Strings(entries)
+		for _, e := range entries {
+			if strings.HasSuffix(e, "/") {
+				walk(d + "/" + strings.TrimSuffix(e, "/"))
+				continue
+			}
+			data, err := b.ReadFile(d + "/" + e)
+			if err != nil {
+				t.Fatalf("read %s/%s: %v", d, e, err)
+			}
+			fmt.Fprintf(h, "%s:%d:", e, len(data))
+			h.Write(data)
+		}
+	}
+	walk(dir)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// elasticRun trains to step 30 at world size ws1, stops, and resumes to
+// completion at world size ws2 — optionally repartitioning the committed
+// checkpoint through the explicit reshard transform before resuming
+// instead of relying on Resume's transparent gather.
+func elasticRun(t *testing.T, ws1, ws2 int, explicitReshard bool) (storage.Backend, *Trainer, *Result) {
+	t.Helper()
+	b := storage.NewMem()
+	cfg := tinyConfig("run")
+	cfg.WorldSize = ws1
+	cfg.FailAt = 30 // stop right after the step-30 checkpoint commits
+	tr, err := New(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := tr.Run(); err != nil || !res.Failed {
+		t.Fatalf("segment 1: %+v, %v", res, err)
+	}
+
+	cfg2 := tinyConfig("run")
+	cfg2.WorldSize = ws2
+	var tr2 *Trainer
+	if explicitReshard {
+		if _, err := reshard.Reshard(b, "run/checkpoint-30", "run/resharded", ws2, reshard.Options{}); err != nil {
+			t.Fatalf("reshard %d→%d: %v", ws1, ws2, err)
+		}
+		tr2, err = Resume(cfg2, b, "run/resharded")
+	} else {
+		tr2, err = ResumeLatest(cfg2, b, "run")
+	}
+	if err != nil {
+		t.Fatalf("resume at world %d from world %d: %v", ws2, ws1, err)
+	}
+	if tr2.Step() != 30 {
+		t.Fatalf("resumed at step %d", tr2.Step())
+	}
+	res, err := tr2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, tr2, res
+}
+
+// TestElasticResumeGolden is the acceptance-criteria golden test: a run
+// saved at world size N and resumed at M trains bit-identically to a run
+// saved and resumed at M throughout — same losses, same final weights and
+// optimizer state, and byte-identical checkpoints after the resume point.
+func TestElasticResumeGolden(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{3, 2}, {2, 3}, {1, 4}} {
+		t.Run(fmt.Sprintf("%d_to_%d", tc.n, tc.m), func(t *testing.T) {
+			bRef, trRef, resRef := elasticRun(t, tc.m, tc.m, false)
+			bEl, trEl, resEl := elasticRun(t, tc.n, tc.m, false)
+
+			if resEl.FinalStep != resRef.FinalStep || resEl.FinalLoss != resRef.FinalLoss ||
+				resEl.FinalEvalLoss != resRef.FinalEvalLoss {
+				t.Fatalf("elastic resume diverged: step %d/%d loss %v/%v",
+					resEl.FinalStep, resRef.FinalStep, resEl.FinalLoss, resRef.FinalLoss)
+			}
+			if !model.Equal(trEl.Model, trRef.Model) {
+				t.Fatal("final weights differ from the fixed-world run")
+			}
+			// Post-resume checkpoints shard at M in both runs and must be
+			// byte-identical.
+			for _, step := range []int{40, 50, 60} {
+				dir := fmt.Sprintf("run/checkpoint-%d", step)
+				if elasticDigest(t, bEl, dir) != elasticDigest(t, bRef, dir) {
+					t.Fatalf("checkpoint-%d differs between elastic and fixed-world runs", step)
+				}
+			}
+		})
+	}
+}
+
+// TestElasticResumeExplicitReshard pins the second resume surface: running
+// the committed checkpoint through the standalone reshard transform and
+// resuming from its output is step-for-step identical to the transparent
+// gather path.
+func TestElasticResumeExplicitReshard(t *testing.T) {
+	bA, trA, resA := elasticRun(t, 3, 2, false)
+	bB, trB, resB := elasticRun(t, 3, 2, true)
+
+	if resA.FinalLoss != resB.FinalLoss || resA.FinalEvalLoss != resB.FinalEvalLoss {
+		t.Fatalf("explicit reshard diverged: loss %v vs %v", resB.FinalLoss, resA.FinalLoss)
+	}
+	if !model.Equal(trA.Model, trB.Model) {
+		t.Fatal("explicit reshard produced different final weights")
+	}
+	for _, step := range []int{40, 50, 60} {
+		dir := fmt.Sprintf("run/checkpoint-%d", step)
+		if elasticDigest(t, bA, dir) != elasticDigest(t, bB, dir) {
+			t.Fatalf("checkpoint-%d differs between resume paths", step)
+		}
+	}
+}

@@ -186,6 +186,14 @@ func New(cfg Config, b storage.Backend) (*Trainer, error) {
 // Resume builds a trainer from a complete (possibly merged) checkpoint and
 // continues the run described by cfg. The checkpoint's step becomes the
 // current step; seeds must match for the objective to be the original one.
+//
+// Resume is elastic: cfg.WorldSize is the *target* world size, and a
+// checkpoint saved at a different world size reshards transparently —
+// ckpt.Restore gathers all source ranks into the full optimizer state, so
+// the old partition disappears at restore time and every save after resume
+// shards at cfg.WorldSize. (To repartition a committed checkpoint without
+// resuming it, use `llmtailor reshard` / internal/reshard, which produces
+// the byte-identical checkpoint a native save at the target size writes.)
 func Resume(cfg Config, b storage.Backend, dir string) (*Trainer, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err

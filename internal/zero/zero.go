@@ -93,7 +93,11 @@ func ShardGroup(groupIndex int, st *optim.GroupState, worldSize int) ([]*GroupSh
 }
 
 // GatherGroup reassembles a group's state from its shards, trimming padding
-// back to numel. Shards must be complete and ordered by rank.
+// back to numel. Shards must be complete and ordered by rank. Padding
+// elements — positions at or past numel in the concatenated vector — must
+// be zero in all three state sections: ShardGroup writes them as zeros, so
+// anything else is corruption, and silently trimming it would let damaged
+// bytes hide exactly where a reshard moves the pad region around.
 func GatherGroup(shards []*GroupShard, numel int64) (*optim.GroupState, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("zero: no shards")
@@ -119,13 +123,31 @@ func GatherGroup(shards []*GroupShard, numel int64) (*optim.GroupState, error) {
 	st := optim.NewGroupState(numel)
 	for r, s := range shards {
 		lo := int64(r) * shardLen
-		for i := int64(0); i < shardLen && lo+i < numel; i++ {
+		for i := int64(0); i < shardLen; i++ {
+			if lo+i >= numel {
+				if s.Master[i] != 0 || s.ExpAvg[i] != 0 || s.ExpAvgSq[i] != 0 {
+					return nil, fmt.Errorf("zero: rank %d shard has non-zero padding at element %d (numel %d)", r, lo+i, numel)
+				}
+				continue
+			}
 			st.Master[lo+i] = s.Master[i]
 			st.ExpAvg[lo+i] = s.ExpAvg[i]
 			st.ExpAvgSq[lo+i] = s.ExpAvgSq[i]
 		}
 	}
 	return st, nil
+}
+
+// Reshard repartitions one group's shards to a new world size by gathering
+// the full group and splitting it again — the decode reference the streaming
+// extent-splice transform (internal/reshard) must agree with bit for bit.
+// Shards must be complete and ordered by rank.
+func Reshard(shards []*GroupShard, numel int64, newWorld int) ([]*GroupShard, error) {
+	st, err := GatherGroup(shards, numel)
+	if err != nil {
+		return nil, err
+	}
+	return ShardGroup(shards[0].GroupIndex, st, newWorld)
 }
 
 // ShardAll shards every group of an optimizer, returning shards[rank][group].

@@ -206,3 +206,85 @@ func BenchmarkShardGather(b *testing.B) {
 		}
 	}
 }
+
+// TestGatherRejectsDirtyPadding is the regression test for the silent-
+// padding bug: GatherGroup used to trim the final shard's pad region
+// without looking at it, so garbage there — exactly where a reshard moves
+// padding around — passed through unnoticed. It must now be rejected in
+// any of the three state sections.
+func TestGatherRejectsDirtyPadding(t *testing.T) {
+	st := randState(10, 3)
+	dirty := []func(s *GroupShard, i int64){
+		func(s *GroupShard, i int64) { s.Master[i] = 1.5 },
+		func(s *GroupShard, i int64) { s.ExpAvg[i] = -2 },
+		func(s *GroupShard, i int64) { s.ExpAvgSq[i] = 1e-9 },
+	}
+	for di, poison := range dirty {
+		shards, err := ShardGroup(0, st, 4) // shardLen 3, padding = 2 elems on rank 3
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := shards[3]
+		poison(last, last.Numel()-1)
+		if _, err := GatherGroup(shards, st.Numel()); err == nil {
+			t.Fatalf("section %d: non-zero padding silently accepted", di)
+		}
+	}
+	// Clean shards still gather.
+	shards, err := ShardGroup(0, st, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GatherGroup(shards, st.Numel()); err != nil {
+		t.Fatalf("clean gather rejected: %v", err)
+	}
+}
+
+// TestReshardProperty is the partition-math property test: for arbitrary
+// numel, N and M, shard(N) → Reshard(M) → gather is bit-identical to the
+// original state, and the intermediate shards are bit-identical to
+// shard(M) directly.
+func TestReshardProperty(t *testing.T) {
+	f := func(numelSeed uint16, nSeed, mSeed uint8) bool {
+		numel := int64(numelSeed)%2000 + 1
+		n := int(nSeed)%12 + 1
+		m := int(mSeed)%12 + 1
+		st := randState(numel, uint64(numel)*31+uint64(n)*7+uint64(m))
+		viaN, err := ShardGroup(0, st, n)
+		if err != nil {
+			return false
+		}
+		resharded, err := Reshard(viaN, numel, m)
+		if err != nil {
+			return false
+		}
+		direct, err := ShardGroup(0, st, m)
+		if err != nil {
+			return false
+		}
+		for r := range direct {
+			a, b := resharded[r], direct[r]
+			if a.Rank != b.Rank || a.Numel() != b.Numel() {
+				return false
+			}
+			for i := range a.Master {
+				if a.Master[i] != b.Master[i] || a.ExpAvg[i] != b.ExpAvg[i] || a.ExpAvgSq[i] != b.ExpAvgSq[i] {
+					return false
+				}
+			}
+		}
+		back, err := GatherGroup(resharded, numel)
+		if err != nil {
+			return false
+		}
+		for i := int64(0); i < numel; i++ {
+			if back.Master[i] != st.Master[i] || back.ExpAvg[i] != st.ExpAvg[i] || back.ExpAvgSq[i] != st.ExpAvgSq[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"llmtailor/internal/ckpt"
 	"llmtailor/internal/modelcfg"
 	"llmtailor/internal/recipe"
+	"llmtailor/internal/reshard"
 	"llmtailor/internal/storage"
 	"llmtailor/internal/strategy"
 	"llmtailor/internal/tailor"
@@ -339,3 +340,26 @@ func DedupifyCheckpoint(b Backend, dir string) (*ckpt.DedupifyReport, error) {
 
 // RestoreModelDType is the dtype used when restoring checkpoints.
 var RestoreModelDType = tensor.BF16
+
+// ReshardOptions tunes a checkpoint reshard: Workers sets group-level
+// parallelism, MaxInFlight bounds in-flight payload bytes, NoRawCopy
+// forces the gather→repartition decode path where the extent-splice fast
+// path would otherwise move aligned bytes without decoding (identical
+// output either way), Dedup converts the output to content-addressed form
+// after publication, and NoLatest leaves the run root's latest pointer
+// untouched.
+type ReshardOptions = reshard.Options
+
+// ReshardStats reports what a reshard did: raw-copy vs decode group
+// counts, carried/spliced/zero-filled shard counters, byte volumes and
+// the dedup blob accounting.
+type ReshardStats = reshard.Stats
+
+// ReshardCheckpoint repartitions a committed checkpoint saved at one world
+// size into a new committed checkpoint at another, byte-identical to what
+// a native save at the target world size would have written. The output
+// commits under the standard stage→journal→marker protocol, so scan, GC,
+// doctor and refs all treat it as a first-class checkpoint.
+func ReshardCheckpoint(b Backend, srcDir, dstDir string, worldSize int, opts ReshardOptions) (*ReshardStats, error) {
+	return reshard.Reshard(b, srcDir, dstDir, worldSize, opts)
+}
