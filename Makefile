@@ -65,7 +65,11 @@ fuzz-smoke:
 # scenario covers the dedup path: a real content-addressed run is seeded
 # with a stray blob and a stale ref index (a record deleted out from under
 # a committed checkpoint); doctor must exit 2, and -fix must rebuild the
-# index from the manifests and exit 0.
+# index from the manifests and exit 0. The third scenario covers the hub
+# path: two runs attached to one shared store, a stray blob planted at the
+# HUB's objects tree plus one run's namespaced ref journal deleted; doctor
+# on that run must exit 2, -fix must rebuild its journal at the hub, and
+# the peer run must stay healthy throughout.
 doctor-smoke:
 	@tmp=$$(mktemp -d); trap "rm -rf $$tmp" EXIT; \
 	$(GO) build -o $$tmp/llmtailor ./cmd/llmtailor || exit 1; \
@@ -92,6 +96,27 @@ doctor-smoke:
 		{ echo "doctor-smoke: dedup root still sick after -fix"; exit 1; }; \
 	ls $$tmp/root/drun/objects/refs/gen-*.ref > /dev/null || \
 		{ echo "doctor-smoke: -fix did not rebuild the ref index"; exit 1; }; \
+	$$tmp/llmtailor hub init -root $$tmp/root -hub hub -shards 4 > /dev/null || \
+		{ echo "doctor-smoke: hub init failed"; exit 1; }; \
+	for r in ha hb; do \
+		$$tmp/llmtailor hub attach -root $$tmp/root -hub hub -run $$r > /dev/null || \
+			{ echo "doctor-smoke: hub attach $$r failed"; exit 1; }; \
+		$$tmp/trainsim -root $$tmp/root -run $$r -model tiny -sim=false -steps 12 -interval 6 -dedup -hub hub > /dev/null || \
+			{ echo "doctor-smoke: hub trainsim $$r failed"; exit 1; }; \
+	done; \
+	mkdir -p $$tmp/root/hub/objects/zz; \
+	echo junk > $$tmp/root/hub/objects/zz/not-a-blob; \
+	rm $$tmp/root/hub/objects/refs/ha/gen-*.ref; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run ha > /dev/null; rc=$$?; \
+	if [ $$rc -ne 2 ]; then echo "doctor-smoke: want exit 2 on stale hub ref journal, got $$rc"; exit 1; fi; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run ha -fix > /dev/null || \
+		{ echo "doctor-smoke: hub -fix failed"; exit 1; }; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run ha > /dev/null || \
+		{ echo "doctor-smoke: hub run still sick after -fix"; exit 1; }; \
+	$$tmp/llmtailor doctor -root $$tmp/root -run hb > /dev/null || \
+		{ echo "doctor-smoke: peer run hb sick after ha repair"; exit 1; }; \
+	ls $$tmp/root/hub/objects/refs/ha/gen-*.ref > /dev/null || \
+		{ echo "doctor-smoke: -fix did not rebuild the namespaced ref journal"; exit 1; }; \
 	echo "doctor-smoke: OK"
 
 # Object-store lane: the cross-backend conformance matrix, the object
@@ -139,7 +164,8 @@ bench-record:
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkObjStoreMultipart' -benchtime=10x .
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkCompressedSave' -benchtime=3x .
 	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkReshardRawVsDecode' -benchtime=5x .
-	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json BENCH_gc.json BENCH_stall.json BENCH_objstore.json BENCH_compress.json BENCH_reshard.json
+	BENCH_RECORD=1 $(GO) test -run '^$$' -bench 'BenchmarkHubCrossRunDedup' -benchtime=3x .
+	@cat BENCH_merge.json BENCH_merge_raw.json BENCH_delta.json BENCH_gc.json BENCH_stall.json BENCH_objstore.json BENCH_compress.json BENCH_reshard.json BENCH_hub.json
 
 clean:
 	rm -f llmtailor trainsim paperbench ckptstat cover.out cover.html

@@ -16,6 +16,7 @@
 //	                      and the stall scales with changed layers
 //	BENCH_compress.json   blob-codec changed-layer compression >= 3x,
 //	                      and xor chains within the re-base bound
+//	BENCH_hub.json        cross-run hub dedup bytes-shared   >= 3x
 //
 // Usage: benchcheck [-dir DIR]; exits non-zero on any violated floor or
 // unreadable record.
@@ -166,6 +167,7 @@ var checks = []check{
 		}
 		return nil
 	}},
+	{"BENCH_hub.json", "cross-run hub dedup bytes-shared >= 3x", atLeast(3, "shared_ratio")},
 	{"BENCH_merge.json", "streamed merge stays within its in-flight byte cap", func(m map[string]any) error {
 		peak, err := number(m, "stats", "peak_inflight_bytes")
 		if err != nil {

@@ -17,6 +17,7 @@ func writeRecords(t *testing.T, dir string, gcSpeedup, rawSpeedup, reduction str
 		"BENCH_objstore.json":  `{"speedup": 3.3, "payload_bytes": 8388608, "part_bytes": 1048576, "workers": 8}`,
 		"BENCH_compress.json":  `{"reduction": 28.2, "changed_payload_bytes": 4402944, "changed_stored_bytes": 156141, "xor_entries": 585, "deepest_chain": 1}`,
 		"BENCH_reshard.json":   `{"speedup": 2.5, "max_inflight": 8388608, "raw": {"stats": {"groups": 34, "groups_raw_copied": 34, "peak_inflight_bytes": 2279424}}, "decode": {"stats": {"groups": 34, "groups_raw_copied": 0, "peak_inflight_bytes": 2279424}}}`,
+		"BENCH_hub.json":       `{"shared_ratio": 144.2, "standalone_bytes": 8114000, "attached_bytes": 56272, "hub_blobs": 214}`,
 	}
 	for name, content := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"llmtailor"
+)
+
+// runHub dispatches the hub subcommands: one shared content-addressed
+// store serving many run roots (init/attach/detach), plus maintenance over
+// it (stat/gc). See DESIGN.md "Checkpoint hub".
+func runHub(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("hub: missing subcommand (init|attach|detach|stat|gc)")
+	}
+	switch args[0] {
+	case "init":
+		return runHubInit(args[1:], out)
+	case "attach":
+		return runHubAttach(args[1:], out)
+	case "detach":
+		return runHubDetach(args[1:], out)
+	case "stat":
+		return runHubStat(args[1:], out)
+	case "gc":
+		return runHubGC(args[1:], out)
+	default:
+		return fmt.Errorf("hub: unknown subcommand %q (want init|attach|detach|stat|gc)", args[0])
+	}
+}
+
+// hubHandle opens the store and resolves the -hub flag to a handle.
+func hubHandle(root, hubRoot string) (*llmtailor.Store, *llmtailor.Hub, error) {
+	b, err := openRoot(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if hubRoot == "" {
+		return nil, nil, fmt.Errorf("missing -hub")
+	}
+	st := llmtailor.NewStore(b)
+	return st, st.Hub(hubRoot), nil
+}
+
+func runHubInit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hub init", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	hubRoot := fs.String("hub", "", "hub root under the storage root")
+	shards := fs.Int("shards", 0, "digest-prefix shard count for the shared store (0 = flat layout)")
+	fs.Parse(args)
+
+	_, h, err := hubHandle(*root, *hubRoot)
+	if err != nil {
+		return err
+	}
+	if err := h.Init(llmtailor.HubOptions{Shards: *shards}); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hub initialized at %s", *hubRoot)
+	if *shards > 0 {
+		fmt.Fprintf(out, " (%d shards)", *shards)
+	}
+	fmt.Fprintln(out)
+	return nil
+}
+
+func runHubAttach(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hub attach", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	hubRoot := fs.String("hub", "", "hub root under the storage root")
+	run := fs.String("run", "", "run root to attach")
+	id := fs.String("id", "", "run id under the hub (default: the run root's base name)")
+	fs.Parse(args)
+
+	st, h, err := hubHandle(*root, *hubRoot)
+	if err != nil {
+		return err
+	}
+	if *run == "" {
+		return fmt.Errorf("missing -run")
+	}
+	if err := h.Attach(*run, *id); err != nil {
+		return err
+	}
+	_, attachedID, err := st.Run(*run).HubAttachment()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "attached %s to %s as %q\n", *run, *hubRoot, attachedID)
+	return nil
+}
+
+func runHubDetach(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hub detach", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	hubRoot := fs.String("hub", "", "hub root under the storage root")
+	run := fs.String("run", "", "run root to detach")
+	force := fs.Bool("force", false, "detach even while the run still references hub blobs (abandons the claims)")
+	fs.Parse(args)
+
+	_, h, err := hubHandle(*root, *hubRoot)
+	if err != nil {
+		return err
+	}
+	if *run == "" {
+		return fmt.Errorf("missing -run")
+	}
+	if err := h.Detach(*run, *force); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "detached %s from %s\n", *run, *hubRoot)
+	return nil
+}
+
+func runHubStat(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hub stat", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	hubRoot := fs.String("hub", "", "hub root under the storage root")
+	fs.Parse(args)
+
+	_, h, err := hubHandle(*root, *hubRoot)
+	if err != nil {
+		return err
+	}
+	info, err := h.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "hub %s\n", info.Root)
+	layout := "flat"
+	if info.Shards > 0 {
+		layout = fmt.Sprintf("%d digest-prefix shards", info.Shards)
+	}
+	fmt.Fprintf(out, "  store: %d blobs, %d bytes (%s)\n", info.Blobs, info.Bytes, layout)
+	fmt.Fprintf(out, "  runs attached: %d\n", len(info.Runs))
+	for _, r := range info.Runs {
+		fmt.Fprintf(out, "    %-16s %s — %d checkpoints, %d referenced digests\n",
+			r.ID, r.Root, r.Checkpoints, r.Referenced)
+	}
+	return nil
+}
+
+func runHubGC(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hub gc", flag.ExitOnError)
+	root := fs.String("root", "", "storage root directory")
+	hubRoot := fs.String("hub", "", "hub root under the storage root")
+	dryRun := fs.Bool("dry-run", false, "report what the sweep would remove without removing anything")
+	fs.Parse(args)
+
+	_, h, err := hubHandle(*root, *hubRoot)
+	if err != nil {
+		return err
+	}
+	rep, err := h.GC(*dryRun)
+	if err != nil {
+		return err
+	}
+	verb := "removed"
+	if *dryRun {
+		verb = "would remove"
+	}
+	for _, d := range rep.RemovedBlobs {
+		fmt.Fprintf(out, "  %s blob %s\n", verb, d)
+	}
+	for _, p := range rep.RemovedStaging {
+		fmt.Fprintf(out, "  %s staging %s\n", verb, p)
+	}
+	mode := "hub gc"
+	if *dryRun {
+		mode = "hub gc (dry run)"
+	}
+	fmt.Fprintf(out, "%s: %d runs, %d referenced digests, %d blobs examined, %d kept, %d removed (%d bytes freed)\n",
+		mode, len(rep.Runs), rep.Referenced, rep.Examined, rep.Kept, len(rep.RemovedBlobs), rep.BytesFreed)
+	return nil
+}

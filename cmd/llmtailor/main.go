@@ -8,6 +8,7 @@
 //	llmtailor plan    -root DIR -recipe FILE
 //	llmtailor inspect -root DIR -ckpt CHECKPOINT_DIR
 //	llmtailor doctor  -root DIR [-run RUN_ROOT] [-fix]
+//	llmtailor hub     init|attach|detach|stat|gc -root DIR -hub HUB_ROOT [...]
 //	llmtailor gen-recipe -root DIR -run RUN_ROOT -model NAME -fail-step N -output DIR [-write FILE]
 package main
 
@@ -59,6 +60,8 @@ func main() {
 		err = runGC(os.Args[2:], os.Stdout)
 	case "retain":
 		err = runRetain(os.Args[2:], os.Stdout)
+	case "hub":
+		err = runHub(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -103,6 +106,14 @@ commands:
               the rest (directories + ref-index generations) and sweep the
               blobs whose youngest reference died with them; -dry-run
               reports only
+  hub         manage a checkpoint hub: one shared content-addressed blob
+              store serving many run roots. init creates it (-shards N
+              selects the sharded layout); attach redirects a run root's
+              objects/ store into the hub (cross-run dedup, journals
+              namespaced per run); detach unregisters a run (-force
+              abandons its blob claims); stat lists attached runs and the
+              store footprint; gc sweeps the shared store keeping every
+              digest referenced by ANY attached run (union-pin rule)
   gen-recipe  build a recipe from partial-checkpoint manifests
   reshard     repartition a committed checkpoint saved at world-size N
               into a new committed checkpoint at world-size M —
@@ -122,6 +133,9 @@ examples:
   llmtailor gc -root /data -run sft-run            # incremental reclaim
   llmtailor gc -root /data -run sft-run -full      # verify + full sweep
   llmtailor retain -root /data -run sft-run -keep-last 5
+  llmtailor hub init -root /data -hub shared -shards 16
+  llmtailor hub attach -root /data -hub shared -run sft-run
+  llmtailor hub gc -root /data -hub shared
   llmtailor reshard -root /data -src sft-run/checkpoint-300 \
                     -out sft-run/checkpoint-300-w4 -world 4`)
 }
@@ -282,8 +296,9 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	rh := llmtailor.NewStore(b).Run(*run)
 	if *adopt {
-		rep, err := llmtailor.AdoptCheckpoints(b, *run)
+		rep, err := rh.Adopt()
 		if err != nil {
 			return 0, err
 		}
@@ -297,12 +312,17 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 			fmt.Fprintf(out, "left torn %s (carries a failing marker or is empty; -fix owns it)\n", d)
 		}
 	}
-	statuses, err := llmtailor.ScanCheckpoints(b, *run)
+	scan, err := rh.Scan(llmtailor.ScanOptions{Blobs: true, Refs: true, Codecs: true})
 	if err != nil {
 		return 0, err
 	}
+	if hubRoot, hubID, err := rh.HubAttachment(); err != nil {
+		return 0, err
+	} else if hubRoot != "" {
+		fmt.Fprintf(out, "hub: attached to %s as %q\n", hubRoot, hubID)
+	}
 	problems := 0
-	for _, st := range statuses {
+	for _, st := range scan.Dirs {
 		switch st.State {
 		case llmtailor.StateCommitted:
 			fmt.Fprintf(out, "  %-12s %s (step %d)\n", st.State, st.Path, st.Step)
@@ -315,7 +335,7 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 			fmt.Fprintf(out, "  %-12s %s — %s\n", st.State, st.Path, st.Detail)
 		}
 	}
-	if len(statuses) == 0 {
+	if len(scan.Dirs) == 0 {
 		fmt.Fprintf(out, "no checkpoint directories under %q\n", *run)
 	}
 	// Blob store health: staging residue counts as a problem (a crashed
@@ -323,12 +343,8 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 	// worth reporting but not a health failure — only an explicit gc
 	// sweeps published blobs — and stray entries (external mutilation
 	// under objects/) are flagged but never touched automatically.
-	blobs, err := llmtailor.ScanCheckpointBlobs(b, *run)
-	if err != nil {
-		return problems, err
-	}
 	var referenced, unreferenced, staging, stray int
-	for _, bl := range blobs {
+	for _, bl := range scan.Blobs {
 		switch bl.State {
 		case llmtailor.BlobReferenced:
 			referenced++
@@ -348,10 +364,15 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 			fmt.Fprintf(out, "  %-12s %s\n", bl.State, bl.Path)
 		}
 	}
-	if len(blobs) > 0 {
+	if len(scan.Blobs) > 0 {
 		fmt.Fprintf(out, "blob store: %d referenced, %d unreferenced, %d staging, %d stray\n",
 			referenced, unreferenced, staging, stray)
-		if n := llmtailor.BlobShards(b, *run); n > 0 {
+		if n, err := rh.Shards(); err != nil {
+			// A store that cannot open (corrupt shards.json, broken hub
+			// attachment) is a problem, not a flat layout.
+			problems++
+			fmt.Fprintf(out, "  %-12s %v\n", "store", err)
+		} else if n > 0 {
 			fmt.Fprintf(out, "blob store layout: %d digest-prefix shards\n", n)
 		}
 		if unreferenced > 0 {
@@ -361,13 +382,9 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 	// Codec health: a dedup checkpoint whose manifests pin an xor parent
 	// the store no longer holds cannot restore those entries — a problem.
 	// Deep chains are telemetry (re-base bounds them at save time).
-	codecs, err := llmtailor.ScanCheckpointCodecs(b, *run)
-	if err != nil {
-		return problems, err
-	}
 	var deepest int
 	deepestAt := ""
-	for _, ch := range codecs {
+	for _, ch := range scan.Codecs {
 		if ch.Stats.DeepestChain > deepest {
 			deepest = ch.Stats.DeepestChain
 			deepestAt = ch.Dir + " " + ch.Stats.DeepestSlot
@@ -384,12 +401,8 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 	// divergent, corrupt), stale records with no checkpoint behind them,
 	// and append residue are problems -fix reconciles; superseded records
 	// are ordinary reclaimable garbage a generational gc retires.
-	refStatuses, err := llmtailor.ScanCheckpointRefs(b, *run)
-	if err != nil {
-		return problems, err
-	}
 	var refOK, refSuperseded int
-	for _, rs := range refStatuses {
+	for _, rs := range scan.Refs {
 		switch rs.State {
 		case llmtailor.RefOK:
 			refOK++
@@ -400,9 +413,9 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 			fmt.Fprintf(out, "  %-12s %s — %s\n", rs.State, rs.Path, rs.Detail)
 		}
 	}
-	if len(refStatuses) > 0 {
+	if len(scan.Refs) > 0 {
 		fmt.Fprintf(out, "ref index: %d ok, %d superseded, %d problem(s)\n",
-			refOK, refSuperseded, len(refStatuses)-refOK-refSuperseded)
+			refOK, refSuperseded, len(scan.Refs)-refOK-refSuperseded)
 		if refSuperseded > 0 {
 			fmt.Fprintln(out, "run `llmtailor gc` to retire superseded generations")
 		}
@@ -415,7 +428,7 @@ func runDoctor(args []string, out io.Writer) (int, error) {
 		fmt.Fprintf(out, "%d problem(s); run with -fix to repair\n", problems)
 		return problems, nil
 	}
-	rep, err := llmtailor.RepairCheckpoints(b, *run)
+	rep, err := rh.Repair()
 	if err != nil {
 		return problems, err
 	}
@@ -473,8 +486,9 @@ func runGC(args []string, out io.Writer) error {
 	if *full && *generations {
 		return fmt.Errorf("gc: -full and -generations are mutually exclusive")
 	}
+	rh := llmtailor.NewStore(b).Run(*run)
 	if !*full {
-		rep, err := llmtailor.GCRetiredGenerations(b, *run, *dryRun)
+		rep, err := rh.GC(llmtailor.GCOptions{DryRun: *dryRun})
 		if err != nil {
 			return err
 		}
@@ -504,7 +518,7 @@ func runGC(args []string, out io.Writer) error {
 		return nil
 	}
 	if *dryRun {
-		rep, err := llmtailor.GCCheckpointBlobsDryRun(b, *run)
+		rep, err := rh.GC(llmtailor.GCOptions{Full: true, DryRun: true})
 		if err != nil {
 			return err
 		}
@@ -528,7 +542,7 @@ func runGC(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	rep, err := llmtailor.GCCheckpointBlobs(b, *run)
+	rep, err := rh.GC(llmtailor.GCOptions{Full: true})
 	if err != nil {
 		return err
 	}
@@ -570,7 +584,7 @@ func runRetain(args []string, out io.Writer) error {
 	if *keepLast < 1 {
 		return fmt.Errorf("retain: missing or invalid -keep-last (want >= 1)")
 	}
-	rep, err := llmtailor.RetainCheckpoints(b, *run, *keepLast, *dryRun)
+	rep, err := llmtailor.NewStore(b).Run(*run).Retain(llmtailor.RetainOptions{KeepLast: *keepLast, DryRun: *dryRun})
 	if err != nil {
 		return err
 	}

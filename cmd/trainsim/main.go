@@ -53,6 +53,7 @@ func main() {
 	objstore := flag.Bool("objstore", false, "run against an ephemeral in-process object store (flat namespace, no-rename commit protocol, retrying PUTs) instead of -root")
 	objLatency := flag.Duration("objstore-latency", 0, "with -objstore: per-operation request latency injected into the object store")
 	shards := flag.Int("shards", 0, "with -dedup: digest-shard the run's blob store across N prefix shards (0 = flat layout)")
+	hubRoot := flag.String("hub", "", "with -dedup: attach the run to this checkpoint hub before training — payloads dedup against every run sharing the hub, not just this run's history (the hub is created if absent; -shards lays out ITS store)")
 	codec := flag.String("codec", "", "with -dedup: blob compression codec — raw, plane (byte-plane split + RLE), or xor (delta changed layers against the previous checkpoint)")
 	codecRebase := flag.Int("codec-rebase", 0, "with -codec xor: re-base a slot to a full plane blob when its parent chain would exceed this depth (0 = default)")
 	reshardEvery := flag.Int("reshard-every", 0, "elastic-resume scenario: every N steps (a multiple of -interval), stop, reshard the latest committed checkpoint to the next world size from -reshard-worlds and resume from it (0 = off)")
@@ -61,7 +62,7 @@ func main() {
 
 	if err := run(*root, *runRoot, *modelName, *sim, *taskName, *steps, *warmup, *lr,
 		*interval, *strategyName, *worldSize, *seed, *failAt, *resume, *dedup, *keepLast, *lazy,
-		*objstore, *objLatency, *shards, *codec, *codecRebase, *reshardEvery, *reshardWorlds); err != nil {
+		*objstore, *objLatency, *shards, *hubRoot, *codec, *codecRebase, *reshardEvery, *reshardWorlds); err != nil {
 		fmt.Fprintln(os.Stderr, "trainsim:", err)
 		os.Exit(1)
 	}
@@ -70,7 +71,7 @@ func main() {
 func run(root, runRoot, modelName string, sim bool, taskName string,
 	steps, warmup int, lr float64, interval int, strategyName string,
 	worldSize int, seed uint64, failAt int, resume string, dedup bool, keepLast int,
-	lazy bool, objstore bool, objLatency time.Duration, shards int,
+	lazy bool, objstore bool, objLatency time.Duration, shards int, hubRoot string,
 	codec string, codecRebase int, reshardEvery int, reshardWorlds string) error {
 
 	var b llmtailor.Backend
@@ -93,10 +94,24 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 			return err
 		}
 	}
-	if shards > 0 {
+	if shards > 0 && !dedup {
+		return fmt.Errorf("-shards requires -dedup (it lays out the blob store)")
+	}
+	if hubRoot != "" {
+		// Hub-attached run: the shared store is laid out at the hub, and the
+		// run's objects/ becomes a redirect into it. Init is idempotent, so
+		// a fleet of trainsims pointed at one hub all converge on it.
 		if !dedup {
-			return fmt.Errorf("-shards requires -dedup (it lays out the blob store)")
+			return fmt.Errorf("-hub requires -dedup (only content-addressed saves share a hub store)")
 		}
+		h := llmtailor.NewStore(b).Hub(hubRoot)
+		if err := h.Init(llmtailor.HubOptions{Shards: shards}); err != nil {
+			return err
+		}
+		if err := h.Attach(runRoot, ""); err != nil {
+			return err
+		}
+	} else if shards > 0 {
 		if err := storage.InitShards(b, runRoot+"/"+ckpt.ObjectsDirName, shards); err != nil {
 			return err
 		}
@@ -188,6 +203,11 @@ func run(root, runRoot, modelName string, sim bool, taskName string,
 	}
 	if shards > 0 {
 		fmt.Printf("blob store layout: %d digest-prefix shards\n", shards)
+	}
+	if hubRoot != "" {
+		if _, id, err := llmtailor.NewStore(b).Run(runRoot).HubAttachment(); err == nil {
+			fmt.Printf("hub: saves deduped into %s as %q\n", hubRoot, id)
+		}
 	}
 	if codec != "" && codec != "raw" {
 		fmt.Printf("blob codec: %s\n", codec)

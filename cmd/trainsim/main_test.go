@@ -9,7 +9,7 @@ import (
 func TestRunEndToEnd(t *testing.T) {
 	root := t.TempDir()
 	err := run(root, "demo", "tiny", false, "sft",
-		30, 3, 2e-3, 10, "parity", 2, 7, 0, "", false, 0, false, false, 0, 0, "", 0, 0, "")
+		30, 3, 2e-3, 10, "parity", 2, 7, 0, "", false, 0, false, false, 0, 0, "", "", 0, 0, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestRunEndToEnd(t *testing.T) {
 func TestRunFailureInjection(t *testing.T) {
 	root := t.TempDir()
 	if err := run(root, "demo", "tiny", false, "cpt",
-		30, 3, 2e-3, 10, "full", 1, 7, 15, "", false, 0, false, false, 0, 0, "", 0, 0, ""); err != nil {
+		30, 3, 2e-3, 10, "full", 1, 7, 15, "", false, 0, false, false, 0, 0, "", "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Crash after step 15: only checkpoint-10 exists.
@@ -40,12 +40,12 @@ func TestRunFailureInjection(t *testing.T) {
 func TestRunResume(t *testing.T) {
 	root := t.TempDir()
 	if err := run(root, "demo", "tiny", false, "sft",
-		20, 2, 2e-3, 10, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "", 0, 0, ""); err != nil {
+		20, 2, 2e-3, 10, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "", "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	// Resume from the step-20 checkpoint and continue to 30.
 	if err := run(root, "demo", "tiny", false, "sft",
-		30, 2, 2e-3, 10, "full", 1, 7, 0, "demo/checkpoint-20", false, 0, false, false, 0, 0, "", 0, 0, ""); err != nil {
+		30, 2, 2e-3, 10, "full", 1, 7, 0, "demo/checkpoint-20", false, 0, false, false, 0, 0, "", "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(root, "demo", "checkpoint-30")); err != nil {
@@ -54,17 +54,17 @@ func TestRunResume(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "demo", "tiny", false, "sft", 10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "", 0, 0, ""); err == nil {
+	if err := run("", "demo", "tiny", false, "sft", 10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "", "", 0, 0, ""); err == nil {
 		t.Error("missing root accepted")
 	}
 	root := t.TempDir()
-	if err := run(root, "demo", "no-such-model", false, "sft", 10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "", 0, 0, ""); err == nil {
+	if err := run(root, "demo", "no-such-model", false, "sft", 10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "", "", 0, 0, ""); err == nil {
 		t.Error("unknown model accepted")
 	}
-	if err := run(root, "demo", "tiny", false, "rl", 10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "", 0, 0, ""); err == nil {
+	if err := run(root, "demo", "tiny", false, "rl", 10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "", "", 0, 0, ""); err == nil {
 		t.Error("unknown task accepted")
 	}
-	if err := run(root, "demo", "tiny", false, "sft", 10, 1, 1e-3, 5, "sometimes", 1, 7, 0, "", false, 0, false, false, 0, 0, "", 0, 0, ""); err == nil {
+	if err := run(root, "demo", "tiny", false, "sft", 10, 1, 1e-3, 5, "sometimes", 1, 7, 0, "", false, 0, false, false, 0, 0, "", "", 0, 0, ""); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }
@@ -75,7 +75,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunDedupKeepLast(t *testing.T) {
 	root := t.TempDir()
 	if err := run(root, "demo", "tiny", false, "sft",
-		50, 2, 2e-3, 10, "full", 2, 7, 0, "", true, 2, false, false, 0, 0, "", 0, 0, ""); err != nil {
+		50, 2, 2e-3, 10, "full", 2, 7, 0, "", true, 2, false, false, 0, 0, "", "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, step := range []int{10, 20, 30} {
@@ -90,7 +90,7 @@ func TestRunDedupKeepLast(t *testing.T) {
 	}
 	// The retained run still resumes and trains on.
 	if err := run(root, "demo", "tiny", false, "sft",
-		60, 2, 2e-3, 10, "full", 2, 7, 0, "demo/checkpoint-50", true, 2, false, false, 0, 0, "", 0, 0, ""); err != nil {
+		60, 2, 2e-3, 10, "full", 2, 7, 0, "demo/checkpoint-50", true, 2, false, false, 0, 0, "", "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -101,7 +101,7 @@ func TestRunDedupKeepLast(t *testing.T) {
 func TestRunLazyCapture(t *testing.T) {
 	root := t.TempDir()
 	if err := run(root, "demo", "tiny", false, "sft",
-		30, 2, 2e-3, 10, "full", 2, 7, 0, "", true, 0, true, false, 0, 0, "", 0, 0, ""); err != nil {
+		30, 2, 2e-3, 10, "full", 2, 7, 0, "", true, 0, true, false, 0, 0, "", "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, step := range []int{10, 20, 30} {
@@ -110,7 +110,7 @@ func TestRunLazyCapture(t *testing.T) {
 		}
 	}
 	if err := run(root, "demo", "tiny", false, "sft",
-		40, 2, 2e-3, 10, "full", 2, 7, 0, "demo/checkpoint-30", true, 0, true, false, 0, 0, "", 0, 0, ""); err != nil {
+		40, 2, 2e-3, 10, "full", 2, 7, 0, "demo/checkpoint-30", true, 0, true, false, 0, 0, "", "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -120,12 +120,12 @@ func TestRunLazyCapture(t *testing.T) {
 // digest-sharded across two prefix shards.
 func TestRunObjStore(t *testing.T) {
 	if err := run("", "demo", "tiny", false, "sft",
-		20, 2, 2e-3, 10, "full", 2, 7, 0, "", true, 0, false, true, 0, 2, "", 0, 0, ""); err != nil {
+		20, 2, 2e-3, 10, "full", 2, 7, 0, "", true, 0, false, true, 0, 2, "", "", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	// -shards without -dedup must refuse (it lays out the blob store).
 	if err := run("", "demo", "tiny", false, "sft",
-		10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, true, 0, 2, "", 0, 0, ""); err == nil {
+		10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, true, 0, 2, "", "", 0, 0, ""); err == nil {
 		t.Error("-shards without -dedup accepted")
 	}
 }
@@ -136,17 +136,49 @@ func TestRunObjStore(t *testing.T) {
 func TestRunCodec(t *testing.T) {
 	root := t.TempDir()
 	if err := run(root, "demo", "tiny", false, "sft",
-		30, 2, 2e-3, 10, "full", 2, 7, 0, "", true, 0, false, false, 0, 0, "xor", 0, 0, ""); err != nil {
+		30, 2, 2e-3, 10, "full", 2, 7, 0, "", true, 0, false, false, 0, 0, "", "xor", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	if err := run(root, "demo", "tiny", false, "sft",
-		40, 2, 2e-3, 10, "full", 2, 7, 0, "demo/checkpoint-30", true, 0, false, false, 0, 0, "xor", 0, 0, ""); err != nil {
+		40, 2, 2e-3, 10, "full", 2, 7, 0, "demo/checkpoint-30", true, 0, false, false, 0, 0, "", "xor", 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	// -codec without -dedup must refuse (compression lives in the blob store).
 	if err := run(root, "demo2", "tiny", false, "sft",
-		10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "xor", 0, 0, ""); err == nil {
+		10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "", "xor", 0, 0, ""); err == nil {
 		t.Error("-codec without -dedup accepted")
+	}
+}
+
+// TestRunHub drives the checkpoint-hub path from the CLI surface: two runs
+// attached to one hub, both saving dedup checkpoints into the shared store,
+// both resumable afterwards.
+func TestRunHub(t *testing.T) {
+	root := t.TempDir()
+	for _, r := range []string{"runs/a", "runs/b"} {
+		if err := run(root, r, "tiny", false, "sft",
+			20, 2, 2e-3, 10, "full", 2, 7, 0, "", true, 0, false, false, 0, 4, "hub", "", 0, 0, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One shared store at the hub; neither run grew a local blob tree.
+	if _, err := os.Stat(filepath.Join(root, "hub", "objects")); err != nil {
+		t.Fatal("no shared store at the hub")
+	}
+	for _, r := range []string{"runs/a", "runs/b"} {
+		if _, err := os.Stat(filepath.Join(root, r, "objects", "hubref.json")); err != nil {
+			t.Errorf("%s not attached: %v", r, err)
+		}
+	}
+	// Both runs resume from the shared store.
+	if err := run(root, "runs/b", "tiny", false, "sft",
+		30, 2, 2e-3, 10, "full", 2, 7, 0, "runs/b/checkpoint-20", true, 0, false, false, 0, 0, "hub", "", 0, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	// -hub without -dedup must refuse.
+	if err := run(root, "runs/c", "tiny", false, "sft",
+		10, 1, 1e-3, 5, "full", 1, 7, 0, "", false, 0, false, false, 0, 0, "hub", "", 0, 0, ""); err == nil {
+		t.Error("-hub without -dedup accepted")
 	}
 }
 

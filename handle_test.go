@@ -1,0 +1,252 @@
+package llmtailor_test
+
+import (
+	"strings"
+	"testing"
+
+	"llmtailor"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/train"
+)
+
+// trainerCfg builds a short dedup trainer config for one run root.
+func trainerCfg(t *testing.T, root string, steps int) llmtailor.TrainerConfig {
+	t.Helper()
+	mc, err := llmtailor.ModelByName("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := train.TaskByName("sft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return llmtailor.TrainerConfig{Model: mc, Task: task, Seed: 11,
+		TotalSteps: steps, BaseLR: 2e-3, CkptInterval: 2, WorldSize: 2,
+		RunRoot: root, DedupCkpt: true}
+}
+
+// trainAndSave produces a short dedup run under root using the simulated
+// trainer, returning the checkpoint directories.
+func trainAndSave(t *testing.T, b llmtailor.Backend, root string, steps int) []string {
+	t.Helper()
+	tr, err := llmtailor.NewTrainer(trainerCfg(t, root, steps), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := llmtailor.NewStore(b).Run(root).List()
+	if err != nil || len(dirs) == 0 {
+		t.Fatalf("no checkpoints: %v, %v", dirs, err)
+	}
+	return dirs
+}
+
+// TestRunHandleDelegation: the handle methods and their deprecated free-
+// function counterparts see the same state.
+func TestRunHandleDelegation(t *testing.T) {
+	b := llmtailor.NewMemBackend()
+	trainAndSave(t, b, "run", 6)
+	run := llmtailor.NewStore(b).Run("run")
+
+	latest, err := run.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldLatest, err := llmtailor.LatestCheckpoint(b, "run")
+	if err != nil || oldLatest != latest {
+		t.Fatalf("latest: handle %q, free %q (%v)", latest, oldLatest, err)
+	}
+
+	scan, err := run.Scan(llmtailor.ScanOptions{Blobs: true, Refs: true, Codecs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Dirs) == 0 || len(scan.Blobs) == 0 || len(scan.Refs) == 0 || len(scan.Codecs) == 0 {
+		t.Fatalf("scan views empty: %d dirs %d blobs %d refs %d codecs",
+			len(scan.Dirs), len(scan.Blobs), len(scan.Refs), len(scan.Codecs))
+	}
+	oldBlobs, err := llmtailor.ScanCheckpointBlobs(b, "run")
+	if err != nil || len(oldBlobs) != len(scan.Blobs) {
+		t.Fatalf("blob scan: handle %d, free %d (%v)", len(scan.Blobs), len(oldBlobs), err)
+	}
+
+	// The scan defaults leave unrequested views nil.
+	lean, err := run.Scan(llmtailor.ScanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.Blobs != nil || lean.Refs != nil || lean.Codecs != nil {
+		t.Fatalf("unrequested views populated: %+v", lean)
+	}
+
+	// GC flavours through one entry point.
+	dry, err := run.GC(llmtailor.GCOptions{Full: true, DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := run.GC(llmtailor.GCOptions{Full: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.RemovedBlobs) != len(dry.RemovedBlobs) {
+		t.Fatalf("dry-run/full disagree: %d vs %d", len(dry.RemovedBlobs), len(full.RemovedBlobs))
+	}
+	if _, err := run.GC(llmtailor.GCOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := run.Retain(llmtailor.RetainOptions{KeepLast: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Removed) == 0 {
+		t.Fatalf("retain kept everything: %+v", rep)
+	}
+	if _, err := run.Repair(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunShardsErrorSurfaced: the Shards method distinguishes a flat
+// layout (0, nil) from a store that cannot open; the deprecated BlobShards
+// still flattens both to 0.
+func TestRunShardsErrorSurfaced(t *testing.T) {
+	b := llmtailor.NewMemBackend()
+	run := llmtailor.NewStore(b).Run("run")
+	if n, err := run.Shards(); n != 0 || err != nil {
+		t.Fatalf("flat layout: %d, %v", n, err)
+	}
+	if err := storage.InitShards(b, "run/objects", 8); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := run.Shards(); n != 8 || err != nil {
+		t.Fatalf("sharded layout: %d, %v", n, err)
+	}
+	// Corrupt shards.json: the old signature reports a flat layout, the
+	// new one the actual problem.
+	if err := b.WriteFile("run/objects/"+storage.ShardConfigName, []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	if n := llmtailor.BlobShards(b, "run"); n != 0 {
+		t.Fatalf("BlobShards on corrupt config = %d", n)
+	}
+	if _, err := run.Shards(); err == nil {
+		t.Fatal("Shards swallowed the corrupt shards.json")
+	}
+}
+
+// TestHubHandleEndToEnd drives the public hub surface: init, attach two
+// trainer runs, cross-run dedup, stat, GC, detach.
+func TestHubHandleEndToEnd(t *testing.T) {
+	b := llmtailor.NewMemBackend()
+	st := llmtailor.NewStore(b)
+	hub := st.Hub("hub")
+	if err := hub.Init(llmtailor.HubOptions{Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"runs/a", "runs/b"} {
+		if err := hub.Attach(r, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trainAndSave(t, b, "runs/a", 4)
+	trainAndSave(t, b, "runs/b", 4)
+
+	hubRoot, id, err := st.Run("runs/a").HubAttachment()
+	if err != nil || hubRoot != "hub" || id != "a" {
+		t.Fatalf("attachment = %q %q %v", hubRoot, id, err)
+	}
+
+	info, err := hub.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Runs) != 2 || info.Shards != 4 || info.Blobs == 0 {
+		t.Fatalf("stat = %+v", info)
+	}
+
+	// Identical seeds: run B's saves dedup against run A's blobs, so the
+	// store holds far less than two runs' worth.
+	var runPins int
+	for _, r := range info.Runs {
+		if r.Referenced > runPins {
+			runPins = r.Referenced
+		}
+	}
+	if info.Blobs >= 2*runPins {
+		t.Fatalf("no cross-run dedup: %d blobs for max %d per-run refs", info.Blobs, runPins)
+	}
+
+	if _, err := hub.GC(false); err != nil {
+		t.Fatal(err)
+	}
+	// Both runs still resume from the shared store after the sweep.
+	for _, r := range []string{"runs/a", "runs/b"} {
+		if _, err := st.Run(r).Resume(trainerCfg(t, r, 6)); err != nil {
+			t.Fatalf("resume %s: %v", r, err)
+		}
+	}
+
+	if err := hub.Detach("runs/b", false); err == nil ||
+		!strings.Contains(err.Error(), "force") {
+		t.Fatalf("detach with live refs: %v", err)
+	}
+	if err := hub.Detach("runs/b", true); err != nil {
+		t.Fatal(err)
+	}
+	if hubRoot, _, err := st.Run("runs/b").HubAttachment(); err != nil || hubRoot != "" {
+		t.Fatalf("still attached after detach: %q, %v", hubRoot, err)
+	}
+}
+
+// TestDedupifyOptionsDelegation: the options-struct form matches the
+// deprecated zero-arg free function.
+func TestDedupifyOptionsDelegation(t *testing.T) {
+	b := llmtailor.NewMemBackend()
+	cfg := trainerCfg(t, "run", 2)
+	cfg.DedupCkpt = false
+	tr, err := llmtailor.NewTrainer(cfg, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	run := llmtailor.NewStore(b).Run("run")
+	dirs, err := run.List()
+	if err != nil || len(dirs) == 0 {
+		t.Fatal(err)
+	}
+	name := dirs[len(dirs)-1][len("run/"):]
+	rep, err := run.Dedupify(name, llmtailor.DedupifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BlobsPut == 0 {
+		t.Fatalf("dedupify wrote nothing: %+v", rep)
+	}
+	// Materialize through the handle round-trips the container.
+	if err := run.MaterializeWeights(name, "out/model.ltsf", llmtailor.MaterializeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Exists("out/model.ltsf") {
+		t.Fatal("no materialized container")
+	}
+	if err := run.MaterializeOptimShard(name, 0, "out/shard0.ltos", llmtailor.MaterializeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Exists("out/shard0.ltos") {
+		t.Fatal("no materialized shard container")
+	}
+	// The deprecated dir-path forms still work.
+	if err := llmtailor.MaterializeWeights(b, "run/"+name, "out/model2.ltsf"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := b.ReadFile("out/model.ltsf")
+	c, _ := b.ReadFile("out/model2.ltsf")
+	if string(a) != string(c) {
+		t.Fatal("handle and free materialization differ")
+	}
+}

@@ -545,6 +545,13 @@ func Repair(b storage.Backend, runRoot string) (*RepairReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Union-pin rule: a hub-attached run's trash may hold blobs that
+		// peer runs still reference — restore those too.
+		hp, err := peerPins(b, runRoot)
+		if err != nil {
+			return nil, err
+		}
+		mergePins(refs, hp)
 		restored, purged, err := handleTrash(trashStore, refs)
 		rep.TrashRestored, rep.TrashPurged = restored, purged
 		if err != nil {

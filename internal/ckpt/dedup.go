@@ -699,6 +699,15 @@ func GC(b storage.Backend, runRoot string) (*GCReport, error) {
 	for d, n := range refs {
 		sweepRefs[d] = n
 	}
+	// Union-pin rule: a hub-attached run sweeps the shared store, so every
+	// peer run's references (journal + manifest fallbacks) pin. With the
+	// union in place this full sweep reclaims exactly the digests dead
+	// across ALL attached runs — the hub GC invariant.
+	hp, err := peerPins(b, runRoot)
+	if err != nil {
+		return rep, err
+	}
+	mergePins(sweepRefs, hp)
 	retiredName := map[string]bool{}
 	for _, ar := range audit.records {
 		switch ar.state {
@@ -745,7 +754,10 @@ func GC(b storage.Backend, runRoot string) (*GCReport, error) {
 	// add missing ones — all derived from the manifests just read, so the
 	// index a generational sweep will trust next time agrees with ground
 	// truth. Orphaned records are reported, never removed here.
-	ix := refIndexFor(b, runRoot)
+	ix, err := refIndexFor(b, runRoot)
+	if err != nil {
+		return rep, err
+	}
 	for _, ar := range audit.records {
 		switch ar.state {
 		case RefSuperseded, RefCorrupt:
@@ -820,6 +832,12 @@ func GCDryRun(b storage.Backend, runRoot string) (*GCReport, error) {
 	for d, n := range refs {
 		sweepRefs[d] = n
 	}
+	// Union-pin rule, as in GC: peer runs of a hub-attached store pin.
+	hp, err := peerPins(b, runRoot)
+	if err != nil {
+		return rep, err
+	}
+	mergePins(sweepRefs, hp)
 	for _, ar := range audit.records {
 		switch ar.state {
 		case RefSuperseded, RefCorrupt:
@@ -940,6 +958,13 @@ func ScanBlobs(b storage.Backend, runRoot string) ([]BlobStatus, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Union-pin rule: on a hub-attached run the store is shared, so blobs
+	// referenced only by peer runs still classify as referenced, not orphan.
+	hp, err := peerPins(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
+	mergePins(refs, hp)
 	blobs, staging, stray, err := store.List()
 	if err != nil {
 		return nil, err

@@ -54,9 +54,11 @@ func RefKey(dir string) string {
 	return dir
 }
 
-// refIndexFor opens the run root's ref index.
-func refIndexFor(b storage.Backend, runRoot string) *storage.RefIndex {
-	return storage.NewRefIndex(b, objectsPath(runRoot))
+// refIndexFor opens the run root's ref index, following a hub attachment:
+// an attached run journals under the hub store's `refs/<run-id>/`
+// namespace, an unattached one under its own `objects/refs/`.
+func refIndexFor(b storage.Backend, runRoot string) (*storage.RefIndex, error) {
+	return storage.OpenRefIndex(b, objectsPath(runRoot))
 }
 
 // appendRefRecord journals the digest set of a save that is about to
@@ -70,7 +72,10 @@ func refIndexFor(b storage.Backend, runRoot string) *storage.RefIndex {
 // reused and nothing is written — so a retried save produces a checkpoint
 // byte-identical to the fault-free one, manifest ref_gen included.
 func appendRefRecord(b storage.Backend, finalDir string, step int, digests []string) (int64, error) {
-	ix := storage.NewRefIndex(b, ObjectsRoot(finalDir))
+	ix, err := storage.OpenRefIndex(b, ObjectsRoot(finalDir))
+	if err != nil {
+		return 0, err
+	}
 	key := RefKey(finalDir)
 	entries, _, _, err := ix.Entries()
 	if err != nil {
@@ -376,7 +381,10 @@ func digestsEqual(a, b []string) bool {
 // auditRefs classifies every journal record against the directories'
 // manifest ground truth (as collected by collectDirRefs).
 func auditRefs(b storage.Backend, runRoot string, dirs []dirRefs) (*refAudit, error) {
-	ix := refIndexFor(b, runRoot)
+	ix, err := refIndexFor(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
 	entries, staging, _, err := ix.Entries()
 	if err != nil {
 		return nil, err
@@ -492,7 +500,10 @@ func ScanRefs(b storage.Backend, runRoot string) ([]RefStatus, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := refIndexFor(b, runRoot)
+	ix, err := refIndexFor(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
 	var out []RefStatus
 	for _, ar := range audit.records {
 		out = append(out, RefStatus{
@@ -551,7 +562,10 @@ func ReconcileRefIndex(b storage.Backend, runRoot string) (*RefReconcileReport, 
 	if err != nil {
 		return nil, err
 	}
-	ix := refIndexFor(b, runRoot)
+	ix, err := refIndexFor(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
 	rep := &RefReconcileReport{}
 	for _, name := range audit.staging {
 		if err := ix.RemoveStaging(name); err != nil {
@@ -639,7 +653,10 @@ func stepOf(b storage.Backend, path string) int {
 // instead. Under-pinning is the one unforgivable failure here, so every
 // fallback over-approximates.
 func livePins(b storage.Backend, runRoot string, pinEnts []storage.RefEntry) (map[string]int, error) {
-	ix := refIndexFor(b, runRoot)
+	ix, err := refIndexFor(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
 	pins := map[string]int{}
 	covered := map[string]bool{}
 	for _, e := range pinEnts {
@@ -689,25 +706,25 @@ func livePins(b storage.Backend, runRoot string, pinEnts []storage.RefEntry) (ma
 // retired. Any record appended since the original pin snapshot — a
 // concurrent save that reused a candidate blob — is seen here, because
 // savers journal before their reuse check (see SweepRecheck's proof).
+// On a hub-attached run every peer run's journal is re-read too: a save
+// racing in another attached run journals against the same shared store
+// and must be able to rescue a trashed candidate exactly like a local one.
 func indexRecheck(b storage.Backend, runRoot string, exclude map[string]bool) storage.RecheckFunc {
 	return func([]string) (map[string]int, error) {
-		ix := refIndexFor(b, runRoot)
-		entries, _, _, err := ix.Entries()
+		pins, err := journalPins(b, runRoot, exclude)
 		if err != nil {
 			return nil, err
 		}
-		pins := map[string]int{}
-		for _, e := range entries {
-			if exclude[e.Name] {
-				continue
-			}
-			rec, err := ix.Read(e)
+		peers, err := hubPeers(b, runRoot)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range peers {
+			pp, err := journalPins(b, p.Root, nil)
 			if err != nil {
-				continue // appends are atomic; a corrupt record is not a fresh save's
+				return nil, err
 			}
-			for _, d := range rec.Digests {
-				pins[d]++
-			}
+			mergePins(pins, pp)
 		}
 		return pins, nil
 	}
@@ -751,7 +768,10 @@ func handleTrash(store storage.CAS, pins map[string]int) (restored, purged []str
 // no blob or record is removed.
 func GCGenerational(b storage.Backend, runRoot string, dryRun bool) (*GCReport, error) {
 	rep := &GCReport{Mode: "generational", DryRun: dryRun}
-	ix := refIndexFor(b, runRoot)
+	ix, err := refIndexFor(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
 	entries, staging, _, err := ix.Entries()
 	if err != nil {
 		return nil, err
@@ -853,6 +873,13 @@ func GCGenerational(b storage.Backend, runRoot string, dryRun bool) (*GCReport, 
 		if err != nil {
 			return rep, err
 		}
+		// Union-pin rule: on a hub-attached run the candidates live in a
+		// shared store, so every peer run's references pin too.
+		hp, err := peerPins(b, runRoot)
+		if err != nil {
+			return rep, err
+		}
+		mergePins(pins, hp)
 		rep.Referenced = len(pins)
 		sw, err := store.SweepDigests(candidates, pins, dryRun, indexRecheck(b, runRoot, retiredName))
 		if sw != nil {
@@ -878,14 +905,18 @@ func GCGenerational(b storage.Backend, runRoot string, dryRun bool) (*GCReport, 
 			if err != nil {
 				return rep, err
 			}
-			// Manifest fallbacks pin too (recordless dirs).
+			// Manifest fallbacks pin too (recordless dirs), as do all peer
+			// runs of a hub-attached store.
 			fallback, err := livePins(b, runRoot, nil)
 			if err != nil {
 				return rep, err
 			}
-			for d, n := range fallback {
-				pins[d] += n
+			mergePins(pins, fallback)
+			hp, err := peerPins(b, runRoot)
+			if err != nil {
+				return rep, err
 			}
+			mergePins(pins, hp)
 			if _, purged, err := handleTrash(store, pins); err != nil {
 				return rep, err
 			} else {
@@ -990,7 +1021,10 @@ func Retain(b storage.Backend, runRoot string, keepLast int, dryRun bool) (*Reta
 		return rep, nil
 	}
 
-	ix := refIndexFor(b, runRoot)
+	ix, err := refIndexFor(b, runRoot)
+	if err != nil {
+		return nil, err
+	}
 	entries, _, _, err := ix.Entries()
 	if err != nil {
 		return nil, err
@@ -1057,6 +1091,13 @@ func Retain(b storage.Backend, runRoot string, keepLast int, dryRun bool) (*Reta
 		if err != nil {
 			return rep, err
 		}
+		// Union-pin rule: peer runs attached to the same hub keep their
+		// claim on any candidate this run's retention would drop.
+		hp, err := peerPins(b, runRoot)
+		if err != nil {
+			return rep, err
+		}
+		mergePins(pins, hp)
 		// In a dry run the victims still exist on disk; their manifest
 		// digests must not count as pins or the sweep preview would be
 		// empty. livePins only falls back to manifests for uncovered keys,

@@ -44,7 +44,7 @@ func TestSweepPinsStagedUnpublishedManifests(t *testing.T) {
 	if err := b.Remove("run/checkpoint-200"); err != nil {
 		t.Fatal(err)
 	}
-	ix := refIndexFor(b, "run")
+	ix := mustRefIndex(t, b, "run")
 	entries, _, _, err := ix.Entries()
 	if err != nil {
 		t.Fatal(err)
@@ -153,7 +153,7 @@ func TestSweepRestoresBlobReusedMidSweep(t *testing.T) {
 		}
 	}
 	// Pick a digest exclusive to the victim (checkpoint-10).
-	ix := refIndexFor(mem, "run")
+	ix := mustRefIndex(t, mem, "run")
 	entries, _, _, err := ix.Entries()
 	if err != nil {
 		t.Fatal(err)

@@ -15,10 +15,20 @@ import (
 	"llmtailor/internal/tensor"
 )
 
+// mustRefIndex opens the run's (possibly hub-resolved) ref index.
+func mustRefIndex(t *testing.T, b storage.Backend, runRoot string) *storage.RefIndex {
+	t.Helper()
+	ix, err := refIndexFor(b, runRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
 // refEntries lists the run's journal entries.
 func refEntries(t *testing.T, b storage.Backend, runRoot string) []storage.RefEntry {
 	t.Helper()
-	entries, _, _, err := refIndexFor(b, runRoot).Entries()
+	entries, _, _, err := mustRefIndex(t, b, runRoot).Entries()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +68,7 @@ func TestDedupSaveJournalsRecord(t *testing.T) {
 	if man.RefGen != entries[0].Generation || man.RefGen == 0 {
 		t.Fatalf("manifest ref_gen %d, record generation %d", man.RefGen, entries[0].Generation)
 	}
-	rec, err := refIndexFor(b, "run").Read(entries[0])
+	rec, err := mustRefIndex(t, b, "run").Read(entries[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +318,7 @@ func TestRetainNeverRemovesLatestTarget(t *testing.T) {
 func TestScanRefsStates(t *testing.T) {
 	b := storage.NewMem()
 	saveDedup(t, b, "run/checkpoint-100", 240, 2)
-	ix := refIndexFor(b, "run")
+	ix := mustRefIndex(t, b, "run")
 
 	// ref-missing: drop the bound record.
 	entries := refEntries(t, b, "run")

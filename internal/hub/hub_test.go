@@ -1,0 +1,179 @@
+package hub
+
+import (
+	"strings"
+	"testing"
+
+	"llmtailor/internal/ckpt"
+	"llmtailor/internal/model"
+	"llmtailor/internal/modelcfg"
+	"llmtailor/internal/optim"
+	"llmtailor/internal/storage"
+	"llmtailor/internal/tensor"
+)
+
+// saveDedup writes one dedup checkpoint into dir.
+func saveDedup(t testing.TB, b storage.Backend, dir string, seed uint64) *model.Model {
+	t.Helper()
+	m, err := model.NewInitialized(modelcfg.Tiny(), tensor.BF16, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := optim.NewAdamW(m, optim.NewLayerwiseLayout(modelcfg.Tiny()), optim.DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Save(b, ckpt.SaveSpec{Dir: dir, Model: m, Optim: o,
+		WorldSize: 1, Strategy: "full", Dedup: true,
+		State: ckpt.TrainerState{Step: 10, Seed: seed}}); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestInitAttachLifecycle(t *testing.T) {
+	b := storage.NewMem()
+	if err := Attach(b, "hub", "runs/a", ""); err == nil {
+		t.Fatal("attach to uninitialised hub succeeded")
+	}
+	if err := Init(b, "hub", Options{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Init(b, "hub", Options{Shards: 2}); err != nil {
+		t.Fatalf("re-init not idempotent: %v", err)
+	}
+	if err := Attach(b, "hub", "runs/a", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Default id is the root's base name; re-attach is idempotent.
+	if err := Attach(b, "hub", "runs/a", "a"); err != nil {
+		t.Fatalf("idempotent re-attach: %v", err)
+	}
+	ref, err := storage.ReadHubRef(b, "runs/a/objects")
+	if err != nil || ref == nil || ref.Run != "a" {
+		t.Fatalf("hubref = %+v, %v", ref, err)
+	}
+	// The id is taken by a different root.
+	if err := Attach(b, "hub", "runs/other", "a"); err == nil {
+		t.Fatal("id conflict not refused")
+	}
+	// The run is attached elsewhere.
+	if err := Init(b, "hub2", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Attach(b, "hub2", "runs/a", "a2"); err == nil {
+		t.Fatal("double attachment not refused")
+	}
+	// Saves land in the hub store, journal under the namespace.
+	saveDedup(t, b, "runs/a/checkpoint-10", 7)
+	blobs, _, _, err := mustStore(t, b, "hub").List()
+	if err != nil || len(blobs) == 0 {
+		t.Fatalf("hub store blobs = %d, %v", len(blobs), err)
+	}
+	entries, err := b.List("hub/objects/refs/a")
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("namespaced journal entries = %v, %v", entries, err)
+	}
+	// Detach while referencing blobs needs force.
+	if err := Detach(b, "runs/a", false); err == nil {
+		t.Fatal("detach with live refs not refused")
+	}
+	if err := Detach(b, "runs/a", true); err != nil {
+		t.Fatal(err)
+	}
+	if ref, _ := storage.ReadHubRef(b, "runs/a/objects"); ref != nil {
+		t.Fatal("hubref survived detach")
+	}
+	if runs, _ := storage.ListHubRuns(b, "hub"); len(runs) != 0 {
+		t.Fatalf("registry survived detach: %+v", runs)
+	}
+	if entries, _ := b.List("hub/objects/refs/a"); len(entries) != 0 {
+		t.Fatalf("journal records survived detach: %v", entries)
+	}
+}
+
+func TestAttachRefusesLocalBlobs(t *testing.T) {
+	b := storage.NewMem()
+	if err := Init(b, "hub", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	saveDedup(t, b, "runs/solo/checkpoint-10", 3)
+	if err := Attach(b, "hub", "runs/solo", ""); err == nil ||
+		!strings.Contains(err.Error(), "local") {
+		t.Fatalf("attach over local blobs: %v", err)
+	}
+}
+
+func TestStatAndHubGC(t *testing.T) {
+	b := storage.NewMem()
+	if err := Init(b, "hub", Options{Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []string{"runs/a", "runs/b"} {
+		if err := Attach(b, "hub", r, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mA := saveDedup(t, b, "runs/a/checkpoint-10", 11)
+	mB := saveDedup(t, b, "runs/b/checkpoint-10", 22)
+
+	info, err := Stat(b, "hub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Runs) != 2 || info.Shards != 2 || info.Blobs == 0 || info.Bytes == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	for _, r := range info.Runs {
+		if r.Checkpoints != 1 || r.Referenced == 0 {
+			t.Fatalf("run info = %+v", r)
+		}
+	}
+
+	// Nothing is dead yet: GC keeps everything.
+	rep, err := GC(b, "hub", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RemovedBlobs) != 0 || rep.Kept != info.Blobs {
+		t.Fatalf("gc on live hub = %+v", rep)
+	}
+
+	// Force-detach run A: its exclusive digests become garbage, run B's
+	// survive the union.
+	if err := Detach(b, "runs/a", true); err != nil {
+		t.Fatal(err)
+	}
+	dry, err := GC(b, "hub", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dry.RemovedBlobs) == 0 {
+		t.Fatal("dry-run found nothing reclaimable after detach")
+	}
+	rep, err = GC(b, "hub", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.RemovedBlobs) != len(dry.RemovedBlobs) {
+		t.Fatalf("dry-run promised %d removals, real run did %d", len(dry.RemovedBlobs), len(rep.RemovedBlobs))
+	}
+	rm, _, _, err := ckpt.Restore(b, "runs/b/checkpoint-10", tensor.BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Equal(rm, mB) {
+		t.Fatal("run B restore diverged after hub GC")
+	}
+	_ = mA
+}
+
+// mustStore opens the hub's shared store.
+func mustStore(t *testing.T, b storage.Backend, hubRoot string) storage.CAS {
+	t.Helper()
+	s, err := storage.OpenCAS(b, storage.HubObjectsRoot(hubRoot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -75,10 +75,14 @@ type RefEntry struct {
 	Name string
 }
 
-// RefIndex is the journaled ref index of one blob store.
+// RefIndex is the journaled ref index of one blob store. A namespaced
+// index (hub attachment) keeps its records under `refs/<ns>/` so many
+// runs journal against one shared store without sharing generation
+// counters or record files.
 type RefIndex struct {
 	b    Backend
 	root string
+	ns   string
 }
 
 // NewRefIndex returns the index rooted under a blob store root (the same
@@ -87,8 +91,45 @@ func NewRefIndex(b Backend, objectsRoot string) *RefIndex {
 	return &RefIndex{b: b, root: strings.TrimSuffix(objectsRoot, "/")}
 }
 
-// Dir returns the index directory ("<objects>/refs").
-func (ix *RefIndex) Dir() string { return ix.root + "/" + RefsDirName }
+// NewRefIndexNS is the direct form of a hub-namespaced index: the journal
+// under objectsRoot's refs/<ns>/ directory, no hubref resolution. Hub
+// maintenance uses it to reach one run's records without that run's root.
+func NewRefIndexNS(b Backend, objectsRoot, ns string) *RefIndex {
+	ix := NewRefIndex(b, objectsRoot)
+	ix.ns = ns
+	return ix
+}
+
+// OpenRefIndex resolves the index serving an objects root, following a hub
+// attachment the same way OpenCAS does: an attached run's journal lives
+// under the hub store's `refs/<run-id>/` namespace, an unattached root's
+// under its own `refs/`. This is the constructor the checkpoint layer
+// should use; NewRefIndex stays the direct, resolution-free form.
+func OpenRefIndex(b Backend, objectsRoot string) (*RefIndex, error) {
+	root := strings.TrimSuffix(objectsRoot, "/")
+	ref, err := ReadHubRef(b, root)
+	if err != nil {
+		return nil, err
+	}
+	if ref == nil {
+		return NewRefIndex(b, root), nil
+	}
+	ix := NewRefIndex(b, HubObjectsRoot(ref.Hub))
+	ix.ns = ref.Run
+	return ix, nil
+}
+
+// Namespace returns the index's hub namespace ("" for a run-local index).
+func (ix *RefIndex) Namespace() string { return ix.ns }
+
+// Dir returns the index directory ("<objects>/refs", or the namespaced
+// "<objects>/refs/<ns>" for a hub-attached run).
+func (ix *RefIndex) Dir() string {
+	if ix.ns != "" {
+		return ix.root + "/" + RefsDirName + "/" + ix.ns
+	}
+	return ix.root + "/" + RefsDirName
+}
 
 // Exists reports whether the index directory exists.
 func (ix *RefIndex) Exists() bool { return ix.b.Exists(ix.Dir()) }

@@ -94,9 +94,27 @@ func InitShards(b Backend, root string, count int) error {
 
 // OpenCAS opens the content-addressed store rooted at root, honouring a
 // shard declaration when one exists and falling back to a plain BlobStore
-// otherwise. This is the only constructor the checkpoint layer should use.
+// otherwise. When root carries a hub attachment (hubref.json), the hub's
+// shared store is opened instead — one level of indirection only, so a hub
+// whose own objects root claims an attachment is rejected as a chain. This
+// is the only constructor the checkpoint layer should use.
 func OpenCAS(b Backend, root string) (CAS, error) {
 	root = strings.TrimSuffix(root, "/")
+	ref, err := ReadHubRef(b, root)
+	if err != nil {
+		return nil, err
+	}
+	if ref != nil {
+		hubObjects := HubObjectsRoot(ref.Hub)
+		nested, err := ReadHubRef(b, hubObjects)
+		if err != nil {
+			return nil, err
+		}
+		if nested != nil {
+			return nil, fmt.Errorf("storage: %s attaches to hub %s, whose store is itself attached elsewhere (chained hubs unsupported)", root, ref.Hub)
+		}
+		root = hubObjects
+	}
 	data, err := b.ReadFile(root + "/" + ShardConfigName)
 	if err != nil {
 		if IsNotExist(err) {
